@@ -1,0 +1,167 @@
+// Benchmark harness: one benchmark per reproduced paper artifact (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+// numbers). Each benchmark regenerates the corresponding experiment table;
+// run cmd/nabexp to print the tables themselves.
+package nab_test
+
+import (
+	"io"
+	"testing"
+
+	"nab"
+	"nab/internal/exp"
+)
+
+const benchSeed = 2012
+
+// BenchmarkE1_Fig1Mincuts regenerates the Figure 1 worked example
+// (per-node mincuts, gamma, Omega_k, U_k).
+func BenchmarkE1_Fig1Mincuts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.E1Fig1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_Fig2TreePacking regenerates the Figure 2 spanning-structure
+// constructions (directed arborescence packing, undirected conversion and
+// tree packing).
+func BenchmarkE2_Fig2TreePacking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.E2Fig2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_Theorem1Soundness measures the random-coding-matrix failure
+// rate against the Theorem 1 bound across symbol widths.
+func BenchmarkE3_Theorem1Soundness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.E3Theorem1(io.Discard, 100, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_ThroughputVsCapacity measures adversarial amortized NAB
+// throughput against the Theorem 2 capacity upper bound on six networks,
+// reporting the worst measured/UB fraction (Theorem 3 guarantees >= 1/3,
+// or 1/2 when gamma* <= rho*, as L and Q grow).
+func BenchmarkE4_ThroughputVsCapacity(b *testing.B) {
+	worst := 1.0
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.E4ThroughputVsCapacity(io.Discard, 0, 10, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if frac := r.Asymptotic / r.CapacityUB; frac < worst {
+				worst = frac
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-asym/UB")
+}
+
+// BenchmarkE5_Pipelining regenerates the Figure 3 / Appendix D pipelining
+// comparison on multi-hop circulants, reporting the largest speedup.
+func BenchmarkE5_Pipelining(b *testing.B) {
+	speedup := 0.0
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.E5Pipelining(io.Discard, 0, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if s := r.Unpipelined / r.Pipelined; s > speedup {
+				speedup = s
+			}
+		}
+	}
+	b.ReportMetric(speedup, "max-pipeline-speedup")
+}
+
+// BenchmarkE6_DisputeAmortization sweeps Q under persistent adversaries,
+// reporting the final dispute-control time share (which must vanish).
+func BenchmarkE6_DisputeAmortization(b *testing.B) {
+	share := 0.0
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.E6Amortization(io.Discard, 128, []int{1, 16, 256}, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = rows[len(rows)-1].DisputeShare
+	}
+	b.ReportMetric(share, "phase3-share@Q=256")
+}
+
+// BenchmarkE7_BaselineComparison sweeps fat-link capacity on the
+// one-thin-link clique, reporting the final NAB/EIG throughput ratio.
+func BenchmarkE7_BaselineComparison(b *testing.B) {
+	ratio := 0.0
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.E7Baselines(io.Discard, 1024, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[len(rows)-1].Ratio
+	}
+	b.ReportMetric(ratio, "NAB/EIG@fat=32")
+}
+
+// BenchmarkE8_CorrectnessSweep fuzzes topologies, fault placements and
+// strategies; any agreement/validity/bound violation fails the benchmark.
+func BenchmarkE8_CorrectnessSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.E8Correctness(io.Discard, 10, 8, benchSeed+int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Rho sweeps the equality-check parameter.
+func BenchmarkAblation_Rho(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationRho(io.Discard, 64, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Packing compares full gamma-tree Phase 1 against
+// crippled packings.
+func BenchmarkAblation_Packing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationPacking(io.Discard, 64, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RelayPaths sweeps the disjoint-path count above 2f+1.
+func BenchmarkAblation_RelayPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationRelayPaths(io.Discard, 16, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNABInstance measures one fault-free end-to-end instance on K7.
+func BenchmarkNABInstance(b *testing.B) {
+	runner, err := nab.NewRunner(nab.Config{
+		Graph: nab.CompleteGraph(7, 2), Source: 1, F: 2, LenBytes: 64, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunInstance(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltins(t *testing.T) {
+	for _, name := range []string{"k4", "k5", "fig1", "thin5", "circ8"} {
+		args := []string{"-topo", name}
+		if name == "thin5" || name == "circ8" {
+			args = append(args, "-exact=false")
+		}
+		if err := run(args); err != nil {
+			t.Errorf("topo %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunK7F2(t *testing.T) {
+	if err := run([]string{"-topo", "k7", "-f", "2", "-exact=false"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topo", "nope"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-file", "/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-topo", "k4", "-source", "99"}); err == nil {
+		t.Error("missing source accepted")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	content := ""
+	// K4 in text form.
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			if i != j {
+				content += itoa(i) + " " + itoa(j) + " 1\n"
+			}
+		}
+	}
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }

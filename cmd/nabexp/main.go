@@ -1,0 +1,82 @@
+// Command nabexp regenerates every experiment table recorded in
+// EXPERIMENTS.md: the paper's worked examples (E1, E2), the Theorem 1
+// soundness sweep (E3), throughput vs capacity bounds (E4), pipelining
+// (E5), dispute-control amortization (E6), the capacity-oblivious baseline
+// comparison (E7), the correctness fuzz sweep (E8), and the design
+// ablations.
+//
+// Usage:
+//
+//	nabexp            # everything
+//	nabexp -only e4   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nab/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nabexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nabexp", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single experiment: e1..e8, ablations")
+	seed := fs.Int64("seed", 2012, "base seed")
+	draws := fs.Int("draws", 200, "E3 scheme draws per symbol width")
+	q := fs.Int("q", 10, "E4 instances per network")
+	trials := fs.Int("trials", 20, "E8 fuzz trials")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"e1", func() error { return exp.E1Fig1(w) }},
+		{"e2", func() error { return exp.E2Fig2(w) }},
+		{"e3", func() error { return exp.E3Theorem1(w, *draws, *seed) }},
+		{"e4", func() error { _, err := exp.E4ThroughputVsCapacity(w, 0, *q, *seed); return err }},
+		{"e5", func() error { _, err := exp.E5Pipelining(w, 0, *seed); return err }},
+		{"e6", func() error { _, err := exp.E6Amortization(w, 0, nil, *seed); return err }},
+		{"e7", func() error { _, err := exp.E7Baselines(w, 0, *seed); return err }},
+		{"e8", func() error { return exp.E8Correctness(w, *trials, 8, *seed) }},
+		{"ablations", func() error {
+			if err := exp.AblationRho(w, 0, *seed); err != nil {
+				return err
+			}
+			if err := exp.AblationPacking(w, 64, *seed); err != nil {
+				return err
+			}
+			return exp.AblationRelayPaths(w, 16, *seed)
+		}},
+	}
+	ran := false
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		ran = true
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// The fast experiments run under test; the heavy ones are covered by
+	// internal/exp tests and the bench harness.
+	for _, name := range []string{"e1", "e2"} {
+		if err := run([]string{"-only", name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunE3SmallDraws(t *testing.T) {
+	if err := run([]string{"-only", "e3", "-draws", "30"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "e99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

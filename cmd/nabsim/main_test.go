@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRunCleanAndAdversarial(t *testing.T) {
+	if err := run([]string{"-topo", "k4", "-q", "2", "-len", "8"}); err != nil {
+		t.Errorf("clean: %v", err)
+	}
+	if err := run([]string{"-topo", "k5", "-q", "2", "-len", "8", "-adversary", "4=flip"}); err != nil {
+		t.Errorf("adversarial: %v", err)
+	}
+}
+
+func TestAdversaryFlagParsing(t *testing.T) {
+	af := adversaryFlags{}
+	for _, good := range []string{"3=flip", "2=coded", "5=alarm", "4=crash", "6=random"} {
+		if err := af.Set(good); err != nil {
+			t.Errorf("%q: %v", good, err)
+		}
+	}
+	if len(af) != 5 {
+		t.Errorf("parsed %d adversaries", len(af))
+	}
+	if af.String() == "" {
+		t.Error("String empty")
+	}
+	for _, bad := range []string{"3", "x=flip", "3=unknown"} {
+		if err := af.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topo", "nope"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-topo", "k4", "-f", "2"}); err == nil {
+		t.Error("f too large accepted")
+	}
+	if err := run([]string{"-file", "/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Dispute recovery: watch NAB's diminishing-graph mechanism neutralize a
+// persistent attacker. Replica 3 corrupts every Phase-1 block it forwards
+// and replica 5 shouts false alarms; across instances, dispute control
+// identifies them, the instance graph G_k sheds their links and finally
+// the nodes themselves, and throughput recovers to the fault-free rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nab"
+)
+
+func main() {
+	g := nab.CompleteGraph(7, 2)
+	const f = 2
+	runner, err := nab.NewRunner(nab.Config{
+		Graph:    g,
+		Source:   1,
+		F:        f,
+		LenBytes: 64,
+		Seed:     11,
+		Adversaries: map[nab.NodeID]nab.Adversary{
+			3: nab.BlockFlipperAdversary(),
+			5: nab.FalseAlarmAdversary(),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := make([]byte, 64)
+	copy(input, "the value under attack")
+	disputePhases := 0
+	for k := 1; k <= 8; k++ {
+		res, err := runner.RunInstance(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "clean"
+		if res.Phase3 {
+			disputePhases++
+			status = fmt.Sprintf("dispute control: +disputes %v, +faulty %v", res.NewDisputes, res.NewFaulty)
+		}
+		gk := runner.InstanceGraph()
+		fmt.Printf("instance %d: total=%9.1f  V_k+1=%d nodes, %2d links  [%s]\n",
+			k, res.TotalTime(), gk.NumNodes(), gk.NumEdges(), status)
+		for _, out := range res.Outputs {
+			if string(out[:22]) != "the value under attack" {
+				log.Fatalf("instance %d: validity violated: %q", k, out)
+			}
+		}
+	}
+	fmt.Printf("\nadversaries neutralized after %d dispute phases (bound f(f+1) = %d)\n",
+		disputePhases, f*(f+1))
+	fmt.Println("all instances satisfied agreement and validity")
+}

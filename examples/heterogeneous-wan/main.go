@@ -1,0 +1,65 @@
+// Heterogeneous WAN: the intro's motivation measured. On a 5-site WAN
+// where one inter-site link is a thin 1-unit line and every other link
+// carries 16 units, NAB routes around the thin link (its spanning-tree
+// packing and equality check are capacity-aware) while classic
+// capacity-oblivious Byzantine broadcast pays the thin-link price on its
+// fixed routes. The gap widens as the fat links get faster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nab"
+)
+
+const lenBytes = 1024
+
+func main() {
+	input := make([]byte, lenBytes)
+	for i := range input {
+		input[i] = byte(i)
+	}
+
+	fmt.Println("fatCap  NAB rate  classic-BB rate  advantage")
+	for _, fatCap := range []int64{1, 4, 16, 64} {
+		g, err := nab.OneThinLinkGraph(5, 4, 5, fatCap, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Capacity-aware: NAB.
+		runner, err := nab.NewRunner(nab.Config{
+			Graph: g, Source: 1, F: 1, LenBytes: lenBytes, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runner.Run([][]byte{input, input})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nabRate := res.Throughput()
+
+		// Capacity-oblivious: classic BB (EIG over fixed disjoint paths).
+		base, err := nab.BaselineEIG(g, 1, 1, input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eigRate := base.Throughput(8 * lenBytes)
+
+		fmt.Printf("%6d  %8.2f  %15.2f  %6.1fx\n", fatCap, nabRate, eigRate, nabRate/eigRate)
+	}
+
+	// The Theorem 2/3 view of the same network.
+	g, err := nab.OneThinLinkGraph(5, 4, 5, 64, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := nab.AnalyzeCapacity(g, 1, 1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat fatCap=64: gamma*=%d rho*=%.1f, capacity <= %.1f, NAB guarantees >= %.1f%% of it\n",
+		rep.GammaStar, rep.RhoStar, rep.CapacityUB, 100*rep.Guarantee)
+}

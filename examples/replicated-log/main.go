@@ -1,0 +1,74 @@
+// Replicated log: the paper's motivating application ("replicated
+// fault-tolerant state machines"). Five replicas agree on a sequence of
+// fixed-size client commands by running one NAB instance per log entry;
+// replica 4 is Byzantine and corrupts Phase-1 traffic, but every
+// fault-free replica ends with an identical log equal to the commands the
+// (honest) primary proposed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"nab"
+)
+
+const entryBytes = 24
+
+func main() {
+	g := nab.CompleteGraph(5, 2)
+	runner, err := nab.NewRunner(nab.Config{
+		Graph:    g,
+		Source:   1, // replica 1 is the primary proposing entries
+		F:        1,
+		LenBytes: entryBytes,
+		Seed:     7,
+		Adversaries: map[nab.NodeID]nab.Adversary{
+			4: nab.BlockFlipperAdversary(), // replica 4 lies on the wire
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	commands := []string{
+		"SET balance/alice 100    ",
+		"SET balance/bob   250    ",
+		"XFER alice->bob    40    ",
+		"SET audit/flag    true   ",
+	}
+
+	logs := map[nab.NodeID][][]byte{}
+	disputeRuns := 0
+	for i, cmd := range commands {
+		entry := make([]byte, entryBytes)
+		copy(entry, cmd)
+		res, err := runner.RunInstance(entry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Phase3 {
+			disputeRuns++
+			fmt.Printf("entry %d: misbehaviour detected, dispute control ran (new faulty: %v)\n",
+				i, res.NewFaulty)
+		}
+		for replica, value := range res.Outputs {
+			logs[replica] = append(logs[replica], value)
+		}
+	}
+
+	// Every fault-free replica's log must match the proposed commands.
+	for replica, entries := range logs {
+		for i, e := range entries {
+			want := make([]byte, entryBytes)
+			copy(want, commands[i])
+			if !bytes.Equal(e, want) {
+				log.Fatalf("replica %d entry %d diverged: %q", replica, i, e)
+			}
+		}
+		fmt.Printf("replica %d: %d entries, log consistent\n", replica, len(entries))
+	}
+	fmt.Printf("done: %d commands replicated, %d dispute-control phases (bound f(f+1)=2)\n",
+		len(commands), disputeRuns)
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"nab/internal/topo"
+)
+
+func TestRunEIGDelivers(t *testing.T) {
+	g := topo.CompleteBi(4, 2)
+	input := []byte("payload!")
+	res, err := RunEIG(g, 1, 1, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		if !bytes.Equal(out, input) {
+			t.Errorf("node %d decided %q", v, out)
+		}
+	}
+	if res.Time <= 0 || res.TotalBits <= 0 {
+		t.Errorf("stats not accounted: time=%v bits=%d", res.Time, res.TotalBits)
+	}
+	if res.Throughput(len(input)*8) <= 0 {
+		t.Error("throughput not positive")
+	}
+}
+
+func TestRunFloodDelivers(t *testing.T) {
+	g := topo.CompleteBi(5, 2)
+	input := []byte("flooded")
+	res, err := RunFlood(g, 1, 1, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		if !bytes.Equal(out, input) {
+			t.Errorf("node %d got %q", v, out)
+		}
+	}
+	if res.Time <= 0 {
+		t.Error("no time accounted")
+	}
+}
+
+func TestBaselinesConnectivityValidation(t *testing.T) {
+	g := topo.Fig1a() // connectivity 2 < 3
+	if _, err := RunEIG(g, 1, 1, []byte{1}); err == nil {
+		t.Error("EIG on low-connectivity graph: expected error")
+	}
+	if _, err := RunFlood(g, 1, 1, []byte{1}); err == nil {
+		t.Error("Flood on low-connectivity graph: expected error")
+	}
+}
+
+func TestEIGObliviousToCapacity(t *testing.T) {
+	// Doubling every capacity should at least halve the time (the baseline
+	// is *charged* by capacity, it just doesn't adapt its routes).
+	input := make([]byte, 64)
+	thin, err := RunEIG(topo.CompleteBi(4, 1), 1, 1, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := RunEIG(topo.CompleteBi(4, 2), 1, 1, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fat.Time >= thin.Time {
+		t.Errorf("fat network not faster: %v vs %v", fat.Time, thin.Time)
+	}
+}
+
+func TestHeterogeneousPenalty(t *testing.T) {
+	// On a network with one thin link, the flood baseline pays the thin
+	// price while total capacity is large: time should be dominated by the
+	// thin link relative to a uniform network of the same fat capacity.
+	input := make([]byte, 32)
+	het, err := topo.Heterogeneous(5, 3, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := topo.CompleteBi(5, 64)
+	slow, err := RunFlood(het, 1, 1, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunFlood(uniform, 1, 1, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Time < 4*fast.Time {
+		t.Errorf("heterogeneous penalty too small: %v vs %v", slow.Time, fast.Time)
+	}
+}
+
+func BenchmarkRunEIG5(b *testing.B) {
+	g := topo.CompleteBi(5, 2)
+	input := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunEIG(g, 1, 1, input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

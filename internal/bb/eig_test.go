@@ -1,0 +1,359 @@
+package bb
+
+import (
+	"testing"
+
+	"nab/internal/graph"
+	"nab/internal/relay"
+	"nab/internal/sim"
+)
+
+func completeBi(n int, c int64) *graph.Directed {
+	g := graph.NewDirected()
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i != j {
+				g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), c)
+			}
+		}
+	}
+	return g
+}
+
+// runEIG executes a full simultaneous EIG over the graph. values maps each
+// node to the value it broadcasts as general; byz maps faulty nodes to
+// their process factory. Returns the honest nodes' EIG states.
+func runEIG(t *testing.T, g *graph.Directed, f int, tol int, values map[graph.NodeID][]byte, byz map[graph.NodeID]func(*relay.Table) sim.Process) map[graph.NodeID]*Node {
+	t.Helper()
+	tab, err := relay.NewTable(g, 2*f+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.New(g)
+	nodes := map[graph.NodeID]*Node{}
+	participants := g.Nodes()
+	for _, v := range participants {
+		if mk, bad := byz[v]; bad {
+			if err := e.SetProcess(v, mk(tab)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		router := relay.NewRouter(v, tab)
+		nd, err := NewNode(v, participants, tol, router, values[v])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[v] = nd
+		if err := e.SetProcess(v, nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rounds int
+	for _, nd := range nodes {
+		rounds = nd.Rounds()
+		break
+	}
+	if _, err := e.RunPhase("eig", rounds); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		nd.Finish()
+	}
+	return nodes
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	g := completeBi(4, 1)
+	tab, err := relay.NewTable(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relay.NewRouter(1, tab)
+	parts := g.Nodes()
+	if _, err := NewNode(1, parts, -1, r, nil); err == nil {
+		t.Error("negative t: expected error")
+	}
+	if _, err := NewNode(1, parts, 2, r, nil); err == nil {
+		t.Error("4 participants with t=2: expected error")
+	}
+	if _, err := NewNode(99, parts, 1, r, nil); err == nil {
+		t.Error("self not participant: expected error")
+	}
+}
+
+func TestAllHonestAgreement(t *testing.T) {
+	g := completeBi(4, 2)
+	values := map[graph.NodeID][]byte{
+		1: []byte("alpha"), 2: []byte("beta"), 3: []byte("gamma"), 4: []byte("delta"),
+	}
+	nodes := runEIG(t, g, 1, 1, values, nil)
+	for _, nd := range nodes {
+		for g2, want := range values {
+			got := nd.Decide(g2)
+			if string(got) != string(want) {
+				t.Errorf("node %d decides %q for general %d, want %q", nd.self, got, g2, want)
+			}
+		}
+	}
+	// Unknown general decides nil.
+	for _, nd := range nodes {
+		if nd.Decide(99) != nil {
+			t.Error("unknown general should decide nil")
+		}
+		break
+	}
+}
+
+// equivocatingGeneral sends different round-0 values to different peers and
+// behaves honestly afterwards (worst case for validity of others).
+func equivocatingGeneral(self graph.NodeID, participants []graph.NodeID, tol int) func(*relay.Table) sim.Process {
+	return func(tab *relay.Table) sim.Process {
+		router := relay.NewRouter(self, tab)
+		nd, err := NewNode(self, participants, tol, router, []byte("X"))
+		if err != nil {
+			panic(err)
+		}
+		return sim.StepFunc(func(round int, inbox []sim.Message) []sim.Message {
+			out := nd.Step(round, inbox)
+			if round == 0 {
+				// Rewrite the round-0 payload per destination: half get "X",
+				// half get "Y".
+				for i := range out {
+					pkt, ok := out[i].Body.(relay.Packet)
+					if !ok || pkt.MsgID != msgID(0) {
+						continue
+					}
+					if pkt.Dest%2 == 0 {
+						msg, err := unmarshalRound(pkt.Payload)
+						if err != nil {
+							continue
+						}
+						for j := range msg.Reports {
+							msg.Reports[j].Val = []byte("Y")
+						}
+						raw := marshalRound(msg)
+						pkt.Payload = raw
+						out[i].Body = pkt
+						out[i].Bits = int64(len(raw)) * 8
+					}
+				}
+			}
+			return out
+		})
+	}
+}
+
+func TestAgreementUnderEquivocatingGeneral(t *testing.T) {
+	// n=4, f=1: the faulty general sends X to odd nodes and Y to even
+	// nodes. All honest nodes must still agree on SOME common value for it.
+	g := completeBi(4, 2)
+	participants := g.Nodes()
+	values := map[graph.NodeID][]byte{1: []byte("one"), 2: []byte("two"), 4: []byte("four")}
+	byz := map[graph.NodeID]func(*relay.Table) sim.Process{
+		3: equivocatingGeneral(3, participants, 1),
+	}
+	nodes := runEIG(t, g, 1, 1, values, byz)
+	var agreed *string
+	for _, nd := range nodes {
+		got := string(nd.Decide(3))
+		if agreed == nil {
+			agreed = &got
+		} else if got != *agreed {
+			t.Fatalf("agreement violated: %q vs %q", got, *agreed)
+		}
+	}
+	// Validity for honest generals must be unaffected.
+	for _, nd := range nodes {
+		for gen, want := range values {
+			if got := nd.Decide(gen); string(got) != string(want) {
+				t.Errorf("node %d decides %q for honest general %d, want %q", nd.self, got, gen, want)
+			}
+		}
+	}
+}
+
+// lyingRelayer behaves honestly as general but lies in later rounds about
+// what it heard from others.
+func lyingRelayer(self graph.NodeID, participants []graph.NodeID, tol int) func(*relay.Table) sim.Process {
+	return func(tab *relay.Table) sim.Process {
+		router := relay.NewRouter(self, tab)
+		nd, err := NewNode(self, participants, tol, router, []byte("honest-looking"))
+		if err != nil {
+			panic(err)
+		}
+		return sim.StepFunc(func(round int, inbox []sim.Message) []sim.Message {
+			out := nd.Step(round, inbox)
+			for i := range out {
+				pkt, ok := out[i].Body.(relay.Packet)
+				if !ok || pkt.MsgID == msgID(0) {
+					continue
+				}
+				msg, err := unmarshalRound(pkt.Payload)
+				if err != nil {
+					continue
+				}
+				for j := range msg.Reports {
+					msg.Reports[j].Val = []byte("poison")
+				}
+				raw := marshalRound(msg)
+				pkt.Payload = raw
+				out[i].Body = pkt
+				out[i].Bits = int64(len(raw)) * 8
+			}
+			return out
+		})
+	}
+}
+
+func TestValidityUnderLyingRelayer(t *testing.T) {
+	// Honest generals' values must survive a relayer that poisons every
+	// second-round report.
+	g := completeBi(4, 2)
+	participants := g.Nodes()
+	values := map[graph.NodeID][]byte{1: []byte("v1"), 3: []byte("v3"), 4: []byte("v4")}
+	byz := map[graph.NodeID]func(*relay.Table) sim.Process{
+		2: lyingRelayer(2, participants, 1),
+	}
+	nodes := runEIG(t, g, 1, 1, values, byz)
+	for _, nd := range nodes {
+		for gen, want := range values {
+			if got := nd.Decide(gen); string(got) != string(want) {
+				t.Errorf("node %d decides %q for general %d, want %q", nd.self, got, gen, want)
+			}
+		}
+	}
+}
+
+func TestSilentGeneralAgreesOnDefault(t *testing.T) {
+	g := completeBi(4, 2)
+	values := map[graph.NodeID][]byte{1: []byte("a"), 2: []byte("b"), 3: []byte("c")}
+	byz := map[graph.NodeID]func(*relay.Table) sim.Process{
+		4: func(*relay.Table) sim.Process { return sim.Silent },
+	}
+	nodes := runEIG(t, g, 1, 1, values, byz)
+	for _, nd := range nodes {
+		if got := nd.Decide(4); got != nil {
+			t.Errorf("node %d decides %q for silent general, want nil default", nd.self, got)
+		}
+	}
+}
+
+func TestSevenNodesTwoFaults(t *testing.T) {
+	// n=7, f=2: equivocator + silent node simultaneously.
+	g := completeBi(7, 2)
+	participants := g.Nodes()
+	values := map[graph.NodeID][]byte{}
+	for _, v := range []graph.NodeID{1, 2, 4, 6, 7} {
+		values[v] = []byte{byte('a' + v)}
+	}
+	byz := map[graph.NodeID]func(*relay.Table) sim.Process{
+		3: equivocatingGeneral(3, participants, 2),
+		5: func(*relay.Table) sim.Process { return sim.Silent },
+	}
+	nodes := runEIG(t, g, 2, 2, values, byz)
+	// Agreement on both faulty generals, validity for honest ones.
+	var d3, d5 *string
+	for _, nd := range nodes {
+		g3, g5 := string(nd.Decide(3)), string(nd.Decide(5))
+		if d3 == nil {
+			d3, d5 = &g3, &g5
+		} else if g3 != *d3 || g5 != *d5 {
+			t.Fatalf("agreement violated: node %d has (%q,%q) vs (%q,%q)", nd.self, g3, g5, *d3, *d5)
+		}
+		for gen, want := range values {
+			if got := nd.Decide(gen); string(got) != string(want) {
+				t.Errorf("node %d: general %d: got %q want %q", nd.self, gen, got, want)
+			}
+		}
+	}
+}
+
+func TestToleranceZeroFastPath(t *testing.T) {
+	// t=0 (all faults already identified elsewhere): single round.
+	g := completeBi(3, 2)
+	values := map[graph.NodeID][]byte{1: []byte("x"), 2: []byte("y"), 3: []byte("z")}
+	nodes := runEIG(t, g, 0, 0, values, nil)
+	for _, nd := range nodes {
+		for gen, want := range values {
+			if got := nd.Decide(gen); string(got) != string(want) {
+				t.Errorf("node %d: general %d: got %q want %q", nd.self, gen, got, want)
+			}
+		}
+	}
+}
+
+func TestLabelKeyRoundTrip(t *testing.T) {
+	path := []graph.NodeID{3, 1, 4}
+	back := parseKey(labelKey(path))
+	if len(back) != 3 || back[0] != 3 || back[1] != 1 || back[2] != 4 {
+		t.Errorf("round trip failed: %v", back)
+	}
+	if parseKey("not,a,number") != nil {
+		t.Error("parseKey should reject garbage")
+	}
+}
+
+func TestValidLabelRules(t *testing.T) {
+	g := completeBi(4, 1)
+	tab, err := relay.NewTable(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := NewNode(1, g.Nodes(), 1, relay.NewRouter(1, tab), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path []graph.NodeID
+		k    int
+		from graph.NodeID
+		want bool
+	}{
+		{[]graph.NodeID{2}, 0, 2, true},
+		{[]graph.NodeID{3}, 0, 2, false},     // round 0 must be self-label
+		{[]graph.NodeID{2, 3}, 0, 2, false},  // wrong length
+		{[]graph.NodeID{2}, 1, 3, true},      // round 1 label of length 1
+		{[]graph.NodeID{2}, 1, 2, false},     // sender in label
+		{[]graph.NodeID{2, 2}, 2, 3, false},  // duplicate
+		{[]graph.NodeID{2, 99}, 2, 3, false}, // non-participant
+		{[]graph.NodeID{2, 4}, 2, 3, true},
+		{[]graph.NodeID{2, 4}, 1, 3, false}, // wrong length for round
+	}
+	for i, c := range cases {
+		if got := nd.validLabel(c.path, c.k, c.from); got != c.want {
+			t.Errorf("case %d: validLabel(%v,%d,%d) = %v, want %v", i, c.path, c.k, c.from, got, c.want)
+		}
+	}
+}
+
+func BenchmarkEIG7(b *testing.B) {
+	g := completeBi(7, 2)
+	tab, err := relay.NewTable(g, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	participants := g.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(g)
+		e.SetRecording(false)
+		var sample *Node
+		for _, v := range participants {
+			router := relay.NewRouter(v, tab)
+			nd, err := NewNode(v, participants, 2, router, []byte{byte(v)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sample == nil {
+				sample = nd
+			}
+			if err := e.SetProcess(v, nd); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := e.RunPhase("eig", sample.Rounds()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

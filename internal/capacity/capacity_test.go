@@ -1,0 +1,242 @@
+package capacity
+
+import (
+	"math/rand"
+	"testing"
+
+	"nab/internal/dispute"
+	"nab/internal/graph"
+	"nab/internal/topo"
+)
+
+func TestGammaFig1a(t *testing.T) {
+	gamma, err := Gamma(topo.Fig1a(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma != 2 {
+		t.Errorf("gamma = %d, want 2 (paper Section 2)", gamma)
+	}
+}
+
+func TestUFig1bWorkedExample(t *testing.T) {
+	// Paper: with nodes 2,3 in dispute, Omega_k = {1,2,4},{1,3,4} and
+	// U_k = 2.
+	g := topo.Fig1b()
+	s := dispute.NewSet()
+	if err := s.Add(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	omega := dispute.Omega(g, s, 3)
+	u, err := U(omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 2 {
+		t.Errorf("U_k = %d, want 2 (paper Section 3 example)", u)
+	}
+	rho, err := Rho(omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 1 {
+		t.Errorf("rho_k = %d, want 1", rho)
+	}
+}
+
+func TestUErrors(t *testing.T) {
+	if _, err := U(nil); err == nil {
+		t.Error("empty omega: expected error")
+	}
+	// Disconnected subgraph in omega.
+	g := graph.NewDirected()
+	g.MustAddEdge(1, 2, 1)
+	g.AddNode(3)
+	if _, err := U([]*graph.Directed{g}); err == nil {
+		t.Error("disconnected subgraph: expected error")
+	}
+}
+
+func TestRhoTooSmall(t *testing.T) {
+	// A 3-node path has pairwise mincut 1 -> U=1 -> rho error.
+	g := graph.NewDirected()
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	omega := []*graph.Directed{g}
+	if _, err := Rho(omega); err == nil {
+		t.Error("U<2: expected error")
+	}
+}
+
+func TestGammaStarFastFig1a(t *testing.T) {
+	// Deleting any single non-source node from Fig1a leaves a triangle
+	// (or K3 minus nothing) with unit capacities. After deleting node 3:
+	// nodes {1,2,4}, edges 1<->2, 1<->4 only; mincut(1,2)=1 => gamma = 1.
+	gs, err := GammaStarFast(topo.Fig1a(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs != 1 {
+		t.Errorf("gammaStarFast = %d, want 1", gs)
+	}
+}
+
+func TestGammaStarExactAtMostFast(t *testing.T) {
+	// Exact explores a superset of the fast family, so exact <= fast.
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topo.RandomConnected(rng, 5, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := GammaStarFast(g, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := GammaStarExact(g, 1, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact > fast {
+			t.Errorf("seed %d: exact %d > fast %d", seed, exact, fast)
+		}
+	}
+}
+
+func TestGammaStarExactFindsPartialDisputes(t *testing.T) {
+	// Construct a graph where a partial dispute (edge removal without node
+	// confirmation) hurts gamma more than any node deletion: node deletion
+	// removes the target from the "min over j", but an edge deletion keeps
+	// the weakened target in place.
+	//
+	// Take Fig1a: deleting node 2's edges to 1 only (dispute {1,2}) leaves
+	// node 2 reachable only via 3 with mincut 1; node deletion of 2 gives
+	// min over {3,4} which is 2. The dispute {1,2} is explained by {1} or
+	// {2}, so it is reachable with f=1.
+	g := topo.Fig1a()
+	exact, err := GammaStarExact(g, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 1 {
+		t.Errorf("exact gammaStar = %d, want 1", exact)
+	}
+}
+
+func TestGammaStarValidation(t *testing.T) {
+	g := topo.Fig1a()
+	if _, err := GammaStarFast(g, 99, 1); err == nil {
+		t.Error("missing source: expected error")
+	}
+	if _, err := GammaStarExact(g, 99, 1, 0); err == nil {
+		t.Error("missing source: expected error")
+	}
+	if _, err := GammaStarExact(g, 1, 1, 3); err == nil {
+		t.Error("tiny budget: expected error")
+	}
+}
+
+func TestRhoStarFig1a(t *testing.T) {
+	// Omega_1 = all 3-node subsets. {1,2,4} has undirected edges 1-2:2,
+	// 1-4:2 only -> pairwise mincut 2. So U1 = 2, rhoStar = 1.
+	rhoStar, u1, err := RhoStar(topo.Fig1a(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != 2 || rhoStar != 1 {
+		t.Errorf("U1 = %d rhoStar = %v, want 2 and 1", u1, rhoStar)
+	}
+}
+
+func TestAnalyzeFig1a(t *testing.T) {
+	r, err := Analyze(topo.Fig1a(), 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gamma1 != 2 || r.U1 != 2 || r.RhoStar != 1 || r.GammaStar != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	// CapacityUB = min(1, 2*1) = 1; TNAB = 1*1/2 = 0.5; ratio >= 1/2
+	// because gammaStar <= rhoStar.
+	if r.CapacityUB != 1 {
+		t.Errorf("CapacityUB = %v, want 1", r.CapacityUB)
+	}
+	if r.TNABBound != 0.5 {
+		t.Errorf("TNABBound = %v, want 0.5", r.TNABBound)
+	}
+	if r.Guarantee != 0.5 {
+		t.Errorf("Guarantee = %v, want 0.5", r.Guarantee)
+	}
+	// Theorem 3: TNAB >= CapacityUB * Guarantee.
+	if r.TNABBound < r.CapacityUB*r.Guarantee-1e-12 {
+		t.Errorf("Theorem 3 violated: %v < %v * %v", r.TNABBound, r.CapacityUB, r.Guarantee)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	g := topo.Fig1a()
+	if _, err := Analyze(g, 1, -1, false); err == nil {
+		t.Error("negative f: expected error")
+	}
+	if _, err := Analyze(g, 1, 2, false); err == nil {
+		t.Error("n < 3f+1: expected error")
+	}
+}
+
+// TestTheorem3OnRandomNetworks sweeps random networks and checks the
+// algebraic content of Theorem 3: TNAB >= min(gamma*, 2rho*)/3 always, and
+// >= min(gamma*, 2rho*)/2 when gamma* <= rho*.
+func TestTheorem3OnRandomNetworks(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(3)
+		g, err := topo.RandomConnected(rng, n, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Analyze(g, 1, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		third := r.CapacityUB / 3
+		if r.TNABBound < third-1e-9 {
+			t.Errorf("seed %d: TNAB %v < UB/3 %v", seed, r.TNABBound, third)
+		}
+		if float64(r.GammaStar) <= r.RhoStar && r.TNABBound < r.CapacityUB/2-1e-9 {
+			t.Errorf("seed %d: TNAB %v < UB/2 with gamma*<=rho*", seed, r.TNABBound)
+		}
+	}
+}
+
+func TestSubsetsUpTo(t *testing.T) {
+	nodes := []graph.NodeID{1, 2, 3}
+	subs := subsetsUpTo(nodes, 2)
+	// {}, {1}, {2}, {3}, {1,2}, {1,3}, {2,3} = 7
+	if len(subs) != 7 {
+		t.Errorf("got %d subsets, want 7", len(subs))
+	}
+}
+
+func BenchmarkAnalyzeFast7(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := topo.RandomConnected(rng, 7, 3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(g, 1, 1, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGammaStarExact5(b *testing.B) {
+	g := topo.Fig1a()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GammaStarExact(g, 1, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

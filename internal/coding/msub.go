@@ -1,0 +1,72 @@
+package coding
+
+import (
+	"fmt"
+
+	"nab/internal/graph"
+	"nab/internal/linalg"
+	"nab/internal/spantree"
+)
+
+// SpanningSubmatrix builds M_H, the square submatrix of C_H whose columns
+// correspond to rho edge-disjoint undirected spanning trees of H's
+// undirected version (Appendix C.1). Theorem 1 shows M_H is invertible with
+// high probability over the random coding matrices; M_H invertible implies
+// C_H has full row rank, i.e. the equality check is sound on H.
+//
+// Trees must be unit-edge-disjoint (as produced by
+// spantree.PackUndirectedTrees on H) and there must be exactly rho of them.
+func (s *Scheme) SpanningSubmatrix(h *graph.Directed, trees [][]spantree.UnitEdge) (*linalg.Matrix, error) {
+	if len(trees) != s.rho {
+		return nil, fmt.Errorf("coding: %d trees, want rho = %d", len(trees), s.rho)
+	}
+	ch, err := s.AssembleCH(h)
+	if err != nil {
+		return nil, err
+	}
+	offsets := ColumnOffsets(h)
+	nBlocks := h.NumNodes() - 1
+	var cols []int
+	seen := map[int]bool{}
+	for ti, tree := range trees {
+		if len(tree) != nBlocks {
+			return nil, fmt.Errorf("coding: tree %d has %d edges, want %d", ti, len(tree), nBlocks)
+		}
+		for _, ue := range tree {
+			off, ok := offsets[EdgeKey{ue.From, ue.To}]
+			if !ok {
+				return nil, fmt.Errorf("coding: tree %d uses edge (%d,%d) not in subgraph", ti, ue.From, ue.To)
+			}
+			if int64(ue.Slot) >= h.Cap(ue.From, ue.To) || ue.Slot < 0 {
+				return nil, fmt.Errorf("coding: tree %d slot %d out of range for edge (%d,%d)", ti, ue.Slot, ue.From, ue.To)
+			}
+			col := off + ue.Slot
+			if seen[col] {
+				return nil, fmt.Errorf("coding: column %d (edge (%d,%d) slot %d) reused; trees not disjoint", col, ue.From, ue.To, ue.Slot)
+			}
+			seen[col] = true
+			cols = append(cols, col)
+		}
+	}
+	rows := make([]int, ch.Rows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return ch.SubMatrix(rows, cols)
+}
+
+// BuildSpanningSubmatrix packs rho disjoint undirected spanning trees in h
+// and returns M_H, the trees used, and an error if h cannot support rho
+// trees (which, by Nash-Williams/Tutte, cannot happen when
+// rho <= U_H / 2 — the paper's parameter constraint).
+func (s *Scheme) BuildSpanningSubmatrix(h *graph.Directed) (*linalg.Matrix, [][]spantree.UnitEdge, error) {
+	trees, err := spantree.PackUndirectedTrees(h, s.rho)
+	if err != nil {
+		return nil, nil, fmt.Errorf("coding: packing %d trees: %w", s.rho, err)
+	}
+	m, err := s.SpanningSubmatrix(h, trees)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, trees, nil
+}

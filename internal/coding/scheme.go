@@ -1,0 +1,255 @@
+// Package coding implements the local linear coding used by NAB's equality
+// check (Algorithm 1 of the paper) and the machinery of Theorem 1's
+// soundness proof.
+//
+// A Scheme fixes, for each directed edge e of capacity z_e in the instance
+// graph G_k, a rho x z_e coding matrix C_e over GF(2^m) (m = L/rho). During
+// the equality check each node i sends Y_e = X_i * C_e on every outgoing
+// edge and verifies Y_d = X_i * C_d for every incoming edge d.
+//
+// The paper specifies correct matrices as part of the algorithm, proving
+// existence by the probabilistic method (Theorem 1). We mirror that: draw
+// matrices at random and *verify* correctness deterministically — full row
+// rank of the assembled C_H matrix for every potential fault-free subgraph
+// H in Omega_k — redrawing until verification passes.
+package coding
+
+import (
+	"fmt"
+	"math"
+
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/linalg"
+)
+
+// EdgeKey identifies a directed edge.
+type EdgeKey [2]graph.NodeID
+
+// Scheme holds the per-edge coding matrices for one instance graph.
+type Scheme struct {
+	field *gf.Field
+	rho   int
+	mats  map[EdgeKey]*linalg.Matrix
+}
+
+// NewScheme draws a fresh random scheme for graph g with parameter rho over
+// field: each C_e is rho x cap(e) with i.i.d. uniform entries (Theorem 1's
+// distribution).
+func NewScheme(g *graph.Directed, rho int, field *gf.Field, src interface{ Uint64() uint64 }) (*Scheme, error) {
+	if rho <= 0 {
+		return nil, fmt.Errorf("coding: rho = %d must be positive", rho)
+	}
+	if field == nil {
+		return nil, fmt.Errorf("coding: nil field")
+	}
+	s := &Scheme{field: field, rho: rho, mats: map[EdgeKey]*linalg.Matrix{}}
+	for _, e := range g.Edges() {
+		m, err := linalg.Random(field, rho, int(e.Cap), src)
+		if err != nil {
+			return nil, fmt.Errorf("coding: edge (%d,%d): %w", e.From, e.To, err)
+		}
+		s.mats[EdgeKey{e.From, e.To}] = m
+	}
+	return s, nil
+}
+
+// Rho returns the equality-check parameter rho (symbols per value).
+func (s *Scheme) Rho() int { return s.rho }
+
+// Field returns the symbol field GF(2^m).
+func (s *Scheme) Field() *gf.Field { return s.field }
+
+// EdgeMatrix returns C_e for edge (from, to), or nil if the scheme has no
+// matrix for it.
+func (s *Scheme) EdgeMatrix(from, to graph.NodeID) *linalg.Matrix {
+	return s.mats[EdgeKey{from, to}]
+}
+
+// Encode computes the coded symbols Y_e = X * C_e a node sends on edge
+// (from, to). X must have exactly rho symbols.
+func (s *Scheme) Encode(from, to graph.NodeID, x []gf.Elem) ([]gf.Elem, error) {
+	m := s.EdgeMatrix(from, to)
+	if m == nil {
+		return nil, fmt.Errorf("coding: no matrix for edge (%d,%d)", from, to)
+	}
+	if len(x) != s.rho {
+		return nil, fmt.Errorf("coding: value has %d symbols, want rho = %d", len(x), s.rho)
+	}
+	return m.MulVec(x)
+}
+
+// Check performs the receiver-side comparison of Algorithm 1 step 2: node i
+// holding value x checks the symbols y received on incoming edge
+// (from, to=i) against x * C_d. It reports mismatch = true when the check
+// fails (the node would set its flag to MISMATCH).
+func (s *Scheme) Check(from, to graph.NodeID, x []gf.Elem, y []gf.Elem) (bool, error) {
+	want, err := s.Encode(from, to, x)
+	if err != nil {
+		return false, err
+	}
+	if len(y) != len(want) {
+		// Missing or truncated symbols are treated as a mismatch, matching
+		// the model's "missing message becomes a default value".
+		return true, nil
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// blockIndex maps the nodes of subgraph H to row-block positions for the
+// expanded matrices: nodes sorted ascending; the last (reference) node has
+// no block. Returns the ordering, block index map, and reference node.
+func blockIndex(h *graph.Directed) ([]graph.NodeID, map[graph.NodeID]int, graph.NodeID) {
+	nodes := h.Nodes()
+	ref := nodes[len(nodes)-1]
+	blocks := map[graph.NodeID]int{}
+	for i, v := range nodes[:len(nodes)-1] {
+		blocks[v] = i
+	}
+	return nodes, blocks, ref
+}
+
+// AssembleCH builds the (|H|-1)*rho x m matrix C_H of Appendix C.1 for
+// subgraph H: the horizontal concatenation of the expanded matrices B_e of
+// every edge of H, where B_e places C_e in the tail node's block and -C_e
+// (= C_e in characteristic 2) in the head node's block, the reference node
+// contributing no block. Column order follows h.Edges() with slot order
+// inside each edge, which is the canonical column indexing used by
+// ColumnOffsets and SpanningSubmatrix.
+func (s *Scheme) AssembleCH(h *graph.Directed) (*linalg.Matrix, error) {
+	_, blocks, ref := blockIndex(h)
+	nBlocks := len(blocks)
+	if nBlocks == 0 {
+		return nil, fmt.Errorf("coding: subgraph has fewer than 2 nodes")
+	}
+	totalCols := int(h.TotalCapacity())
+	ch, err := linalg.New(s.field, nBlocks*s.rho, totalCols)
+	if err != nil {
+		return nil, err
+	}
+	col := 0
+	for _, e := range h.Edges() {
+		ce := s.EdgeMatrix(e.From, e.To)
+		if ce == nil {
+			return nil, fmt.Errorf("coding: missing matrix for subgraph edge (%d,%d)", e.From, e.To)
+		}
+		if int64(ce.Cols()) != e.Cap {
+			return nil, fmt.Errorf("coding: matrix for (%d,%d) has %d cols, capacity %d", e.From, e.To, ce.Cols(), e.Cap)
+		}
+		for c := 0; c < int(e.Cap); c++ {
+			if e.From != ref {
+				bi := blocks[e.From]
+				for r := 0; r < s.rho; r++ {
+					ch.Set(bi*s.rho+r, col, ce.At(r, c))
+				}
+			}
+			if e.To != ref {
+				bi := blocks[e.To]
+				for r := 0; r < s.rho; r++ {
+					// -C_e equals C_e in characteristic 2.
+					ch.Set(bi*s.rho+r, col, ce.At(r, c))
+				}
+			}
+			col++
+		}
+	}
+	return ch, nil
+}
+
+// ColumnOffsets returns, for each edge of h (in h.Edges() order), the first
+// C_H column carrying that edge's coded symbols.
+func ColumnOffsets(h *graph.Directed) map[EdgeKey]int {
+	out := map[EdgeKey]int{}
+	col := 0
+	for _, e := range h.Edges() {
+		out[EdgeKey{e.From, e.To}] = col
+		col += int(e.Cap)
+	}
+	return out
+}
+
+// Verifysubgraph reports whether the equality check is sound on subgraph H
+// under this scheme: C_H must have full row rank (|H|-1)*rho, which is
+// exactly the condition "D_H C_H = 0 implies D_H = 0" of the Theorem 1
+// proof.
+func (s *Scheme) VerifySubgraph(h *graph.Directed) (bool, error) {
+	ch, err := s.AssembleCH(h)
+	if err != nil {
+		return false, err
+	}
+	return ch.Rank() == ch.Rows(), nil
+}
+
+// Verify checks soundness on every subgraph in omega (the Omega_k family:
+// all candidate fault-free node sets). It returns the first failing
+// subgraph index, or -1 if all pass.
+func (s *Scheme) Verify(omega []*graph.Directed) (int, error) {
+	for i, h := range omega {
+		ok, err := s.VerifySubgraph(h)
+		if err != nil {
+			return i, fmt.Errorf("coding: verifying subgraph %d: %w", i, err)
+		}
+		if !ok {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// GenerateVerified draws schemes until one passes Verify, up to maxTries.
+// It returns the scheme and the number of draws used. By Theorem 1 a single
+// draw succeeds with probability at least 1 - 2^-m * |Omega|(n-f-1)rho, so
+// for reasonable field sizes tries == 1 almost always.
+func GenerateVerified(g *graph.Directed, rho int, field *gf.Field, omega []*graph.Directed, src interface{ Uint64() uint64 }, maxTries int) (*Scheme, int, error) {
+	if maxTries <= 0 {
+		return nil, 0, fmt.Errorf("coding: maxTries = %d must be positive", maxTries)
+	}
+	for try := 1; try <= maxTries; try++ {
+		s, err := NewScheme(g, rho, field, src)
+		if err != nil {
+			return nil, try, err
+		}
+		bad, err := s.Verify(omega)
+		if err != nil {
+			return nil, try, err
+		}
+		if bad < 0 {
+			return s, try, nil
+		}
+	}
+	return nil, maxTries, fmt.Errorf("coding: no correct scheme found in %d draws (field too small for this graph?)", maxTries)
+}
+
+// Theorem1Bound returns the paper's upper bound on the probability that a
+// single random draw of coding matrices is NOT correct:
+//
+//	2^(-m) * C(n, n-f) * (n-f-1) * rho
+//
+// where m is the symbol width L/rho. Values above 1 are truncated to 1
+// (the bound is vacuous there).
+func Theorem1Bound(n, f, rho int, symbolBits uint) float64 {
+	b := binomial(n, n-f) * float64(n-f-1) * float64(rho) * math.Pow(2, -float64(symbolBits))
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package coding
+
+import (
+	"fmt"
+
+	"nab/internal/gf"
+)
+
+// PackValue converts a byte string into rho symbols of symbolBits bits each,
+// reading bits most-significant-first. The data must fit: len(data)*8 <=
+// rho*symbolBits; missing trailing bits are zero-padded. This realizes the
+// paper's view of an L-bit value x as a vector X of rho symbols over
+// GF(2^(L/rho)).
+func PackValue(data []byte, rho int, symbolBits uint) ([]gf.Elem, error) {
+	if rho <= 0 {
+		return nil, fmt.Errorf("coding: rho = %d must be positive", rho)
+	}
+	if symbolBits < 1 || symbolBits > 64 {
+		return nil, fmt.Errorf("coding: symbolBits = %d out of range [1,64]", symbolBits)
+	}
+	capacity := uint64(rho) * uint64(symbolBits)
+	if uint64(len(data))*8 > capacity {
+		return nil, fmt.Errorf("coding: %d bytes exceed capacity %d bits (rho=%d, m=%d)", len(data), capacity, rho, symbolBits)
+	}
+	out := make([]gf.Elem, rho)
+	bitPos := uint64(0)
+	for _, b := range data {
+		for k := 7; k >= 0; k-- {
+			bit := uint64(b>>uint(k)) & 1
+			sym := bitPos / uint64(symbolBits)
+			off := bitPos % uint64(symbolBits)
+			if bit != 0 {
+				out[sym] |= 1 << (uint64(symbolBits) - 1 - off)
+			}
+			bitPos++
+		}
+	}
+	return out, nil
+}
+
+// UnpackValue is the inverse of PackValue, returning byteLen bytes.
+func UnpackValue(symbols []gf.Elem, symbolBits uint, byteLen int) ([]byte, error) {
+	if symbolBits < 1 || symbolBits > 64 {
+		return nil, fmt.Errorf("coding: symbolBits = %d out of range [1,64]", symbolBits)
+	}
+	capacity := uint64(len(symbols)) * uint64(symbolBits)
+	if uint64(byteLen)*8 > capacity {
+		return nil, fmt.Errorf("coding: %d bytes exceed %d available bits", byteLen, capacity)
+	}
+	out := make([]byte, byteLen)
+	for bitPos := uint64(0); bitPos < uint64(byteLen)*8; bitPos++ {
+		sym := bitPos / uint64(symbolBits)
+		off := bitPos % uint64(symbolBits)
+		bit := (symbols[sym] >> (uint64(symbolBits) - 1 - off)) & 1
+		if bit != 0 {
+			out[bitPos/8] |= 1 << (7 - bitPos%8)
+		}
+	}
+	return out, nil
+}
+
+// ValuesEqual reports whether two symbol vectors are identical.
+func ValuesEqual(a, b []gf.Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

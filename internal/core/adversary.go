@@ -1,0 +1,57 @@
+package core
+
+import (
+	"nab/internal/gf"
+	"nab/internal/graph"
+)
+
+// Adversary customizes a faulty node's behaviour at the protocol's decision
+// points. Honest behaviour is the zero customization (see Honest); the
+// adversary package provides concrete strategies.
+//
+// Scope: these hooks cover corruption of Phase-1 blocks (including source
+// equivocation), equality-check symbols, announced flags, and
+// dispute-control claims, plus going silent per phase. Byzantine behaviour
+// inside the EIG transport itself (equivocating reports) is exercised by
+// the bb package's own tests; at the core layer EIG runs on the declared
+// inputs.
+type Adversary interface {
+	// CorruptBlock may replace the Phase-1 block this node is about to send
+	// to child `to` on tree `tree`. Return the input unchanged for honest
+	// forwarding.
+	CorruptBlock(tree int, to graph.NodeID, block BitChunk) BitChunk
+	// CorruptCoded may replace the equality-check symbols sent on edge
+	// (self, to).
+	CorruptCoded(to graph.NodeID, symbols []gf.Elem) []gf.Elem
+	// OverrideFlag may replace the MISMATCH flag this node announces in
+	// step 2.2.
+	OverrideFlag(honest bool) bool
+	// CorruptClaims may replace the dispute-control transcript this node
+	// broadcasts in Phase 3. Returning nil makes the node stay silent
+	// there (it will be identified as faulty).
+	CorruptClaims(claims *Claims) *Claims
+	// SilentIn reports whether the node sends nothing during the named
+	// phase ("phase1", "equality", "flags", "claims").
+	SilentIn(phase string) bool
+}
+
+// Honest is the identity Adversary: a node driven by it follows the
+// protocol exactly. It is the base for partial overrides.
+type Honest struct{}
+
+var _ Adversary = Honest{}
+
+// CorruptBlock returns the block unchanged.
+func (Honest) CorruptBlock(_ int, _ graph.NodeID, block BitChunk) BitChunk { return block }
+
+// CorruptCoded returns the symbols unchanged.
+func (Honest) CorruptCoded(_ graph.NodeID, symbols []gf.Elem) []gf.Elem { return symbols }
+
+// OverrideFlag returns the honestly computed flag.
+func (Honest) OverrideFlag(honest bool) bool { return honest }
+
+// CorruptClaims returns the claims unchanged.
+func (Honest) CorruptClaims(claims *Claims) *Claims { return claims }
+
+// SilentIn always participates.
+func (Honest) SilentIn(string) bool { return false }

@@ -1,0 +1,105 @@
+package core
+
+import "fmt"
+
+// BitChunk is a bit string: Bytes holds BitLen bits, most significant bit
+// of Bytes[0] first; trailing pad bits are zero.
+type BitChunk struct {
+	Bytes  []byte `json:"b"`
+	BitLen int    `json:"l"`
+}
+
+func bitOf(data []byte, i int) byte {
+	return (data[i/8] >> (7 - i%8)) & 1
+}
+
+func setBit(data []byte, i int) {
+	data[i/8] |= 1 << (7 - i%8)
+}
+
+// splitBits divides the first totalBits bits of data into parts nearly-equal
+// chunks: chunk i covers bits [i*totalBits/parts, (i+1)*totalBits/parts).
+// This is the paper's Phase-1 split of the L-bit input into gamma blocks of
+// ~L/gamma bits, one per spanning tree.
+func splitBits(data []byte, totalBits, parts int) ([]BitChunk, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("core: parts = %d must be positive", parts)
+	}
+	if totalBits < 0 || totalBits > len(data)*8 {
+		return nil, fmt.Errorf("core: totalBits = %d out of range [0, %d]", totalBits, len(data)*8)
+	}
+	out := make([]BitChunk, parts)
+	for p := 0; p < parts; p++ {
+		lo := p * totalBits / parts
+		hi := (p + 1) * totalBits / parts
+		chunk := BitChunk{Bytes: make([]byte, (hi-lo+7)/8), BitLen: hi - lo}
+		for i := lo; i < hi; i++ {
+			if bitOf(data, i) != 0 {
+				setBit(chunk.Bytes, i-lo)
+			}
+		}
+		out[p] = chunk
+	}
+	return out, nil
+}
+
+// joinBits reassembles chunks produced by splitBits back into a byte slice
+// carrying totalBits bits. Chunks with wrong lengths are an error (callers
+// normalize adversarial chunks before joining).
+func joinBits(chunks []BitChunk, totalBits int) ([]byte, error) {
+	sum := 0
+	for _, c := range chunks {
+		if c.BitLen < 0 || len(c.Bytes)*8 < c.BitLen {
+			return nil, fmt.Errorf("core: malformed chunk (len %d bits in %d bytes)", c.BitLen, len(c.Bytes))
+		}
+		sum += c.BitLen
+	}
+	if sum != totalBits {
+		return nil, fmt.Errorf("core: chunks carry %d bits, want %d", sum, totalBits)
+	}
+	out := make([]byte, (totalBits+7)/8)
+	pos := 0
+	for _, c := range chunks {
+		for i := 0; i < c.BitLen; i++ {
+			if bitOf(c.Bytes, i) != 0 {
+				setBit(out, pos)
+			}
+			pos++
+		}
+	}
+	return out, nil
+}
+
+// normalizeChunk coerces an arbitrary (possibly adversarial) chunk to
+// exactly wantBits bits: truncating or zero-padding as needed, matching the
+// model's rule that a missing or malformed message is read as a default
+// value.
+func normalizeChunk(c BitChunk, wantBits int) BitChunk {
+	out := BitChunk{Bytes: make([]byte, (wantBits+7)/8), BitLen: wantBits}
+	limit := c.BitLen
+	if limit > wantBits {
+		limit = wantBits
+	}
+	if limit > len(c.Bytes)*8 {
+		limit = len(c.Bytes) * 8
+	}
+	for i := 0; i < limit; i++ {
+		if bitOf(c.Bytes, i) != 0 {
+			setBit(out.Bytes, i)
+		}
+	}
+	return out
+}
+
+// chunkEqual compares two chunks bit-for-bit.
+func chunkEqual(a, b BitChunk) bool {
+	if a.BitLen != b.BitLen {
+		return false
+	}
+	for i := 0; i < a.BitLen; i++ {
+		if bitOf(a.Bytes, i) != bitOf(b.Bytes, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinRoundTripQuick(t *testing.T) {
+	check := func(data []byte, partsSeed uint8) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		totalBits := len(data) * 8
+		parts := 1 + int(partsSeed)%(totalBits)
+		chunks, err := splitBits(data, totalBits, parts)
+		if err != nil {
+			return false
+		}
+		if len(chunks) != parts {
+			return false
+		}
+		back, err := joinBits(chunks, totalBits)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitBitsBlockSizes(t *testing.T) {
+	// 32 bits into 3 parts: 10/11/11 per the floor-boundary rule.
+	chunks, err := splitBits(make([]byte, 4), 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 11, 11}
+	for i, c := range chunks {
+		if c.BitLen != want[i] {
+			t.Errorf("chunk %d: %d bits, want %d", i, c.BitLen, want[i])
+		}
+	}
+	// More parts than bits: some chunks are empty, reassembly still works.
+	chunks, err = splitBits([]byte{0xFF}, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := joinBits(chunks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 0xFF {
+		t.Errorf("back = %x", back)
+	}
+}
+
+func TestSplitBitsValidation(t *testing.T) {
+	if _, err := splitBits([]byte{1}, 8, 0); err == nil {
+		t.Error("parts=0: expected error")
+	}
+	if _, err := splitBits([]byte{1}, 9, 1); err == nil {
+		t.Error("totalBits beyond data: expected error")
+	}
+	if _, err := splitBits([]byte{1}, -1, 1); err == nil {
+		t.Error("negative totalBits: expected error")
+	}
+}
+
+func TestJoinBitsValidation(t *testing.T) {
+	good := BitChunk{Bytes: []byte{0xAB}, BitLen: 8}
+	if _, err := joinBits([]BitChunk{good}, 16); err == nil {
+		t.Error("bit-count mismatch: expected error")
+	}
+	bad := BitChunk{Bytes: []byte{0xAB}, BitLen: 99}
+	if _, err := joinBits([]BitChunk{bad}, 99); err == nil {
+		t.Error("malformed chunk: expected error")
+	}
+	neg := BitChunk{Bytes: nil, BitLen: -1}
+	if _, err := joinBits([]BitChunk{neg}, -1); err == nil {
+		t.Error("negative chunk: expected error")
+	}
+}
+
+func TestNormalizeChunk(t *testing.T) {
+	// Truncation keeps the leading bits.
+	in := BitChunk{Bytes: []byte{0b10110000}, BitLen: 8}
+	out := normalizeChunk(in, 4)
+	if out.BitLen != 4 || out.Bytes[0] != 0b10110000&0xF0 {
+		t.Errorf("truncate: %+v", out)
+	}
+	// Padding appends zeros.
+	out = normalizeChunk(in, 12)
+	if out.BitLen != 12 || out.Bytes[0] != 0b10110000 || out.Bytes[1] != 0 {
+		t.Errorf("pad: %+v", out)
+	}
+	// Lying BitLen beyond the backing bytes is clamped, not trusted.
+	lie := BitChunk{Bytes: []byte{0xFF}, BitLen: 64}
+	out = normalizeChunk(lie, 16)
+	if out.Bytes[0] != 0xFF || out.Bytes[1] != 0x00 {
+		t.Errorf("clamp: %+v", out)
+	}
+	// Zero-width requests yield an empty chunk.
+	out = normalizeChunk(in, 0)
+	if out.BitLen != 0 {
+		t.Errorf("zero: %+v", out)
+	}
+}
+
+func TestChunkEqual(t *testing.T) {
+	a := BitChunk{Bytes: []byte{0xF0}, BitLen: 4}
+	b := BitChunk{Bytes: []byte{0xFF}, BitLen: 4} // differs only in pad bits
+	if !chunkEqual(a, b) {
+		t.Error("pad bits should not affect equality")
+	}
+	c := BitChunk{Bytes: []byte{0x70}, BitLen: 4}
+	if chunkEqual(a, c) {
+		t.Error("differing payload bits reported equal")
+	}
+	d := BitChunk{Bytes: []byte{0xF0}, BitLen: 5}
+	if chunkEqual(a, d) {
+		t.Error("differing lengths reported equal")
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	check := func(data []byte, bitsSeed uint8) bool {
+		want := int(bitsSeed) % 65
+		c := normalizeChunk(BitChunk{Bytes: data, BitLen: len(data) * 8}, want)
+		again := normalizeChunk(c, want)
+		return chunkEqual(c, again) && c.BitLen == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

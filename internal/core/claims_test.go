@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nab/internal/coding"
+	"nab/internal/dispute"
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/spantree"
+	"nab/internal/topo"
+)
+
+func cloneChunk(c BitChunk) BitChunk {
+	return BitChunk{Bytes: append([]byte(nil), c.Bytes...), BitLen: c.BitLen}
+}
+
+// buildAuditFixture assembles a full honest execution's claims on K4 by
+// running the node-state machinery directly (no simulator), so audit
+// behaviour can be probed with surgical corruptions.
+func buildAuditFixture(t *testing.T) (*auditContext, map[graph.NodeID]*Claims, []byte) {
+	t.Helper()
+	g := topo.CompleteBi(4, 1)
+	const (
+		lenBytes = 4
+		rho      = 2
+		f        = 1
+	)
+	lenBits := 8 * lenBytes
+	symBits := uint((lenBits + rho - 1) / rho)
+	field, err := gf.New(symBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := dispute.Omega(g, dispute.NewSet(), g.NumNodes()-f)
+	rng := rand.New(rand.NewSource(31))
+	scheme, _, err := coding.GenerateVerified(g, rho, field, omega, rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := g.BroadcastMincut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := spantree.PackArborescences(g, 1, int(gamma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+
+	// Execute the deterministic protocol by hand: source splits, everyone
+	// receives exactly what the tree parent sent.
+	blocks, err := splitBits(input, lenBits, len(trees))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[graph.NodeID]*nodeState{}
+	for _, v := range g.Nodes() {
+		states[v] = newNodeState(v, Honest{}, 1, input, lenBits, rho, symBits, 1, trees, scheme, g)
+	}
+	// Phase 1 (no corruption): propagate down each tree in depth order.
+	for ti, tree := range trees {
+		order := g.Nodes()
+		// repeat passes until all assigned (small graphs: two passes max)
+		for pass := 0; pass < g.NumNodes(); pass++ {
+			for _, c := range order {
+				p, ok := tree.Parent[c]
+				if !ok || states[c].haveBlock[ti] {
+					continue
+				}
+				if p == 1 || states[p].haveBlock[ti] {
+					var blk BitChunk
+					if p == 1 {
+						blk = blocks[ti]
+					} else {
+						blk = states[p].myBlocks[ti]
+					}
+					states[c].myBlocks[ti] = cloneChunk(blk)
+					states[c].haveBlock[ti] = true
+					// Claims get independent copies so tests can corrupt
+					// one record without aliasing others.
+					states[c].recvClaims = append(states[c].recvClaims, TreeEdgeClaim{Tree: ti, From: p, To: c, Block: cloneChunk(blk)})
+					states[p].sentClaims = append(states[p].sentClaims, TreeEdgeClaim{Tree: ti, From: p, To: c, Block: cloneChunk(blk)})
+				}
+			}
+		}
+	}
+	for _, st := range states {
+		if err := st.finishPhase1(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 2: encode on every edge, record and check.
+	sent := map[[2]graph.NodeID][]gf.Elem{}
+	for _, e := range g.Edges() {
+		syms, err := encodeStriped(scheme, e.From, e.To, states[e.From].x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent[[2]graph.NodeID{e.From, e.To}] = syms
+		states[e.From].sentCoded = append(states[e.From].sentCoded, CodedClaim{From: e.From, To: e.To, Symbols: syms})
+	}
+	for _, e := range g.Edges() {
+		syms := sent[[2]graph.NodeID{e.From, e.To}]
+		states[e.To].recvCoded = append(states[e.To].recvCoded, CodedClaim{From: e.From, To: e.To, Symbols: syms})
+		mm, err := checkStriped(scheme, e.From, e.To, states[e.To].x, syms, e.Cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm {
+			states[e.To].flag = true
+		}
+	}
+	claims := map[graph.NodeID]*Claims{}
+	for v, st := range states {
+		claims[v] = st.buildClaims()
+	}
+	ac := &auditContext{
+		gk: g, source: 1, trees: trees, scheme: scheme,
+		lenBits: lenBits, rho: rho, symBits: symBits, stripes: 1,
+	}
+	return ac, claims, input
+}
+
+func TestAuditCleanRun(t *testing.T) {
+	ac, claims, input := buildAuditFixture(t)
+	res := ac.Audit(claims)
+	if !bytes.Equal(res.Output, input) {
+		t.Errorf("output = %x, want %x", res.Output, input)
+	}
+	if len(res.Disputes) != 0 || len(res.Faulty) != 0 {
+		t.Errorf("clean run found disputes %v faulty %v", res.Disputes, res.Faulty)
+	}
+}
+
+func TestAuditMissingClaims(t *testing.T) {
+	ac, claims, input := buildAuditFixture(t)
+	claims[3] = nil
+	res := ac.Audit(claims)
+	if len(res.Faulty) != 1 || res.Faulty[0] != 3 {
+		t.Errorf("silent claimant: faulty = %v", res.Faulty)
+	}
+	if !bytes.Equal(res.Output, input) {
+		t.Error("output corrupted by missing claim")
+	}
+}
+
+func TestAuditSendRecvMismatchIsDispute(t *testing.T) {
+	ac, claims, _ := buildAuditFixture(t)
+	// Node 2 claims it received a different block on some tree in-edge:
+	// that contradicts its parent's send claim -> dispute (2, parent) —
+	// and having actually built its value from the true block, node 2's
+	// own phase-2 claims become inconsistent with the altered receipt, so
+	// node 2 is also identified as faulty. Both are safe outcomes.
+	rc := &claims[2].RecvBlocks[0]
+	rc.Block.Bytes[0] ^= 0x80
+	parent := rc.From
+	res := ac.Audit(claims)
+	foundDispute := false
+	for _, d := range res.Disputes {
+		if (d[0] == 2 && d[1] == parent) || (d[0] == parent && d[1] == 2) {
+			foundDispute = true
+		} else {
+			t.Errorf("unrelated dispute %v", d)
+		}
+	}
+	foundFaulty := false
+	for _, fv := range res.Faulty {
+		if fv == 2 {
+			foundFaulty = true
+		} else {
+			t.Errorf("innocent node %d declared faulty", fv)
+		}
+	}
+	if !foundDispute && !foundFaulty {
+		t.Errorf("lie produced no progress: %+v", res)
+	}
+}
+
+func TestAuditSelfInconsistentSenderIsFaulty(t *testing.T) {
+	ac, claims, _ := buildAuditFixture(t)
+	// Node 3 claims it SENT a block different from what it claims it
+	// received on the same tree: self-inconsistent (DC3).
+	var victim *TreeEdgeClaim
+	for i := range claims[3].SentBlocks {
+		victim = &claims[3].SentBlocks[i]
+		break
+	}
+	if victim == nil {
+		t.Skip("node 3 has no tree children in this packing")
+	}
+	victim.Block.Bytes[0] ^= 0x80
+	res := ac.Audit(claims)
+	found := false
+	for _, fv := range res.Faulty {
+		if fv == 3 {
+			found = true
+		} else {
+			t.Errorf("innocent node %d declared faulty", fv)
+		}
+	}
+	if !found {
+		t.Errorf("self-inconsistent sender not identified: %+v", res)
+	}
+}
+
+func TestAuditFlagLiarIsFaulty(t *testing.T) {
+	ac, claims, _ := buildAuditFixture(t)
+	// Node 4 announced MISMATCH (the authoritative agreed flag) while its
+	// claims recompute to NULL.
+	claims[4].Flag = true
+	res := ac.Audit(claims)
+	if len(res.Faulty) != 1 || res.Faulty[0] != 4 {
+		t.Errorf("flag liar: faulty = %v, disputes = %v", res.Faulty, res.Disputes)
+	}
+}
+
+func TestAuditSourceInputMismatchIsFaulty(t *testing.T) {
+	ac, claims, _ := buildAuditFixture(t)
+	// The source's broadcast input contradicts the blocks it claims to
+	// have sent down the trees.
+	claims[1].SourceInput = []byte{9, 9, 9, 9}
+	res := ac.Audit(claims)
+	found := false
+	for _, fv := range res.Faulty {
+		if fv == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lying source not identified: %+v", res)
+	}
+	// Agreement still lands on the (lying) source's broadcast value: all
+	// honest nodes share it, which is all a faulty source is owed.
+	if !bytes.Equal(res.Output, []byte{9, 9, 9, 9}) {
+		t.Errorf("output = %x", res.Output)
+	}
+}
+
+func TestAuditWrongSizeSourceInput(t *testing.T) {
+	ac, claims, _ := buildAuditFixture(t)
+	claims[1].SourceInput = []byte{1, 2} // wrong length
+	res := ac.Audit(claims)
+	if !bytes.Equal(res.Output, make([]byte, 4)) {
+		t.Errorf("output should default: %x", res.Output)
+	}
+	found := false
+	for _, fv := range res.Faulty {
+		if fv == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("malformed source input not flagged")
+	}
+}
+
+func TestAuditCodedClaimMismatchIsDispute(t *testing.T) {
+	ac, claims, _ := buildAuditFixture(t)
+	// Node 2 lies about the coded symbols it received from node 3.
+	for i := range claims[2].RecvCoded {
+		if claims[2].RecvCoded[i].From == 3 {
+			claims[2].RecvCoded[i].Symbols = append([]gf.Elem(nil), claims[2].RecvCoded[i].Symbols...)
+			claims[2].RecvCoded[i].Symbols[0] ^= 1
+			break
+		}
+	}
+	res := ac.Audit(claims)
+	// Expected: dispute (2,3) from the cross-check, plus node 2 possibly
+	// self-inconsistent (its flag no longer matches the altered receipt).
+	okDispute := false
+	for _, d := range res.Disputes {
+		if d == [2]graph.NodeID{2, 3} {
+			okDispute = true
+		} else {
+			t.Errorf("unrelated dispute %v", d)
+		}
+	}
+	for _, fv := range res.Faulty {
+		if fv != 2 {
+			t.Errorf("innocent node %d declared faulty", fv)
+		}
+	}
+	if !okDispute && len(res.Faulty) == 0 {
+		t.Errorf("coded lie made no progress: %+v", res)
+	}
+}
+
+func TestUnmarshalClaims(t *testing.T) {
+	c := &Claims{Node: 5, Flag: true}
+	back := UnmarshalClaims(c.Marshal())
+	if back == nil || back.Node != 5 || !back.Flag {
+		t.Errorf("round trip: %+v", back)
+	}
+	if UnmarshalClaims(nil) != nil {
+		t.Error("nil input should yield nil")
+	}
+	if UnmarshalClaims([]byte("not json")) != nil {
+		t.Error("garbage should yield nil")
+	}
+}

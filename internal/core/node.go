@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+
+	"nab/internal/coding"
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/sim"
+	"nab/internal/spantree"
+)
+
+// phase1Msg carries one tree block during unreliable broadcast.
+type phase1Msg struct {
+	Tree  int
+	Block BitChunk
+}
+
+// eqMsg carries the coded symbols of the equality check.
+type eqMsg struct {
+	Symbols []gf.Elem
+}
+
+// nodeState is the per-node, per-instance protocol state shared by the
+// phase processes. Honest nodes record truthful claims as they go; the
+// adversary hooks let faulty nodes deviate at each decision point while the
+// recorded state still reflects what they actually did or pretended.
+type nodeState struct {
+	id     graph.NodeID
+	adv    Adversary
+	source graph.NodeID
+
+	lenBits int
+	gamma   int
+	rho     int
+	symBits uint
+	stripes int
+
+	trees  []*spantree.Arborescence
+	scheme *coding.Scheme
+	gk     *graph.Directed
+
+	input []byte // source only
+
+	myBlocks   []BitChunk // one per tree; zero chunk until received
+	haveBlock  []bool
+	recvClaims []TreeEdgeClaim
+	sentClaims []TreeEdgeClaim
+
+	value     []byte
+	x         [][]gf.Elem // stripes x rho symbols
+	sentCoded []CodedClaim
+	recvCoded []CodedClaim
+	flag      bool
+}
+
+// newNodeState prepares instance state for one node.
+func newNodeState(id graph.NodeID, adv Adversary, source graph.NodeID, input []byte, lenBits, rho int, symBits uint, stripes int, trees []*spantree.Arborescence, scheme *coding.Scheme, gk *graph.Directed) *nodeState {
+	st := &nodeState{
+		id: id, adv: adv, source: source, input: input,
+		lenBits: lenBits, gamma: len(trees), rho: rho, symBits: symBits, stripes: stripes,
+		trees: trees, scheme: scheme, gk: gk,
+		myBlocks:  make([]BitChunk, len(trees)),
+		haveBlock: make([]bool, len(trees)),
+	}
+	for ti := range trees {
+		st.myBlocks[ti] = normalizeChunk(BitChunk{}, st.blockBits(ti))
+	}
+	return st
+}
+
+func (st *nodeState) blockBits(tree int) int {
+	lo := tree * st.lenBits / st.gamma
+	hi := (tree + 1) * st.lenBits / st.gamma
+	return hi - lo
+}
+
+// phase1Process returns the unreliable-broadcast behaviour: the source
+// launches its split input down every tree in round 0; other nodes forward
+// each tree's block to their tree children upon first receipt.
+func (st *nodeState) phase1Process() sim.Process {
+	return sim.StepFunc(func(round int, inbox []sim.Message) []sim.Message {
+		var out []sim.Message
+		if round == 0 && st.id == st.source {
+			blocks, err := splitBits(st.input, st.lenBits, st.gamma)
+			if err != nil {
+				// Config validation guarantees splittable input.
+				panic("core: source split: " + err.Error())
+			}
+			for ti := range st.trees {
+				st.myBlocks[ti] = blocks[ti]
+				st.haveBlock[ti] = true
+				out = append(out, st.forwardBlock(ti)...)
+			}
+			return out
+		}
+		for _, m := range inbox {
+			pm, ok := m.Body.(phase1Msg)
+			if !ok || pm.Tree < 0 || pm.Tree >= st.gamma {
+				continue
+			}
+			tree := st.trees[pm.Tree]
+			parent, inTree := tree.Parent[st.id]
+			if !inTree || parent != m.From || st.haveBlock[pm.Tree] {
+				continue // not my tree in-edge, or duplicate
+			}
+			block := normalizeChunk(pm.Block, st.blockBits(pm.Tree))
+			st.myBlocks[pm.Tree] = block
+			st.haveBlock[pm.Tree] = true
+			st.recvClaims = append(st.recvClaims, TreeEdgeClaim{Tree: pm.Tree, From: parent, To: st.id, Block: block})
+			out = append(out, st.forwardBlock(pm.Tree)...)
+		}
+		return out
+	})
+}
+
+// forwardBlock emits the block of the given tree to the node's children,
+// applying the adversary's corruption hook per child.
+func (st *nodeState) forwardBlock(tree int) []sim.Message {
+	if st.adv.SilentIn("phase1") {
+		return nil
+	}
+	var out []sim.Message
+	for _, e := range st.trees[tree].Edges() {
+		if e.From != st.id {
+			continue
+		}
+		block := st.adv.CorruptBlock(tree, e.To, st.myBlocks[tree])
+		st.sentClaims = append(st.sentClaims, TreeEdgeClaim{Tree: tree, From: st.id, To: e.To, Block: block})
+		out = append(out, sim.Message{
+			From: st.id,
+			To:   e.To,
+			Bits: int64(block.BitLen),
+			Body: phase1Msg{Tree: tree, Block: block},
+		})
+	}
+	return out
+}
+
+// finishPhase1 assembles the node's value from its (normalized) blocks; the
+// source uses its own input.
+func (st *nodeState) finishPhase1() error {
+	if st.id == st.source {
+		st.value = st.input
+	} else {
+		v, err := joinBits(st.myBlocks, st.lenBits)
+		if err != nil {
+			return fmt.Errorf("core: node %d join: %w", st.id, err)
+		}
+		st.value = v
+		// Record "received nothing" claims for trees that never delivered,
+		// so the audit sees the default-value reads.
+		for ti, ok := range st.haveBlock {
+			if !ok {
+				parent := st.trees[ti].Parent[st.id]
+				st.recvClaims = append(st.recvClaims, TreeEdgeClaim{Tree: ti, From: parent, To: st.id, Block: st.myBlocks[ti]})
+			}
+		}
+	}
+	x, err := packStriped(st.value, st.rho, st.symBits, st.stripes)
+	if err != nil {
+		return fmt.Errorf("core: node %d pack: %w", st.id, err)
+	}
+	st.x = x
+	return nil
+}
+
+// packStriped views data as stripes x rho symbols of symBits bits: the
+// paper's single GF(2^(L/rho)) symbol vector, realized as multiple words
+// over a machine-sized field. Any stripe differing between two values is
+// caught by the per-stripe equality check, so soundness is preserved while
+// the per-bit time cost stays L/rho.
+func packStriped(data []byte, rho int, symBits uint, stripes int) ([][]gf.Elem, error) {
+	flat, err := coding.PackValue(data, rho*stripes, symBits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]gf.Elem, stripes)
+	for s := 0; s < stripes; s++ {
+		out[s] = flat[s*rho : (s+1)*rho]
+	}
+	return out, nil
+}
+
+// encodeStriped computes the concatenated coded symbols for one edge:
+// stripe s contributes X_s * C_e (z_e symbols each).
+func encodeStriped(scheme *coding.Scheme, from, to graph.NodeID, x [][]gf.Elem) ([]gf.Elem, error) {
+	var flat []gf.Elem
+	for _, stripe := range x {
+		y, err := scheme.Encode(from, to, stripe)
+		if err != nil {
+			return nil, err
+		}
+		flat = append(flat, y...)
+	}
+	return flat, nil
+}
+
+// checkStriped runs the receiver-side comparison for all stripes; any
+// stripe mismatch (or a malformed symbol count) is a MISMATCH.
+func checkStriped(scheme *coding.Scheme, from, to graph.NodeID, x [][]gf.Elem, flat []gf.Elem, edgeCap int64) (bool, error) {
+	want := int(edgeCap) * len(x)
+	if len(flat) != want {
+		return true, nil
+	}
+	for s, stripe := range x {
+		seg := flat[s*int(edgeCap) : (s+1)*int(edgeCap)]
+		mm, err := scheme.Check(from, to, stripe, seg)
+		if err != nil {
+			return false, err
+		}
+		if mm {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// equalityProcess returns the two-round equality-check behaviour:
+// round 0 sends X_i * C_e on every outgoing edge of G_k, round 1 verifies
+// every incoming edge's symbols and sets the MISMATCH flag.
+func (st *nodeState) equalityProcess() sim.Process {
+	return sim.StepFunc(func(round int, inbox []sim.Message) []sim.Message {
+		switch round {
+		case 0:
+			if st.adv.SilentIn("equality") {
+				return nil
+			}
+			var out []sim.Message
+			for _, e := range st.gk.OutEdges(st.id) {
+				syms, err := encodeStriped(st.scheme, st.id, e.To, st.x)
+				if err != nil {
+					panic("core: encode: " + err.Error())
+				}
+				syms = st.adv.CorruptCoded(e.To, syms)
+				st.sentCoded = append(st.sentCoded, CodedClaim{From: st.id, To: e.To, Symbols: syms})
+				out = append(out, sim.Message{
+					From: st.id,
+					To:   e.To,
+					Bits: int64(len(syms)) * int64(st.symBits),
+					Body: eqMsg{Symbols: syms},
+				})
+			}
+			return out
+		case 1:
+			got := map[graph.NodeID][]gf.Elem{}
+			for _, m := range inbox {
+				em, ok := m.Body.(eqMsg)
+				if !ok {
+					continue
+				}
+				if !st.gk.HasEdge(m.From, st.id) {
+					continue // not an instance-graph link; protocol ignores it
+				}
+				if _, dup := got[m.From]; !dup {
+					got[m.From] = em.Symbols
+				}
+			}
+			for _, e := range st.gk.InEdges(st.id) {
+				syms := got[e.From] // nil if missing: counts as mismatch
+				st.recvCoded = append(st.recvCoded, CodedClaim{From: e.From, To: st.id, Symbols: syms})
+				mm, err := checkStriped(st.scheme, e.From, st.id, st.x, syms, e.Cap)
+				if err != nil {
+					panic("core: check: " + err.Error())
+				}
+				if mm {
+					st.flag = true
+				}
+			}
+			return nil
+		}
+		return nil
+	})
+}
+
+// buildClaims assembles the node's Phase-3 transcript from its records.
+func (st *nodeState) buildClaims() *Claims {
+	c := &Claims{
+		Node:       st.id,
+		SentBlocks: append([]TreeEdgeClaim(nil), st.sentClaims...),
+		RecvBlocks: append([]TreeEdgeClaim(nil), st.recvClaims...),
+		SentCoded:  append([]CodedClaim(nil), st.sentCoded...),
+		RecvCoded:  append([]CodedClaim(nil), st.recvCoded...),
+		Flag:       st.announcedFlag(),
+	}
+	if st.id == st.source {
+		c.SourceInput = st.input
+	}
+	return st.adv.CorruptClaims(c)
+}
+
+// announcedFlag is the flag the node presents to the world: honest nodes
+// announce their computed flag; the adversary may override.
+func (st *nodeState) announcedFlag() bool {
+	return st.adv.OverrideFlag(st.flag)
+}

@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// PipelineSchedule models the Appendix D construction: the time horizon is
+// divided into rounds of duration RoundTime = phase-1 hop time + phase-2
+// time (equality check + flag broadcast). Each instance's Phase-1 payload
+// advances one hop per round, so an instance completes Hops rounds after
+// it starts, and a new instance starts every round right behind it.
+type PipelineSchedule struct {
+	// Hops is the Phase-1 depth (max arborescence depth).
+	Hops int
+	// HopTime is the time to push one instance's payload across one hop:
+	// L/gamma in the paper's notation (cut-through Phase-1 time).
+	HopTime float64
+	// Phase2Time is the per-instance equality check + flag agreement time
+	// appended to the final round: L/rho + O(n^alpha).
+	Phase2Time float64
+}
+
+// ScheduleFromInstance derives the pipeline parameters from a measured
+// instance.
+func ScheduleFromInstance(ir *InstanceResult) PipelineSchedule {
+	return PipelineSchedule{
+		Hops:       ir.Phase1Rounds,
+		HopTime:    ir.Phase1Time,
+		Phase2Time: ir.EqualityTime + ir.FlagTime,
+	}
+}
+
+// RoundTime is the duration of one pipeline round.
+func (p PipelineSchedule) RoundTime() float64 { return p.HopTime + p.Phase2Time }
+
+// TotalTime returns the time to complete q pipelined instances:
+// (q + Hops - 1) rounds, each of RoundTime (Appendix D).
+func (p PipelineSchedule) TotalTime(q int) (float64, error) {
+	if q <= 0 {
+		return 0, fmt.Errorf("core: q = %d must be positive", q)
+	}
+	hops := p.Hops
+	if hops < 1 {
+		hops = 1
+	}
+	return float64(q+hops-1) * p.RoundTime(), nil
+}
+
+// UnpipelinedTotalTime returns the sequential (store-and-forward) cost of
+// q instances: every hop waits for the full payload.
+func (p PipelineSchedule) UnpipelinedTotalTime(q int) (float64, error) {
+	if q <= 0 {
+		return 0, fmt.Errorf("core: q = %d must be positive", q)
+	}
+	hops := p.Hops
+	if hops < 1 {
+		hops = 1
+	}
+	return float64(q) * (float64(hops)*p.HopTime + p.Phase2Time), nil
+}
+
+// Throughput returns bits per time unit for q pipelined instances of
+// lenBits each. As q grows this approaches lenBits/RoundTime — the
+// gamma*rho/(gamma+rho) rate of Theorem 3 when HopTime = L/gamma and
+// Phase2Time ~ L/rho.
+func (p PipelineSchedule) Throughput(lenBits, q int) (float64, error) {
+	t, err := p.TotalTime(q)
+	if err != nil {
+		return 0, err
+	}
+	if t == 0 {
+		return 0, fmt.Errorf("core: zero schedule time")
+	}
+	return float64(lenBits*q) / t, nil
+}

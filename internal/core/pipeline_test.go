@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPipelineScheduleTotals(t *testing.T) {
+	p := PipelineSchedule{Hops: 4, HopTime: 10, Phase2Time: 5}
+	if p.RoundTime() != 15 {
+		t.Errorf("RoundTime = %v", p.RoundTime())
+	}
+	// One instance: (1+4-1)*15 = 60 pipelined; 4*10+5 = 45 sequential:
+	// pipelining only pays off with several instances in flight.
+	got, err := p.TotalTime(1)
+	if err != nil || got != 60 {
+		t.Errorf("TotalTime(1) = %v, %v", got, err)
+	}
+	seq, err := p.UnpipelinedTotalTime(1)
+	if err != nil || seq != 45 {
+		t.Errorf("Unpipelined(1) = %v, %v", seq, err)
+	}
+	// Many instances: pipelined per-instance time approaches RoundTime,
+	// sequential stays at hops*hopTime + phase2.
+	const q = 1000
+	pip, err := p.TotalTime(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unp, err := p.UnpipelinedTotalTime(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPip, perUnp := pip/q, unp/q
+	if math.Abs(perPip-15) > 0.1 {
+		t.Errorf("pipelined per-instance = %v, want ~15", perPip)
+	}
+	if perUnp != 45 {
+		t.Errorf("sequential per-instance = %v, want 45", perUnp)
+	}
+}
+
+func TestPipelineThroughputApproachesRoundRate(t *testing.T) {
+	// HopTime = L/gamma, Phase2Time = L/rho: throughput must approach
+	// gamma*rho/(gamma+rho) (Theorem 3's T_NAB with negligible overhead).
+	const (
+		lenBits = 1200
+		gamma   = 4.0
+		rho     = 2.0
+	)
+	p := PipelineSchedule{Hops: 7, HopTime: lenBits / gamma, Phase2Time: lenBits / rho}
+	want := gamma * rho / (gamma + rho)
+	tp, err := p.Throughput(lenBits, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tp-want)/want > 0.001 {
+		t.Errorf("throughput = %v, want ~%v", tp, want)
+	}
+}
+
+func TestPipelineScheduleValidation(t *testing.T) {
+	p := PipelineSchedule{Hops: 2, HopTime: 1, Phase2Time: 1}
+	if _, err := p.TotalTime(0); err == nil {
+		t.Error("q=0: expected error")
+	}
+	if _, err := p.UnpipelinedTotalTime(-1); err == nil {
+		t.Error("q<0: expected error")
+	}
+	if _, err := p.Throughput(8, 0); err == nil {
+		t.Error("q=0 throughput: expected error")
+	}
+	// Degenerate hop counts clamp to 1.
+	z := PipelineSchedule{Hops: 0, HopTime: 3, Phase2Time: 1}
+	got, err := z.TotalTime(2)
+	if err != nil || got != 8 {
+		t.Errorf("clamped total = %v, %v", got, err)
+	}
+}
+
+func TestScheduleFromInstance(t *testing.T) {
+	ir := &InstanceResult{Phase1Rounds: 5, Phase1Time: 7, EqualityTime: 3, FlagTime: 2}
+	p := ScheduleFromInstance(ir)
+	if p.Hops != 5 || p.HopTime != 7 || p.Phase2Time != 5 {
+		t.Errorf("schedule = %+v", p)
+	}
+}

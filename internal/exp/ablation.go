@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"nab/internal/coding"
+	"nab/internal/core"
+	"nab/internal/topo"
+	"nab/internal/trace"
+)
+
+// AblationRho sweeps the equality-check parameter rho below the paper's
+// optimal floor(U_k/2) on K7: smaller rho widens symbols (better per-draw
+// soundness) but costs L/rho time — showing why the paper runs at the cap.
+func AblationRho(w io.Writer, lenBytes int, seed int64) error {
+	if lenBytes <= 0 {
+		lenBytes = 512
+	}
+	g := topo.CompleteBi(7, 2)
+	const f = 2
+	t := trace.New(fmt.Sprintf("Ablation: equality-check rho (K7, f=2, L=%d bits)", 8*lenBytes),
+		"rho", "symbol bits", "equality time (~L/rho)", "theorem-1 bound per draw", "scheme tries")
+	in := make([]byte, lenBytes)
+	for rho := 1; rho <= 8; rho++ {
+		cfg := core.Config{
+			Graph: g, Source: 1, F: f, LenBytes: lenBytes, Seed: seed,
+			RhoOverride: rho, SkipConnectivityCheck: true,
+		}
+		runner, err := core.NewRunner(cfg)
+		if err != nil {
+			return err
+		}
+		ir, err := runner.RunInstance(in)
+		if err != nil {
+			return err
+		}
+		if ir.Rho > rho {
+			return fmt.Errorf("override ignored: rho = %d", ir.Rho)
+		}
+		bound := coding.Theorem1Bound(7, f, ir.Rho, ir.SymBits)
+		t.Addf(ir.Rho, ir.SymBits, ir.EqualityTime, bound, ir.SchemeTries)
+		if ir.Rho < rho {
+			break // hit the U_k/2 cap; larger requests clamp to it
+		}
+	}
+	_, err := fmt.Fprintln(w, t)
+	return err
+}
+
+// AblationPacking compares Phase 1 over the full gamma-tree packing against
+// crippled packings (fewer trees), quantifying the value of Edmonds-optimal
+// unreliable broadcast.
+func AblationPacking(w io.Writer, lenBytes int, seed int64) error {
+	if lenBytes <= 0 {
+		lenBytes = 64
+	}
+	g := topo.CompleteBi(6, 2)
+	t := trace.New(fmt.Sprintf("Ablation: Phase-1 tree packing (K6 cap 2, f=1, L=%d bits)", 8*lenBytes),
+		"trees", "phase-1 time", "vs full packing")
+	in := make([]byte, lenBytes)
+	var full float64
+	for _, gcap := range []int{0, 4, 2, 1} { // 0 = paper's gamma
+		cfg := core.Config{
+			Graph: g, Source: 1, F: 1, LenBytes: lenBytes, Seed: seed,
+			GammaOverride: gcap, SkipConnectivityCheck: true,
+		}
+		runner, err := core.NewRunner(cfg)
+		if err != nil {
+			return err
+		}
+		ir, err := runner.RunInstance(in)
+		if err != nil {
+			return err
+		}
+		if full == 0 {
+			full = ir.Phase1Time
+		}
+		ratio := "1x"
+		if full > 0 && ir.Phase1Time > 0 {
+			ratio = trace.F(ir.Phase1Time/full) + "x"
+		}
+		t.Addf(ir.Gamma, ir.Phase1Time, ratio)
+	}
+	_, err := fmt.Fprintln(w, t)
+	return err
+}
+
+// AblationRelayPaths sweeps the disjoint-path count of the complete-graph
+// emulation above the required 2f+1, showing the added flag-broadcast cost
+// buys nothing.
+func AblationRelayPaths(w io.Writer, lenBytes int, seed int64) error {
+	if lenBytes <= 0 {
+		lenBytes = 16
+	}
+	g := topo.CompleteBi(6, 2)
+	t := trace.New(fmt.Sprintf("Ablation: relay path count (K6 cap 2, f=1, L=%d bits)", 8*lenBytes),
+		"paths", "flag-broadcast time", "total bits", "total time")
+	in := make([]byte, lenBytes)
+	for _, k := range []int{3, 4, 5} {
+		cfg := core.Config{
+			Graph: g, Source: 1, F: 1, LenBytes: lenBytes, Seed: seed,
+			RelayPaths: k, SkipConnectivityCheck: true,
+		}
+		runner, err := core.NewRunner(cfg)
+		if err != nil {
+			return err
+		}
+		ir, err := runner.RunInstance(in)
+		if err != nil {
+			return err
+		}
+		t.Addf(k, ir.FlagTime, ir.TotalBits, ir.TotalTime())
+	}
+	_, err := fmt.Fprintln(w, t)
+	return err
+}

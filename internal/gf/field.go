@@ -1,0 +1,296 @@
+// Package gf implements arithmetic in binary extension fields GF(2^m) for
+// 1 <= m <= 64.
+//
+// Field elements are represented as uint64 bit vectors: bit i holds the
+// coefficient of x^i of the residue polynomial. Multiplication is carry-less
+// (polynomial) multiplication followed by reduction modulo a fixed
+// irreducible polynomial of degree m. Irreducible polynomials are found by
+// deterministic search using Rabin's irreducibility test, so no hard-coded
+// table is required; the search result is cached per m.
+//
+// The package is the symbol substrate for the local linear coding equality
+// check of NAB: values received in Phase 1 are interpreted as vectors of
+// rho symbols over GF(2^(L/rho)).
+package gf
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Elem is an element of some GF(2^m), valid only relative to the Field that
+// produced or consumed it. Only the low m bits may be set.
+type Elem = uint64
+
+// Field is an arithmetic context for GF(2^m). It is immutable after
+// construction and safe for concurrent use.
+type Field struct {
+	m   uint   // extension degree, 1..64
+	mod uint64 // irreducible polynomial without the x^m term (low m bits)
+	max uint64 // mask of m low bits; also the maximum element value
+}
+
+const maxDegree = 64
+
+// New returns the field GF(2^m) using the lexicographically smallest
+// irreducible polynomial of degree m. It returns an error if m is outside
+// [1, 64].
+func New(m uint) (*Field, error) {
+	if m < 1 || m > maxDegree {
+		return nil, fmt.Errorf("gf: degree %d out of range [1,%d]", m, maxDegree)
+	}
+	return &Field{m: m, mod: irreducibleTail(m), max: maskBits(m)}, nil
+}
+
+// MustNew is New, panicking on invalid m. Intended for package-level setup
+// in tests and examples where the degree is a constant.
+func MustNew(m uint) *Field {
+	f, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Degree returns m, the extension degree.
+func (f *Field) Degree() uint { return f.m }
+
+// Order returns the number of elements 2^m as a float64 (exact for m <= 53,
+// otherwise the nearest representable value). Use Mask for exact bit math.
+func (f *Field) Order() float64 { return float64(1) * pow2(f.m) }
+
+// Mask returns the bit mask covering valid element bits (2^m - 1).
+func (f *Field) Mask() uint64 { return f.max }
+
+// Modulus returns the reduction polynomial's low coefficients: the returned
+// value r encodes x^m + r where bit i of r is the coefficient of x^i.
+func (f *Field) Modulus() uint64 { return f.mod }
+
+// Valid reports whether a is a canonical element of the field.
+func (f *Field) Valid(a Elem) bool { return a&^f.max == 0 }
+
+// Add returns a + b. In characteristic 2 addition is XOR and is its own
+// inverse, so Add also implements subtraction.
+func (f *Field) Add(a, b Elem) Elem { return (a ^ b) & f.max }
+
+// Sub returns a - b (identical to Add in characteristic 2).
+func (f *Field) Sub(a, b Elem) Elem { return (a ^ b) & f.max }
+
+// Mul returns the product a*b in the field.
+func (f *Field) Mul(a, b Elem) Elem {
+	a &= f.max
+	b &= f.max
+	if a == 0 || b == 0 {
+		return 0
+	}
+	// Interleave carry-less multiplication with modular reduction so the
+	// accumulator never exceeds m bits: classic Russian-peasant loop.
+	var acc uint64
+	hi := uint64(1) << (f.m - 1)
+	for b != 0 {
+		if b&1 != 0 {
+			acc ^= a
+		}
+		b >>= 1
+		carry := a & hi
+		a = (a << 1) & f.max
+		if carry != 0 {
+			a ^= f.mod
+		}
+	}
+	return acc & f.max
+}
+
+// Square returns a*a.
+func (f *Field) Square(a Elem) Elem { return f.Mul(a, a) }
+
+// Pow returns a^e using binary exponentiation. Pow(0, 0) == 1 by the usual
+// empty-product convention.
+func (f *Field) Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a & f.max
+	for e > 0 {
+		if e&1 != 0 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a, or an error if a == 0.
+// It uses Fermat's little theorem: a^(2^m - 2) = a^-1. The exponent
+// 2^m - 2 equals Mask() - 1 and fits in a uint64 for every supported m.
+func (f *Field) Inv(a Elem) (Elem, error) {
+	a &= f.max
+	if a == 0 {
+		return 0, fmt.Errorf("gf: zero has no inverse in GF(2^%d)", f.m)
+	}
+	return f.Pow(a, f.max-1), nil
+}
+
+// Div returns a/b, or an error if b == 0.
+func (f *Field) Div(a, b Elem) (Elem, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return 0, fmt.Errorf("gf: division by zero: %w", err)
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Rand returns a uniformly random field element drawn from src. src must
+// return uniformly random uint64 values (e.g. (*math/rand.Rand).Uint64).
+func (f *Field) Rand(src interface{ Uint64() uint64 }) Elem {
+	return src.Uint64() & f.max
+}
+
+// String implements fmt.Stringer.
+func (f *Field) String() string {
+	return fmt.Sprintf("GF(2^%d) mod x^%d+%#x", f.m, f.m, f.mod)
+}
+
+func maskBits(m uint) uint64 {
+	if m >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << m) - 1
+}
+
+func pow2(m uint) float64 {
+	p := 1.0
+	for i := uint(0); i < m; i++ {
+		p *= 2
+	}
+	return p
+}
+
+// --- irreducible polynomial search -----------------------------------------
+
+var (
+	irredMu    sync.Mutex
+	irredCache = map[uint]uint64{}
+)
+
+// irreducibleTail returns the low coefficients r of the lexicographically
+// smallest irreducible polynomial x^m + r of degree m. Results are cached.
+func irreducibleTail(m uint) uint64 {
+	irredMu.Lock()
+	defer irredMu.Unlock()
+	if r, ok := irredCache[m]; ok {
+		return r
+	}
+	r := searchIrreducible(m)
+	irredCache[m] = r
+	return r
+}
+
+func searchIrreducible(m uint) uint64 {
+	if m == 1 {
+		return 1 // x + 1, keeping the odd-tail invariant uniform
+	}
+	// A polynomial with zero constant term is divisible by x, so the tail
+	// must be odd. Iterate odd tails in increasing order.
+	for r := uint64(1); ; r += 2 {
+		if r > maskBits(m) {
+			// Cannot happen: irreducible polynomials of every degree exist.
+			panic(fmt.Sprintf("gf: no irreducible polynomial of degree %d found", m))
+		}
+		if rabinIrreducible(m, r) {
+			return r
+		}
+	}
+}
+
+// rabinIrreducible reports whether x^m + r is irreducible over GF(2), using
+// Rabin's test: p is irreducible iff x^(2^m) == x (mod p) and for every
+// prime divisor q of m, gcd(x^(2^(m/q)) - x, p) == 1.
+func rabinIrreducible(m uint, r uint64) bool {
+	// Work with polynomials modulo p = x^m + r, elements as m-bit vectors.
+	f := Field{m: m, mod: r, max: maskBits(m)}
+	x := Elem(2) // the polynomial "x"
+
+	// frob computes x^(2^k) mod p by repeated squaring.
+	frob := func(k uint) Elem {
+		e := x
+		for i := uint(0); i < k; i++ {
+			e = f.Mul(e, e)
+		}
+		return e
+	}
+
+	if frob(m) != x {
+		return false
+	}
+	for _, q := range primeFactors(m) {
+		h := f.Sub(frob(m/q), x) // x^(2^(m/q)) - x as a residue
+		if polyGCDWithModulus(m, r, h) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// polyGCDWithModulus returns gcd(p, h) where p = x^m + r (degree m) and h is
+// a residue polynomial of degree < m, both over GF(2). The result is the
+// gcd's bit representation; 1 means coprime. h == 0 yields p itself, which
+// is reported as a non-unit sentinel (2).
+func polyGCDWithModulus(m uint, r, h uint64) uint64 {
+	if h == 0 {
+		return 2 // gcd is p, definitely not a unit
+	}
+	// First reduction step: p mod h, computed without materializing the
+	// degree-m bit (which may not fit when m == 64).
+	a := polyModHighBit(m, r, h)
+	b := h
+	for a != 0 {
+		a, b = polyMod(b, a), a
+	}
+	return b
+}
+
+// polyModHighBit computes (x^m + r) mod h for h != 0 of degree < m.
+func polyModHighBit(m uint, r, h uint64) uint64 {
+	dh := uint(bits.Len64(h)) - 1
+	if dh == 0 {
+		return 0 // h == 1: everything is 0 mod 1
+	}
+	// Compute x^m mod h by shifting x^dh repeatedly.
+	// Start with x^dh mod h = h ^ (1<<dh) (strip the leading term).
+	cur := h ^ (uint64(1) << dh)
+	for i := uint(0); i < m-dh; i++ {
+		carry := cur & (uint64(1) << (dh - 1)) // about to shift into degree dh
+		cur <<= 1
+		if carry != 0 {
+			cur ^= h
+		}
+		cur &= maskBits(dh)
+	}
+	return cur ^ polyMod(r, h)
+}
+
+// polyMod returns a mod b over GF(2), b != 0.
+func polyMod(a, b uint64) uint64 {
+	db := bits.Len64(b) - 1
+	for bits.Len64(a)-1 >= db && a != 0 {
+		a ^= b << (uint(bits.Len64(a)-1) - uint(db))
+	}
+	return a
+}
+
+func primeFactors(m uint) []uint {
+	var out []uint
+	for p := uint(2); p*p <= m; p++ {
+		if m%p == 0 {
+			out = append(out, p)
+			for m%p == 0 {
+				m /= p
+			}
+		}
+	}
+	if m > 1 {
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nab/internal/gf"
+)
+
+var testField = gf.MustNew(8)
+
+func randomMatrix(t *testing.T, f *gf.Field, rows, cols int, seed int64) *Matrix {
+	t.Helper()
+	m, err := Random(f, rows, cols, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("Random(%d,%d): %v", rows, cols, err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 2, 2); err == nil {
+		t.Error("New(nil field): expected error")
+	}
+	if _, err := New(testField, -1, 2); err == nil {
+		t.Error("New(-1 rows): expected error")
+	}
+}
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows(testField, [][]gf.Elem{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %d, want 3", m.At(1, 0))
+	}
+	if _, err := NewFromRows(testField, [][]gf.Elem{{1}, {2, 3}}); err == nil {
+		t.Error("ragged rows: expected error")
+	}
+	if _, err := NewFromRows(testField, [][]gf.Elem{{1 << 60}}); err == nil {
+		t.Error("out-of-field element: expected error")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	for _, n := range []int{1, 3, 7} {
+		id, err := Identity(testField, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := randomMatrix(t, testField, n, n, int64(n))
+		left, err := id.Mul(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := m.Mul(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !left.Equal(m) || !right.Equal(m) {
+			t.Errorf("n=%d: identity multiplication changed matrix", n)
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := randomMatrix(t, testField, 2, 3, 1)
+	b := randomMatrix(t, testField, 2, 3, 2)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("2x3 * 2x3: expected dimension error")
+	}
+}
+
+func TestMulAssociativeQuick(t *testing.T) {
+	f := gf.MustNew(16)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := Random(f, 3, 4, rng)
+		b, _ := Random(f, 4, 2, rng)
+		c, _ := Random(f, 2, 5, rng)
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return abc1.Equal(abc2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAddQuick(t *testing.T) {
+	f := gf.MustNew(12)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := Random(f, 3, 3, rng)
+		b, _ := Random(f, 3, 3, rng)
+		c, _ := Random(f, 3, 3, rng)
+		bc, _ := b.Add(c)
+		lhs, _ := a.Mul(bc)
+		ab, _ := a.Mul(b)
+		ac, _ := a.Mul(c)
+		rhs, _ := ab.Add(ac)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	f := gf.MustNew(10)
+	rng := rand.New(rand.NewSource(5))
+	m, _ := Random(f, 4, 6, rng)
+	x := make([]gf.Elem, 4)
+	for i := range x {
+		x[i] = f.Rand(rng)
+	}
+	got, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compare with 1x4 matrix multiply
+	xm, _ := NewFromRows(f, [][]gf.Elem{x})
+	want, _ := xm.Mul(m)
+	for j := 0; j < 6; j++ {
+		if got[j] != want.At(0, j) {
+			t.Fatalf("MulVec mismatch at col %d: %d vs %d", j, got[j], want.At(0, j))
+		}
+	}
+	if _, err := m.MulVec(x[:2]); err == nil {
+		t.Error("short vector: expected error")
+	}
+}
+
+func TestRankProperties(t *testing.T) {
+	f := gf.MustNew(8)
+	// zero matrix has rank 0
+	z := MustNew(f, 3, 5)
+	if z.Rank() != 0 {
+		t.Errorf("zero matrix rank = %d", z.Rank())
+	}
+	// identity has full rank
+	id, _ := Identity(f, 4)
+	if id.Rank() != 4 {
+		t.Errorf("identity rank = %d", id.Rank())
+	}
+	// duplicated row drops rank
+	m, _ := NewFromRows(f, [][]gf.Elem{{1, 2, 3}, {1, 2, 3}, {0, 1, 0}})
+	if m.Rank() != 2 {
+		t.Errorf("duplicated-row matrix rank = %d, want 2", m.Rank())
+	}
+	// rank <= min(rows, cols)
+	r := randomMatrix(t, f, 3, 7, 9)
+	if r.Rank() > 3 {
+		t.Errorf("rank %d > rows 3", r.Rank())
+	}
+}
+
+func TestRankMulUpperBoundQuick(t *testing.T) {
+	f := gf.MustNew(8)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := Random(f, 4, 3, rng)
+		b, _ := Random(f, 3, 5, rng)
+		ab, _ := a.Mul(b)
+		r := ab.Rank()
+		return r <= a.Rank() && r <= b.Rank()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := gf.MustNew(16)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		m, _ := Random(f, n, n, rng)
+		if !m.Invertible() {
+			continue
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		prod, _ := m.Mul(inv)
+		id, _ := Identity(f, n)
+		if !prod.Equal(id) {
+			t.Fatalf("m * m^-1 != I for n=%d", n)
+		}
+		prod2, _ := inv.Mul(m)
+		if !prod2.Equal(id) {
+			t.Fatalf("m^-1 * m != I for n=%d", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	f := gf.MustNew(8)
+	m, _ := NewFromRows(f, [][]gf.Elem{{1, 2}, {1, 2}})
+	if _, err := m.Inverse(); err == nil {
+		t.Error("singular matrix: expected error")
+	}
+	r := randomMatrix(t, f, 2, 3, 1)
+	if _, err := r.Inverse(); err == nil {
+		t.Error("non-square: expected error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	f := gf.MustNew(8)
+	// det of identity is 1
+	id, _ := Identity(f, 5)
+	d, err := id.Det()
+	if err != nil || d != 1 {
+		t.Errorf("det(I) = %d, %v", d, err)
+	}
+	// det of singular is 0
+	m, _ := NewFromRows(f, [][]gf.Elem{{1, 1}, {1, 1}})
+	d, err = m.Det()
+	if err != nil || d != 0 {
+		t.Errorf("det(singular) = %d, %v", d, err)
+	}
+	// det nonzero iff invertible
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 25; i++ {
+		r, _ := Random(f, 4, 4, rng)
+		d, err := r.Det()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (d != 0) != r.Invertible() {
+			t.Fatalf("det=%d but Invertible=%v", d, r.Invertible())
+		}
+	}
+	if _, err := randomMatrix(t, f, 2, 3, 4).Det(); err == nil {
+		t.Error("non-square det: expected error")
+	}
+}
+
+func TestDetMultiplicativeQuick(t *testing.T) {
+	f := gf.MustNew(12)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := Random(f, 3, 3, rng)
+		b, _ := Random(f, 3, 3, rng)
+		ab, _ := a.Mul(b)
+		da, _ := a.Det()
+		db, _ := b.Det()
+		dab, _ := ab.Det()
+		return dab == f.Mul(da, db)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	f := gf.MustNew(16)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(4)
+		m, _ := Random(f, n, n, rng)
+		if !m.Invertible() {
+			continue
+		}
+		x := make([]gf.Elem, n)
+		for i := range x {
+			x[i] = f.Rand(rng)
+		}
+		b, _ := m.MulVec(x) // b = x*m  (x is a row vector)
+		got, err := m.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("Solve mismatch at %d: got %d want %d", i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewFromRows(testField, [][]gf.Elem{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 || tr.At(2, 1) != 6 {
+		t.Errorf("transpose wrong: %v", tr)
+	}
+	if !tr.Transpose().Equal(m) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestHConcatAndSubMatrix(t *testing.T) {
+	a, _ := NewFromRows(testField, [][]gf.Elem{{1, 2}, {3, 4}})
+	b, _ := NewFromRows(testField, [][]gf.Elem{{5}, {6}})
+	c, err := a.HConcat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cols() != 3 || c.At(1, 2) != 6 {
+		t.Errorf("HConcat result wrong: %v", c)
+	}
+	sub, err := c.SubMatrix([]int{1}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.At(0, 0) != 3 || sub.At(0, 1) != 6 {
+		t.Errorf("SubMatrix wrong: %v", sub)
+	}
+	if _, err := c.SubMatrix([]int{5}, nil); err == nil {
+		t.Error("out-of-range row: expected error")
+	}
+	if _, err := c.SubMatrix(nil, []int{9}); err == nil {
+		t.Error("out-of-range col: expected error")
+	}
+	mismatch, _ := New(testField, 3, 1)
+	if _, err := a.HConcat(mismatch); err == nil {
+		t.Error("HConcat row mismatch: expected error")
+	}
+}
+
+func TestRandomFullRankProbability(t *testing.T) {
+	// Over GF(2^16), random 4x4 matrices are invertible with probability
+	// ~ prod(1 - 2^-16..) > 0.9999; seeing many singular draws would
+	// indicate biased generation.
+	f := gf.MustNew(16)
+	rng := rand.New(rand.NewSource(99))
+	singular := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		m, _ := Random(f, 4, 4, rng)
+		if !m.Invertible() {
+			singular++
+		}
+	}
+	if singular > 2 {
+		t.Errorf("%d/%d random matrices singular; generation looks biased", singular, trials)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := randomMatrix(t, testField, 2, 2, 8)
+	c := m.Clone()
+	c.Set(0, 0, m.At(0, 0)^1)
+	if m.At(0, 0) == c.At(0, 0) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if randomMatrix(t, testField, 2, 2, 1).String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func BenchmarkMul8x8(b *testing.B) {
+	f := gf.MustNew(16)
+	rng := rand.New(rand.NewSource(1))
+	m1, _ := Random(f, 8, 8, rng)
+	m2, _ := Random(f, 8, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m1.Mul(m2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRank16x16(b *testing.B) {
+	f := gf.MustNew(16)
+	rng := rand.New(rand.NewSource(1))
+	m, _ := Random(f, 16, 16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Rank()
+	}
+}

@@ -1,0 +1,243 @@
+// Package relay implements reliable end-to-end communication between
+// fault-free nodes in an incomplete point-to-point network, emulating a
+// complete graph: every ordered pair of nodes communicates along 2f+1
+// precomputed internally-node-disjoint paths, and the receiver takes the
+// majority over path copies.
+//
+// With at most f faulty nodes and node-disjoint paths, a faulty node can
+// corrupt at most one path copy, so at least f+1 of 2f+1 copies arrive
+// intact and the majority is the value sent. This is the standard
+// construction the paper invokes in Appendix D to run a classic Byzantine
+// broadcast algorithm ("Broadcast_Default") over an arbitrary network with
+// connectivity >= 2f+1.
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nab/internal/graph"
+	"nab/internal/sim"
+)
+
+// Table holds the node-disjoint paths for every ordered pair.
+type Table struct {
+	k      int
+	rounds int
+	paths  map[[2]graph.NodeID][][]graph.NodeID
+}
+
+// NewTable computes k node-disjoint paths for every ordered pair of nodes
+// in g. It returns an error if some pair cannot support k paths (the
+// network's connectivity is below k).
+func NewTable(g *graph.Directed, k int) (*Table, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("relay: k = %d must be positive", k)
+	}
+	t := &Table{k: k, paths: map[[2]graph.NodeID][][]graph.NodeID{}}
+	nodes := g.Nodes()
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			paths, err := g.NodeDisjointPaths(s, d, k)
+			if err != nil {
+				return nil, fmt.Errorf("relay: paths %d->%d: %w", s, d, err)
+			}
+			if len(paths) < k {
+				return nil, fmt.Errorf("relay: only %d node-disjoint paths %d->%d, need %d (connectivity too low)", len(paths), s, d, k)
+			}
+			t.paths[[2]graph.NodeID{s, d}] = paths
+			for _, p := range paths {
+				if hops := len(p) - 1; hops > t.rounds {
+					t.rounds = hops
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// K returns the number of paths per pair.
+func (t *Table) K() int { return t.k }
+
+// Rounds returns the number of simulator rounds one reliable exchange
+// needs: the maximum hop count over all paths.
+func (t *Table) Rounds() int { return t.rounds }
+
+// Paths returns the precomputed paths from s to d (nil if absent).
+func (t *Table) Paths(s, d graph.NodeID) [][]graph.NodeID {
+	return t.paths[[2]graph.NodeID{s, d}]
+}
+
+// Packet is the wire format of one path copy. Engines treat it as an opaque
+// body; routers inspect it.
+type Packet struct {
+	Origin  graph.NodeID // claimed original sender
+	Dest    graph.NodeID // final destination
+	PathIdx int          // which of the table's paths this copy follows
+	Hop     int          // index in the path of the NEXT recipient
+	MsgID   string       // protocol-level message identity
+	Payload []byte
+}
+
+// Router performs the per-node forwarding and majority-assembly duties.
+// A Router is owned by a single node's Process; Handle may be called from
+// that node's goroutine only.
+type Router struct {
+	self  graph.NodeID
+	table *Table
+
+	mu       sync.Mutex
+	received map[recvKey]map[int][]byte // (origin,msgID) -> pathIdx -> payload
+}
+
+type recvKey struct {
+	origin graph.NodeID
+	msgID  string
+}
+
+// NewRouter returns a router for node self using the given table.
+func NewRouter(self graph.NodeID, table *Table) *Router {
+	return &Router{self: self, table: table, received: map[recvKey]map[int][]byte{}}
+}
+
+// Table returns the routing table backing this router.
+func (r *Router) Table() *Table { return r.table }
+
+// Self returns the node this router belongs to.
+func (r *Router) Self() graph.NodeID { return r.self }
+
+// Send builds the first-hop messages that launch payload toward dest along
+// all k paths. The caller includes them in its Step output.
+func (r *Router) Send(dest graph.NodeID, msgID string, payload []byte) []sim.Message {
+	paths := r.table.Paths(r.self, dest)
+	out := make([]sim.Message, 0, len(paths))
+	for idx, p := range paths {
+		pkt := Packet{Origin: r.self, Dest: dest, PathIdx: idx, Hop: 1, MsgID: msgID, Payload: payload}
+		out = append(out, sim.Message{
+			From: r.self,
+			To:   p[1],
+			Bits: int64(len(payload)) * 8,
+			Body: pkt,
+		})
+	}
+	return out
+}
+
+// Handle processes one inbound simulator message. If it carries a relay
+// packet addressed onward, Handle returns the forwarding message; if this
+// node is the destination, the copy is recorded for Majority. Non-packet
+// messages and malformed packets yield nil (a Byzantine neighbour can
+// always send garbage; honest nodes ignore it).
+func (r *Router) Handle(m sim.Message) []sim.Message {
+	pkt, ok := m.Body.(Packet)
+	if !ok {
+		return nil
+	}
+	paths := r.table.Paths(pkt.Origin, pkt.Dest)
+	if pkt.PathIdx < 0 || pkt.PathIdx >= len(paths) {
+		return nil
+	}
+	path := paths[pkt.PathIdx]
+	// The packet claims to be at hop pkt.Hop; we must be that node and the
+	// simulator sender must be the previous path node, otherwise the claim
+	// is forged and is dropped. A faulty node can therefore only tamper
+	// with copies on paths it belongs to.
+	if pkt.Hop < 1 || pkt.Hop >= len(path) {
+		return nil
+	}
+	if path[pkt.Hop] != r.self || path[pkt.Hop-1] != m.From {
+		return nil
+	}
+	if pkt.Dest == r.self {
+		// Final hop: record the copy (first copy per path wins).
+		if pkt.Hop != len(path)-1 {
+			return nil
+		}
+		r.mu.Lock()
+		key := recvKey{origin: pkt.Origin, msgID: pkt.MsgID}
+		if r.received[key] == nil {
+			r.received[key] = map[int][]byte{}
+		}
+		if _, dup := r.received[key][pkt.PathIdx]; !dup {
+			r.received[key][pkt.PathIdx] = pkt.Payload
+		}
+		r.mu.Unlock()
+		return nil
+	}
+	next := pkt.Hop + 1
+	if next >= len(path) {
+		return nil
+	}
+	fwd := pkt
+	fwd.Hop = next
+	return []sim.Message{{
+		From: r.self,
+		To:   path[next],
+		Bits: int64(len(pkt.Payload)) * 8,
+		Body: fwd,
+	}}
+}
+
+// HandleAll is Handle applied to a whole inbox, concatenating forwards.
+func (r *Router) HandleAll(inbox []sim.Message) []sim.Message {
+	var out []sim.Message
+	for _, m := range inbox {
+		out = append(out, r.Handle(m)...)
+	}
+	return out
+}
+
+// Majority returns the payload received from origin for msgID, decided by
+// strict majority over path copies; missing copies count as votes for the
+// default (nil). ok reports whether a strict majority existed among the k
+// expected copies.
+func (r *Router) Majority(origin graph.NodeID, msgID string) ([]byte, bool) {
+	r.mu.Lock()
+	copies := r.received[recvKey{origin: origin, msgID: msgID}]
+	counts := map[string]int{}
+	for _, payload := range copies {
+		counts[string(payload)]++
+	}
+	missing := r.table.k - len(copies)
+	r.mu.Unlock()
+	if missing > 0 {
+		counts[missingSentinel] += missing
+	}
+	keys := make([]string, 0, len(counts))
+	for s := range counts {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	bestKey, bestCount := "", -1
+	for _, s := range keys {
+		if counts[s] > bestCount {
+			bestKey, bestCount = s, counts[s]
+		}
+	}
+	if bestCount*2 <= r.table.k {
+		return nil, false
+	}
+	if bestKey == missingSentinel {
+		return nil, false
+	}
+	return []byte(bestKey), true
+}
+
+// Reset clears received state (between protocol stages reusing a router).
+func (r *Router) Reset() {
+	r.mu.Lock()
+	r.received = map[recvKey]map[int][]byte{}
+	r.mu.Unlock()
+}
+
+// missingSentinel cannot collide with real payloads because Majority keys
+// real payloads by their raw bytes and this value is only used for absent
+// copies; a payload equal to the sentinel bytes would still be counted
+// separately because present copies are tallied before the sentinel is
+// added under a distinct map entry only when missing > 0. The string is
+// long and improbable regardless.
+const missingSentinel = "\x00relay:missing-copy\x00"

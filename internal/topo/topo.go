@@ -1,0 +1,201 @@
+// Package topo builds the network topologies used across examples, tests
+// and benchmarks: the paper's worked-example graphs (reconstructed from the
+// numbers stated in the text, since the figures are not reproduced in it),
+// cliques, circulants (for multi-hop pipelining experiments), random
+// networks with guaranteed connectivity, and heterogeneous-capacity WANs
+// (the intro's motivation for network awareness).
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nab/internal/graph"
+)
+
+// Fig1a reconstructs the paper's Figure 1(a): K4 minus the 2-4 edge with
+// unit bidirectional links. It satisfies every number the paper states:
+// MINCUT(G,1,2) = MINCUT(G,1,4) = 2, MINCUT(G,1,3) = 3 (so gamma = 2), no
+// edge between nodes 2 and 4, and after the 2-3 dispute U_k = 2 with
+// Omega_k = {{1,2,4}, {1,3,4}}.
+func Fig1a() *graph.Directed {
+	g := graph.NewDirected()
+	for _, pair := range [][2]graph.NodeID{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {3, 4}} {
+		if err := g.AddBiEdge(pair[0], pair[1], 1); err != nil {
+			panic(err) // static topology; cannot fail
+		}
+	}
+	return g
+}
+
+// Fig1b returns the paper's Figure 1(b): Fig1a after nodes 2 and 3 have
+// been found in dispute (their edges removed).
+func Fig1b() *graph.Directed {
+	g := Fig1a()
+	g.RemoveBetween(2, 3)
+	return g
+}
+
+// Fig2a reconstructs the paper's Figure 2(a): a 4-node directed graph whose
+// numbers-next-to-edges include capacity 2 on link (1,2), supporting two
+// unit-capacity spanning arborescences rooted at node 1 whose combined
+// usage of (1,2) is exactly its capacity.
+func Fig2a() *graph.Directed {
+	g := graph.NewDirected()
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(1, 4, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(2, 4, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(3, 2, 1)
+	g.MustAddEdge(4, 3, 1)
+	return g
+}
+
+// CompleteBi returns the complete bidirectional graph on n nodes (ids
+// 1..n) with uniform link capacity c.
+func CompleteBi(n int, c int64) *graph.Directed {
+	g := graph.NewDirected()
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i != j {
+				g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), c)
+			}
+		}
+	}
+	return g
+}
+
+// Circulant returns the bidirectional circulant graph C_n(offsets...) with
+// uniform capacity c: node i links to i+d and i-d (mod n) for each offset
+// d. With offsets 1..k it has vertex connectivity 2k and diameter ~n/(2k),
+// giving the multi-hop topologies the pipelining analysis (Appendix D)
+// is about.
+func Circulant(n int, c int64, offsets ...int) (*graph.Directed, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: circulant needs n >= 3, got %d", n)
+	}
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("topo: circulant needs at least one offset")
+	}
+	g := graph.NewDirected()
+	for i := 1; i <= n; i++ {
+		g.AddNode(graph.NodeID(i))
+	}
+	for _, d := range offsets {
+		if d <= 0 || 2*d >= n {
+			return nil, fmt.Errorf("topo: offset %d out of range (0, %d)", d, (n+1)/2)
+		}
+		for i := 1; i <= n; i++ {
+			j := (i-1+d)%n + 1
+			if !g.HasEdge(graph.NodeID(i), graph.NodeID(j)) {
+				g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), c)
+			}
+			if !g.HasEdge(graph.NodeID(j), graph.NodeID(i)) {
+				g.MustAddEdge(graph.NodeID(j), graph.NodeID(i), c)
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomConnected returns a random bidirectional network on n nodes with
+// vertex connectivity at least minConn and capacities in [1, maxCap],
+// seeded deterministically. It layers random chords over a circulant
+// skeleton that already guarantees the connectivity bound.
+func RandomConnected(rng *rand.Rand, n, minConn int, maxCap int64) (*graph.Directed, error) {
+	if minConn < 1 || minConn >= n {
+		return nil, fmt.Errorf("topo: minConn = %d out of range [1, %d)", minConn, n)
+	}
+	need := (minConn + 1) / 2 // circulant with offsets 1..need has connectivity 2*need >= minConn
+	if 2*need >= n {
+		return nil, fmt.Errorf("topo: n = %d too small for connectivity %d", n, minConn)
+	}
+	offsets := make([]int, need)
+	for i := range offsets {
+		offsets[i] = i + 1
+	}
+	g, err := Circulant(n, 1, offsets...)
+	if err != nil {
+		return nil, err
+	}
+	// Re-randomize skeleton capacities and add chords.
+	out := graph.NewDirected()
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.From, e.To, 1+rng.Int63n(maxCap))
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i == j || out.HasEdge(graph.NodeID(i), graph.NodeID(j)) {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				out.MustAddEdge(graph.NodeID(i), graph.NodeID(j), 1+rng.Int63n(maxCap))
+			}
+		}
+	}
+	return out, nil
+}
+
+// OneThinLink returns the complete bidirectional graph on n nodes with
+// capacity fatCap everywhere except the (thinA, thinB) pair, which gets
+// thinCap in both directions. As fatCap grows, every broadcast mincut and
+// pairwise subset mincut grows with it, so NAB's throughput scales up —
+// while any capacity-oblivious algorithm whose fixed routes cross the thin
+// link stays pinned to thinCap. This realizes the intro's "arbitrarily
+// worse than optimal" comparison (experiment E7).
+func OneThinLink(n int, thinA, thinB graph.NodeID, fatCap, thinCap int64) (*graph.Directed, error) {
+	if thinA == thinB {
+		return nil, fmt.Errorf("topo: thin pair must be distinct")
+	}
+	if fatCap < thinCap {
+		return nil, fmt.Errorf("topo: fatCap %d < thinCap %d", fatCap, thinCap)
+	}
+	g := graph.NewDirected()
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i == j {
+				continue
+			}
+			c := fatCap
+			a, b := graph.NodeID(i), graph.NodeID(j)
+			if (a == thinA && b == thinB) || (a == thinB && b == thinA) {
+				c = thinCap
+			}
+			g.MustAddEdge(a, b, c)
+		}
+	}
+	if !g.HasNode(thinA) || !g.HasNode(thinB) {
+		return nil, fmt.Errorf("topo: thin pair (%d,%d) outside 1..%d", thinA, thinB, n)
+	}
+	return g, nil
+}
+
+// Heterogeneous returns a complete bidirectional network where links among
+// the first fatNodes nodes (a well-provisioned core including the source)
+// have capacity fatCap and every other link has capacity thinCap. The
+// capacity-oblivious baselines bottleneck on the thin links while NAB
+// routes around them — the intro's "arbitrarily worse than optimal"
+// scenario, swept in experiment E7.
+func Heterogeneous(n, fatNodes int, fatCap, thinCap int64) (*graph.Directed, error) {
+	if fatNodes < 0 || fatNodes > n {
+		return nil, fmt.Errorf("topo: fatNodes = %d out of range [0, %d]", fatNodes, n)
+	}
+	if fatCap < thinCap {
+		return nil, fmt.Errorf("topo: fatCap %d < thinCap %d", fatCap, thinCap)
+	}
+	g := graph.NewDirected()
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i == j {
+				continue
+			}
+			c := thinCap
+			if i <= fatNodes && j <= fatNodes {
+				c = fatCap
+			}
+			g.MustAddEdge(graph.NodeID(i), graph.NodeID(j), c)
+		}
+	}
+	return g, nil
+}

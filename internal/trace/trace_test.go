@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "col-a", "b")
+	tb.Add("x", "y")
+	tb.Addf(12, 3.5, true)
+	out := tb.String()
+	if !strings.Contains(out, "== Title ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "col-a") || !strings.Contains(out, "12") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the header cell.
+	if !strings.HasPrefix(lines[3], "x ") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestTableNoHeaderNoTitle(t *testing.T) {
+	tb := &Table{}
+	tb.Add("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "==") || strings.Contains(out, "---") {
+		t.Errorf("unexpected chrome:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("missing row:\n%s", out)
+	}
+}
+
+func TestAddfTypes(t *testing.T) {
+	tb := New("t", "v")
+	tb.Addf("s", 1, int64(2), uint(3), 4.25, false, struct{ X int }{7})
+	row := tb.Rows[0]
+	want := []string{"s", "1", "2", "3", "4.25", "false", "{7}"}
+	for i, w := range want {
+		if row[i] != w {
+			t.Errorf("cell %d = %q, want %q", i, row[i], w)
+		}
+	}
+}
+
+func TestRaggedRowsPadOnRender(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.Add("1")
+	tb.Add("1", "2", "3", "4") // wider than header
+	out := tb.String()
+	if !strings.Contains(out, "4") {
+		t.Errorf("extra column dropped:\n%s", out)
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		2:       "2",
+		3.14159: "3.1416",
+		-0.25:   "-0.25",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.3333); got != "33.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1); got != "100.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package nab is a Go implementation of NAB — the Network-Aware Byzantine
+// Broadcast algorithm of Liang & Vaidya (PODC 2012, arXiv:1106.1845):
+// throughput-optimal (within a constant factor of capacity) Byzantine
+// broadcast for synchronous point-to-point networks with per-link
+// capacities, at most f < n/3 Byzantine nodes and vertex connectivity at
+// least 2f+1.
+//
+// The package is a facade over the substrates in internal/: capacitated
+// graphs and flow algorithms, spanning-structure packing, GF(2^m) linear
+// coding, a synchronous network simulator, classic Byzantine broadcast
+// (EIG) over disjoint-path relays, and dispute control.
+//
+// # Quick start
+//
+//	g := nab.CompleteGraph(4, 1)          // K4, unit capacities
+//	runner, err := nab.NewRunner(nab.Config{
+//		Graph: g, Source: 1, F: 1, LenBytes: 32,
+//	})
+//	if err != nil { ... }
+//	res, err := runner.RunInstance(input) // input: 32 bytes
+//	// res.Outputs holds every fault-free node's agreed value.
+//
+// Use AnalyzeCapacity to compute the paper's gamma*, rho*, the Theorem 2
+// capacity upper bound and the Theorem 3 throughput guarantee for a
+// topology.
+package nab
+
+import (
+	"math/rand"
+
+	"nab/internal/adversary"
+	"nab/internal/baseline"
+	"nab/internal/capacity"
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/topo"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Graph is a simple directed graph with positive integer link
+	// capacities — the paper's network model.
+	Graph = graph.Directed
+	// NodeID identifies a vertex.
+	NodeID = graph.NodeID
+	// Edge is a directed capacitated link.
+	Edge = graph.Edge
+	// Config parameterizes a NAB run (topology, source, fault bound f,
+	// input size, adversaries, ablation overrides).
+	Config = core.Config
+	// Runner drives repeated NAB instances, carrying dispute state.
+	Runner = core.Runner
+	// InstanceResult reports one instance: outputs, per-phase times,
+	// dispute-control findings.
+	InstanceResult = core.InstanceResult
+	// RunResult aggregates instances and computes throughput.
+	RunResult = core.RunResult
+	// Adversary customizes a faulty node's behaviour.
+	Adversary = core.Adversary
+	// HonestBehaviour is the no-op Adversary (embed it to override
+	// selected hooks).
+	HonestBehaviour = core.Honest
+	// CapacityReport carries gamma*, rho*, the capacity upper bound and
+	// throughput guarantee of a topology.
+	CapacityReport = capacity.Report
+	// BaselineResult reports a capacity-oblivious baseline broadcast.
+	BaselineResult = baseline.Result
+)
+
+// NewGraph returns an empty capacitated directed graph.
+func NewGraph() *Graph { return graph.NewDirected() }
+
+// ParseGraph reads the "from to capacity" text format (one edge per line,
+// '#' comments, "node v" for isolated vertices).
+func ParseGraph(text string) (*Graph, error) { return graph.ParseDirected(text) }
+
+// NewRunner validates cfg and prepares a NAB execution.
+func NewRunner(cfg Config) (*Runner, error) { return core.NewRunner(cfg) }
+
+// AnalyzeCapacity computes the paper's throughput quantities for source in
+// g with fault bound f. With exact=true the reachable-instance-graph family
+// is enumerated exactly (small networks); otherwise the node-deletion
+// family is used.
+func AnalyzeCapacity(g *Graph, source NodeID, f int, exact bool) (*CapacityReport, error) {
+	return capacity.Analyze(g, source, f, exact)
+}
+
+// --- topologies -------------------------------------------------------------
+
+// CompleteGraph returns the complete bidirectional graph on n nodes (ids
+// 1..n) with uniform capacity c.
+func CompleteGraph(n int, c int64) *Graph { return topo.CompleteBi(n, c) }
+
+// CirculantGraph returns the bidirectional circulant C_n(offsets...) with
+// uniform capacity c — the multi-hop family used in pipelining experiments.
+func CirculantGraph(n int, c int64, offsets ...int) (*Graph, error) {
+	return topo.Circulant(n, c, offsets...)
+}
+
+// RandomGraph returns a random bidirectional network with vertex
+// connectivity at least minConn and capacities in [1, maxCap].
+func RandomGraph(rng *rand.Rand, n, minConn int, maxCap int64) (*Graph, error) {
+	return topo.RandomConnected(rng, n, minConn, maxCap)
+}
+
+// HeterogeneousGraph returns a clique whose core links are fat and whose
+// remaining links are thin — the network-awareness showcase.
+func HeterogeneousGraph(n, fatNodes int, fatCap, thinCap int64) (*Graph, error) {
+	return topo.Heterogeneous(n, fatNodes, fatCap, thinCap)
+}
+
+// OneThinLinkGraph returns a fat clique with a single thin link — the
+// topology where capacity-oblivious broadcast is arbitrarily slower than
+// NAB.
+func OneThinLinkGraph(n int, thinA, thinB NodeID, fatCap, thinCap int64) (*Graph, error) {
+	return topo.OneThinLink(n, thinA, thinB, fatCap, thinCap)
+}
+
+// PaperFig1Graph returns the worked-example graph of the paper's Figure
+// 1(a), reconstructed from the numbers stated in the text.
+func PaperFig1Graph() *Graph { return topo.Fig1a() }
+
+// --- adversaries ------------------------------------------------------------
+
+// CrashAdversary returns a fail-stop node (silent in every phase).
+func CrashAdversary() Adversary { return adversary.Crash{} }
+
+// BlockFlipperAdversary corrupts Phase-1 blocks sent to the given victims
+// (all children when none are named); on the source it equivocates.
+func BlockFlipperAdversary(victims ...NodeID) Adversary {
+	if len(victims) == 0 {
+		return &adversary.BlockFlipper{}
+	}
+	m := make(map[NodeID]bool, len(victims))
+	for _, v := range victims {
+		m[v] = true
+	}
+	return &adversary.BlockFlipper{Victims: m}
+}
+
+// CodedCorruptorAdversary corrupts equality-check symbols.
+func CodedCorruptorAdversary() Adversary { return &adversary.CodedCorruptor{} }
+
+// FalseAlarmAdversary always announces MISMATCH, forcing dispute control.
+func FalseAlarmAdversary() Adversary { return adversary.FalseAlarm{} }
+
+// RandomAdversary flips coins at every protocol decision point.
+func RandomAdversary(seed int64) Adversary {
+	return &adversary.Random{RNG: rand.New(rand.NewSource(seed))}
+}
+
+// --- baselines --------------------------------------------------------------
+
+// BaselineEIG broadcasts input with classic capacity-oblivious Byzantine
+// broadcast (EIG over 2f+1 disjoint paths), for throughput comparison.
+func BaselineEIG(g *Graph, source NodeID, f int, input []byte) (*BaselineResult, error) {
+	return baseline.RunEIG(g, source, f, input)
+}
+
+// BaselineFlood broadcasts input along 2f+1 node-disjoint paths per
+// destination with receiver-side majority.
+func BaselineFlood(g *Graph, source NodeID, f int, input []byte) (*BaselineResult, error) {
+	return baseline.RunFlood(g, source, f, input)
+}

@@ -1,0 +1,98 @@
+package nab_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nab"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := nab.CompleteGraph(4, 1)
+	runner, err := nab.NewRunner(nab.Config{Graph: g, Source: 1, F: 1, LenBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("8 bytes!")
+	res, err := runner.RunInstance(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		if !bytes.Equal(out, input) {
+			t.Errorf("node %d decided %x", v, out)
+		}
+	}
+}
+
+func TestFacadeCapacity(t *testing.T) {
+	rep, err := nab.AnalyzeCapacity(nab.PaperFig1Graph(), 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gamma1 != 2 || rep.U1 != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if _, err := nab.CirculantGraph(8, 1, 1, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := nab.RandomGraph(rand.New(rand.NewSource(1)), 6, 3, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := nab.HeterogeneousGraph(5, 3, 8, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := nab.OneThinLinkGraph(5, 4, 5, 8, 1); err != nil {
+		t.Error(err)
+	}
+	g, err := nab.ParseGraph("1 2 3\n2 1 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cap(1, 2) != 3 {
+		t.Error("parse wrong")
+	}
+}
+
+func TestFacadeAdversariesAndBaselines(t *testing.T) {
+	g := nab.CompleteGraph(4, 2)
+	runner, err := nab.NewRunner(nab.Config{
+		Graph: g, Source: 1, F: 1, LenBytes: 8,
+		Adversaries: map[nab.NodeID]nab.Adversary{3: nab.BlockFlipperAdversary()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("attacked")
+	res, err := runner.RunInstance(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Phase3 {
+		t.Error("corruption not detected via facade")
+	}
+	for _, out := range res.Outputs {
+		if !bytes.Equal(out, input) {
+			t.Error("validity violated via facade")
+		}
+	}
+	if _, err := nab.BaselineEIG(g, 1, 1, input); err != nil {
+		t.Error(err)
+	}
+	if _, err := nab.BaselineFlood(g, 1, 1, input); err != nil {
+		t.Error(err)
+	}
+	// Remaining adversary constructors exist and satisfy the interface.
+	for _, a := range []nab.Adversary{
+		nab.CrashAdversary(), nab.CodedCorruptorAdversary(),
+		nab.FalseAlarmAdversary(), nab.RandomAdversary(5),
+	} {
+		if a == nil {
+			t.Error("nil adversary from constructor")
+		}
+	}
+}
