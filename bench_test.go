@@ -1,12 +1,14 @@
-// Benchmark harness: one benchmark per reproduced paper artifact (see
-// DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
-// numbers). Each benchmark regenerates the corresponding experiment table;
-// run cmd/nabexp to print the tables themselves.
+// Benchmark harness: one benchmark per reproduced paper artifact plus the
+// lockstep-vs-pipelined runtime comparison (see EXPERIMENTS.md's
+// experiment index for the recorded numbers). Each experiment benchmark
+// regenerates the corresponding table; run cmd/nabexp to print the tables
+// themselves and tools/bench2json to refresh BENCH_pipeline.json.
 package nab_test
 
 import (
 	"io"
 	"testing"
+	"time"
 
 	"nab"
 	"nab/internal/exp"
@@ -147,6 +149,129 @@ func BenchmarkAblation_RelayPaths(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// pipelineTopologies are the lockstep-vs-pipelined comparison networks
+// (recorded in EXPERIMENTS.md and BENCH_pipeline.json).
+func pipelineTopologies(b *testing.B) []struct {
+	name string
+	g    *nab.Graph
+	f    int
+} {
+	circ, err := nab.CirculantGraph(9, 1, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thin, err := nab.OneThinLinkGraph(7, 2, 3, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []struct {
+		name string
+		g    *nab.Graph
+		f    int
+	}{
+		{"K7", nab.CompleteGraph(7, 1), 2},
+		{"Circulant9", circ, 1},
+		{"OneThinLink7", thin, 1},
+	}
+}
+
+const pipelineBatch = 16 // instances per benchmark iteration
+
+func benchInputs(q, lenBytes int) [][]byte {
+	out := make([][]byte, q)
+	for i := range out {
+		out[i] = make([]byte, lenBytes)
+		for j := range out[i] {
+			out[i][j] = byte(i + j)
+		}
+	}
+	return out
+}
+
+// BenchmarkLockstepRunner measures sequential instances/sec of the
+// lockstep core.Runner per topology (LenBytes=64, fault-free).
+func BenchmarkLockstepRunner(b *testing.B) {
+	for _, tp := range pipelineTopologies(b) {
+		b.Run(tp.name, func(b *testing.B) {
+			inputs := benchInputs(pipelineBatch, 64)
+			runner, err := nab.NewRunner(nab.Config{
+				Graph: tp.g, Source: 1, F: tp.f, LenBytes: 64, Seed: benchSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*pipelineBatch)/b.Elapsed().Seconds(), "instances/s")
+		})
+	}
+}
+
+// BenchmarkPipelinedRuntime measures the concurrent runtime's
+// instances/sec with W=4 in flight on the same workloads.
+func BenchmarkPipelinedRuntime(b *testing.B) {
+	for _, tp := range pipelineTopologies(b) {
+		b.Run(tp.name, func(b *testing.B) {
+			inputs := benchInputs(pipelineBatch, 64)
+			rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{
+				Config: nab.Config{Graph: tp.g, Source: 1, F: tp.f, LenBytes: 64, Seed: benchSeed},
+				Window: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Run(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*pipelineBatch)/b.Elapsed().Seconds(), "instances/s")
+		})
+	}
+}
+
+// BenchmarkPipelineSpeedup runs both runners on CompleteGraph(7,1) /
+// LenBytes=64 inside one benchmark and reports the pipelined-over-lockstep
+// instances/sec ratio — the PR's >= 2x acceptance metric.
+func BenchmarkPipelineSpeedup(b *testing.B) {
+	inputs := benchInputs(pipelineBatch, 64)
+	speedup := 0.0
+	for i := 0; i < b.N; i++ {
+		runner, err := nab.NewRunner(nab.Config{
+			Graph: nab.CompleteGraph(7, 1), Source: 1, F: 2, LenBytes: 64, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lockStart := time.Now()
+		if _, err := runner.Run(inputs); err != nil {
+			b.Fatal(err)
+		}
+		lockSecs := time.Since(lockStart).Seconds()
+
+		rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{
+			Config: nab.Config{Graph: nab.CompleteGraph(7, 1), Source: 1, F: 2, LenBytes: 64, Seed: benchSeed},
+			Window: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := rt.Run(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Close()
+		speedup = res.InstancesPerSec() * lockSecs / float64(pipelineBatch)
+	}
+	b.ReportMetric(speedup, "speedup")
 }
 
 // BenchmarkNABInstance measures one fault-free end-to-end instance on K7.

@@ -1,0 +1,349 @@
+// Command nabserve hosts a pipelined NAB runtime as a daemon: clients
+// connect over TCP, stream framed broadcast requests, and receive one
+// framed reply per committed instance, in order. Arriving requests are
+// batched into the runtime's pipeline window, so a streaming client keeps
+// W instances in flight automatically.
+//
+// Server:
+//
+//	nabserve -listen 127.0.0.1:7012 -topo k7 -f 2 -len 64 -window 4
+//
+// Add -net-transport to run node-to-node traffic over loopback TCP links
+// (wire-framed) instead of the in-process bus, and -adversary n=strategy
+// (repeatable: flip, coded, alarm, crash, random) to host faulty nodes.
+//
+// Client (sends -q framed requests, prints the replies):
+//
+//	nabserve -connect 127.0.0.1:7012 -len 64 -q 16
+//
+// Wire protocol: a request is a 4-byte big-endian length followed by the
+// broadcast input (exactly -len bytes); a reply is a 4-byte big-endian
+// length followed by a JSON object {instance, output, mismatch, phase3,
+// modelTime}. The connection closes after an invalid request.
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"nab/internal/adversary"
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/runtime"
+	"nab/internal/topo"
+	"nab/internal/transport"
+)
+
+type adversaryFlags map[graph.NodeID]core.Adversary
+
+func (af adversaryFlags) String() string { return fmt.Sprint(map[graph.NodeID]core.Adversary(af)) }
+
+func (af adversaryFlags) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want node=strategy, got %q", s)
+	}
+	id, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad node id %q: %w", parts[0], err)
+	}
+	var a core.Adversary
+	switch parts[1] {
+	case "flip":
+		a = &adversary.BlockFlipper{}
+	case "coded":
+		a = &adversary.CodedCorruptor{}
+	case "alarm":
+		a = adversary.FalseAlarm{}
+	case "crash":
+		a = adversary.Crash{}
+	case "random":
+		a = &adversary.Random{RNG: rand.New(rand.NewSource(int64(id)))}
+	default:
+		return fmt.Errorf("unknown strategy %q", parts[1])
+	}
+	af[graph.NodeID(id)] = a
+	return nil
+}
+
+// reply is the JSON body of one response frame.
+type reply struct {
+	Instance int    `json:"instance"`
+	Output   []byte `json:"output"`
+	Mismatch bool   `json:"mismatch"`
+	Phase3   bool   `json:"phase3"`
+	// ModelTime is the instance's cut-through duration in time units.
+	ModelTime float64 `json:"modelTime"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nabserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("nabserve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7012", "serve on this address")
+	connect := fs.String("connect", "", "client mode: stream requests to this server")
+	topoName := fs.String("topo", "k7", "built-in topology: k4, k5, k7, thin5, circ8")
+	file := fs.String("file", "", "topology file (overrides -topo)")
+	source := fs.Int("source", 1, "source node id")
+	f := fs.Int("f", 1, "fault bound")
+	lenBytes := fs.Int("len", 64, "input length in bytes")
+	window := fs.Int("window", 4, "pipeline window (instances in flight)")
+	seed := fs.Int64("seed", 1, "seed for coding matrices (server) / inputs (client)")
+	q := fs.Int("q", 8, "client mode: number of requests to stream")
+	netTransport := fs.Bool("net-transport", false, "run node links over loopback TCP instead of the in-process bus")
+	advs := adversaryFlags{}
+	fs.Var(advs, "adversary", "node=strategy (repeatable): flip, coded, alarm, crash, random")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *connect != "" {
+		return client(w, *connect, *q, *lenBytes, *seed)
+	}
+
+	g, err := loadGraph(*file, *topoName)
+	if err != nil {
+		return err
+	}
+	cfg := runtime.Config{
+		Config: core.Config{
+			Graph: g, Source: graph.NodeID(*source), F: *f,
+			LenBytes: *lenBytes, Seed: *seed, Adversaries: advs,
+		},
+		Window: *window,
+	}
+	if *netTransport {
+		tr, err := transport.NewTCP(g)
+		if err != nil {
+			return err
+		}
+		cfg.Transport = tr
+	}
+	rt, err := runtime.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(w, "nabserve: listening on %s (topo %s, n=%d, f=%d, len=%d, window=%d)\n",
+		l.Addr(), *topoName, g.NumNodes(), *f, *lenBytes, *window)
+	return serve(l, rt, *lenBytes, *window, w)
+}
+
+// serve accepts clients one at a time: NAB broadcasts a single global
+// instance sequence, so concurrent clients would interleave their requests
+// into one stream anyway.
+func serve(l net.Listener, rt *runtime.Runtime, lenBytes, window int, w io.Writer) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil // listener closed: clean shutdown
+		}
+		if err := session(conn, rt, lenBytes, window); err != nil && err != io.EOF {
+			fmt.Fprintf(w, "nabserve: session %s: %v\n", conn.RemoteAddr(), err)
+		}
+		conn.Close()
+	}
+}
+
+// session streams one client's requests through the runtime. A reader
+// goroutine feeds a queue; the pipeline drains it in batches up to 4x the
+// window, so the runtime always has speculative work available.
+func session(conn net.Conn, rt *runtime.Runtime, lenBytes, window int) error {
+	requests := make(chan []byte, 4*window)
+	readErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done) // unblock the reader if the session exits early
+	go func() {
+		defer close(requests)
+		for {
+			in, err := readFrame(conn, lenBytes)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			select {
+			case requests <- in:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for in := range requests {
+		batch := drainInto([][]byte{in}, requests, 4*window)
+		// Replies stream per committed instance, so the first request of
+		// a large batch is not held back by the rest of the pipeline.
+		_, err := rt.RunFunc(batch, func(ir *core.InstanceResult) error {
+			return writeReply(conn, &reply{
+				Instance:  ir.K,
+				Output:    agreedOutput(ir),
+				Mismatch:  ir.Mismatch,
+				Phase3:    ir.Phase3,
+				ModelTime: ir.TotalTime(),
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	select {
+	case err := <-readErr:
+		return err
+	default:
+		return nil
+	}
+}
+
+// drainInto appends queued requests without blocking, up to max.
+func drainInto(batch [][]byte, ch chan []byte, max int) [][]byte {
+	for len(batch) < max {
+		select {
+		case more, ok := <-ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, more)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// agreedOutput picks the (common) decision of the fault-free nodes.
+func agreedOutput(ir *core.InstanceResult) []byte {
+	var best graph.NodeID
+	var out []byte
+	for v, val := range ir.Outputs {
+		if out == nil || v < best {
+			best, out = v, val
+		}
+	}
+	return out
+}
+
+// client streams q seeded random inputs and prints each reply.
+func client(w io.Writer, addr string, q, lenBytes int, seed int64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(seed))
+	go func() {
+		for i := 0; i < q; i++ {
+			in := make([]byte, lenBytes)
+			rng.Read(in)
+			if err := writeFrame(conn, in); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < q; i++ {
+		rep, err := readReply(conn, lenBytes)
+		if err != nil {
+			return fmt.Errorf("reply %d: %w", i+1, err)
+		}
+		fmt.Fprintf(w, "instance %d: %d bytes, mismatch=%v phase3=%v modelTime=%.2f\n",
+			rep.Instance, len(rep.Output), rep.Mismatch, rep.Phase3, rep.ModelTime)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader, lenBytes int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) != lenBytes {
+		return nil, fmt.Errorf("request of %d bytes, want %d", n, lenBytes)
+	}
+	in := make([]byte, n)
+	if _, err := io.ReadFull(r, in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeReply(w io.Writer, rep *reply) error {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, raw)
+}
+
+func readReply(r io.Reader, lenBytes int) (*reply, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	// The JSON reply carries the output base64-encoded, so its size
+	// scales with the configured input length.
+	if limit := uint32(1<<16 + 2*lenBytes); n > limit {
+		return nil, fmt.Errorf("oversized reply (%d bytes, limit %d)", n, limit)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, err
+	}
+	rep := &reply{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func loadGraph(file, name string) (*graph.Directed, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return graph.ParseDirected(string(data))
+	}
+	switch name {
+	case "k4":
+		return topo.CompleteBi(4, 1), nil
+	case "k5":
+		return topo.CompleteBi(5, 2), nil
+	case "k7":
+		return topo.CompleteBi(7, 2), nil
+	case "thin5":
+		return topo.OneThinLink(5, 4, 5, 8, 1)
+	case "circ8":
+		return topo.Circulant(8, 1, 1, 2)
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

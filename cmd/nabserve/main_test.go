@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"nab/internal/adversary"
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/runtime"
+	"nab/internal/topo"
+)
+
+// startServer hosts a runtime-backed session server on an ephemeral port.
+func startServer(t *testing.T, lenBytes, window int, advs map[graph.NodeID]core.Adversary) (addr string, shutdown func()) {
+	t.Helper()
+	rt, err := runtime.New(runtime.Config{
+		Config: core.Config{
+			Graph: topo.CompleteBi(4, 1), Source: 1, F: 1,
+			LenBytes: lenBytes, Seed: 7, Adversaries: advs,
+		},
+		Window: window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		serve(l, rt, lenBytes, window, io.Discard)
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		<-done
+		rt.Close()
+	}
+}
+
+func TestServeEchoesBroadcasts(t *testing.T) {
+	const lenBytes, q = 16, 6
+	addr, shutdown := startServer(t, lenBytes, 2, nil)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	inputs := make([][]byte, q)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte{byte(i + 1)}, lenBytes)
+		if err := writeFrame(conn, inputs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < q; i++ {
+		rep, err := readReply(conn, lenBytes)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i+1, err)
+		}
+		if rep.Instance != i+1 {
+			t.Errorf("reply %d: instance %d", i+1, rep.Instance)
+		}
+		if !bytes.Equal(rep.Output, inputs[i]) {
+			t.Errorf("reply %d: output %x, want %x", i+1, rep.Output, inputs[i])
+		}
+		if rep.Mismatch || rep.Phase3 {
+			t.Errorf("reply %d: unexpected mismatch/phase3", i+1)
+		}
+	}
+}
+
+func TestServeSurvivesAdversaryAndReconnect(t *testing.T) {
+	const lenBytes = 8
+	addr, shutdown := startServer(t, lenBytes, 3, map[graph.NodeID]core.Adversary{4: adversary.FalseAlarm{}})
+	defer shutdown()
+
+	// First client: the alarmer forces dispute control; outputs must
+	// still be the broadcast values.
+	var out strings.Builder
+	if err := client(&out, addr, 4, lenBytes, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "instance "); got != 4 {
+		t.Errorf("client printed %d replies, want 4:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "phase3=true") {
+		t.Errorf("expected a dispute-control instance:\n%s", out.String())
+	}
+	// Second client on the same daemon: the instance sequence continues.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	in := bytes.Repeat([]byte{0xaa}, lenBytes)
+	if err := writeFrame(conn, in); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReply(conn, lenBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instance != 5 {
+		t.Errorf("second client got instance %d, want 5", rep.Instance)
+	}
+	if !bytes.Equal(rep.Output, in) {
+		t.Errorf("second client output %x, want %x", rep.Output, in)
+	}
+}
+
+func TestClientModeViaRun(t *testing.T) {
+	addr, shutdown := startServer(t, 64, 2, nil)
+	defer shutdown()
+	var out strings.Builder
+	if err := run([]string{"-connect", addr, "-len", "64", "-q", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "instance "); got != 3 {
+		t.Errorf("run client printed %d replies, want 3:\n%s", got, out.String())
+	}
+}
+
+func TestBadRequestClosesSession(t *testing.T) {
+	addr, shutdown := startServer(t, 16, 2, nil)
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Wrong length: the server drops the session.
+	if err := writeFrame(conn, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReply(conn, 16); err == nil {
+		t.Error("expected the session to close on a malformed request")
+	}
+}
+
+func TestFlagsAndErrors(t *testing.T) {
+	af := adversaryFlags{}
+	for _, good := range []string{"3=flip", "2=coded", "5=alarm", "4=crash", "6=random"} {
+		if err := af.Set(good); err != nil {
+			t.Errorf("%q: %v", good, err)
+		}
+	}
+	if len(af) != 5 || af.String() == "" {
+		t.Errorf("parsed %d adversaries", len(af))
+	}
+	for _, bad := range []string{"3", "x=flip", "3=unknown"} {
+		if err := af.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if err := run([]string{"-topo", "nope"}, io.Discard); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-topo", "k4", "-f", "2"}, io.Discard); err == nil {
+		t.Error("f too large accepted")
+	}
+	if err := run([]string{"-connect", "127.0.0.1:1", "-q", "1"}, io.Discard); err == nil {
+		t.Error("client connected to a dead address")
+	}
+}

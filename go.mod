@@ -1,0 +1,3 @@
+module nab
+
+go 1.24

@@ -10,14 +10,14 @@ import (
 	"nab/internal/spantree"
 )
 
-// phase1Msg carries one tree block during unreliable broadcast.
-type phase1Msg struct {
+// Phase1Msg carries one tree block during unreliable broadcast.
+type Phase1Msg struct {
 	Tree  int
 	Block BitChunk
 }
 
-// eqMsg carries the coded symbols of the equality check.
-type eqMsg struct {
+// EqMsg carries the coded symbols of the equality check.
+type EqMsg struct {
 	Symbols []gf.Elem
 }
 
@@ -95,7 +95,7 @@ func (st *nodeState) phase1Process() sim.Process {
 			return out
 		}
 		for _, m := range inbox {
-			pm, ok := m.Body.(phase1Msg)
+			pm, ok := m.Body.(Phase1Msg)
 			if !ok || pm.Tree < 0 || pm.Tree >= st.gamma {
 				continue
 			}
@@ -131,7 +131,7 @@ func (st *nodeState) forwardBlock(tree int) []sim.Message {
 			From: st.id,
 			To:   e.To,
 			Bits: int64(block.BitLen),
-			Body: phase1Msg{Tree: tree, Block: block},
+			Body: Phase1Msg{Tree: tree, Block: block},
 		})
 	}
 	return out
@@ -238,14 +238,14 @@ func (st *nodeState) equalityProcess() sim.Process {
 					From: st.id,
 					To:   e.To,
 					Bits: int64(len(syms)) * int64(st.symBits),
-					Body: eqMsg{Symbols: syms},
+					Body: EqMsg{Symbols: syms},
 				})
 			}
 			return out
 		case 1:
 			got := map[graph.NodeID][]gf.Elem{}
 			for _, m := range inbox {
-				em, ok := m.Body.(eqMsg)
+				em, ok := m.Body.(EqMsg)
 				if !ok {
 					continue
 				}

@@ -1,25 +1,23 @@
 // Package core implements NAB — the paper's Network-Aware Byzantine
-// broadcast algorithm — as a multi-instance driver over the synchronous
-// simulator: Phase 1 unreliable broadcast over packed spanning
+// broadcast algorithm — as a multi-instance driver over pluggable phase
+// engines: Phase 1 unreliable broadcast over packed spanning
 // arborescences, Phase 2 equality check with local linear coding plus
 // 1-bit flag agreement via classic BB, and Phase 3 dispute control with
 // transcript audit and diminishing instance graphs.
+//
+// The per-instance logic lives in Protocol / InstancePlan / DisputeState
+// and runs on any PhaseEngine. Runner drives it on the lockstep
+// synchronous simulator (internal/sim); internal/runtime drives the same
+// logic concurrently on per-node actors over internal/transport.
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 
-	"nab/internal/bb"
-	"nab/internal/capacity"
-	"nab/internal/coding"
 	"nab/internal/dispute"
-	"nab/internal/gf"
 	"nab/internal/graph"
-	"nab/internal/relay"
 	"nab/internal/sim"
-	"nab/internal/spantree"
 )
 
 // Config parameterizes a NAB run.
@@ -122,102 +120,40 @@ func (rr *RunResult) DisputePhases() int {
 	return n
 }
 
-// Runner drives repeated NAB instances, carrying dispute state across them.
+// Runner drives repeated NAB instances on the lockstep simulator, carrying
+// dispute state across them.
 type Runner struct {
-	cfg      Config
-	n        int
-	lenBits  int
-	rng      *rand.Rand
-	relayTab *relay.Table
-
-	disputes    *dispute.Set
-	gk          *graph.Directed
-	k           int
-	faultySoFar map[graph.NodeID]bool
+	proto *Protocol
+	ds    *DisputeState
+	rng   *rand.Rand
+	k     int
 }
 
 // NewRunner validates the configuration and prepares instance 1.
 func NewRunner(cfg Config) (*Runner, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("core: nil graph")
-	}
-	n := cfg.Graph.NumNodes()
-	if cfg.F < 0 || n < 3*cfg.F+1 {
-		return nil, fmt.Errorf("core: n = %d must be >= 3f+1 = %d", n, 3*cfg.F+1)
-	}
-	if !cfg.Graph.HasNode(cfg.Source) {
-		return nil, fmt.Errorf("core: source %d not in graph", cfg.Source)
-	}
-	if cfg.LenBytes <= 0 {
-		return nil, fmt.Errorf("core: LenBytes = %d must be positive", cfg.LenBytes)
-	}
-	if len(cfg.Adversaries) > cfg.F {
-		return nil, fmt.Errorf("core: %d adversaries exceed fault bound f = %d", len(cfg.Adversaries), cfg.F)
-	}
-	if cfg.MaxSchemeTries <= 0 {
-		cfg.MaxSchemeTries = 64
-	}
-	if !cfg.SkipConnectivityCheck {
-		conn, err := cfg.Graph.VertexConnectivity()
-		if err != nil {
-			return nil, fmt.Errorf("core: connectivity: %w", err)
-		}
-		if conn < 2*cfg.F+1 {
-			return nil, fmt.Errorf("core: connectivity %d < 2f+1 = %d", conn, 2*cfg.F+1)
-		}
-	}
-	relayPaths := 2*cfg.F + 1
-	if cfg.RelayPaths > 0 {
-		if cfg.RelayPaths < relayPaths {
-			return nil, fmt.Errorf("core: RelayPaths = %d below 2f+1 = %d breaks reliable relaying", cfg.RelayPaths, relayPaths)
-		}
-		relayPaths = cfg.RelayPaths
-	}
-	tab, err := relay.NewTable(cfg.Graph, relayPaths)
+	proto, err := NewProtocol(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: relay table: %w", err)
+		return nil, err
 	}
 	return &Runner{
-		cfg:         cfg,
-		n:           n,
-		lenBits:     8 * cfg.LenBytes,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		relayTab:    tab,
-		disputes:    dispute.NewSet(),
-		gk:          cfg.Graph.Clone(),
-		k:           0,
-		faultySoFar: map[graph.NodeID]bool{},
+		proto: proto,
+		ds:    NewDisputeState(cfg.Graph),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
 }
 
+// Protocol returns the validated protocol this runner drives.
+func (r *Runner) Protocol() *Protocol { return r.proto }
+
 // InstanceGraph returns the current G_k.
-func (r *Runner) InstanceGraph() *graph.Directed { return r.gk.Clone() }
+func (r *Runner) InstanceGraph() *graph.Directed { return r.ds.Graph() }
 
 // Disputes returns the accumulated dispute set.
-func (r *Runner) Disputes() *dispute.Set { return r.disputes.Clone() }
-
-// honestNodes lists the fault-free nodes (known to the harness, not the
-// protocol).
-func (r *Runner) honestNodes() []graph.NodeID {
-	var out []graph.NodeID
-	for _, v := range r.cfg.Graph.Nodes() {
-		if _, bad := r.cfg.Adversaries[v]; !bad {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func (r *Runner) adversaryFor(v graph.NodeID) Adversary {
-	if a, bad := r.cfg.Adversaries[v]; bad {
-		return a
-	}
-	return Honest{}
-}
+func (r *Runner) Disputes() *dispute.Set { return r.ds.Disputes() }
 
 // Run executes one instance per input.
 func (r *Runner) Run(inputs [][]byte) (*RunResult, error) {
-	rr := &RunResult{LenBits: r.lenBits}
+	rr := &RunResult{LenBits: r.proto.lenBits}
 	for _, in := range inputs {
 		ir, err := r.RunInstance(in)
 		if err != nil {
@@ -231,337 +167,21 @@ func (r *Runner) Run(inputs [][]byte) (*RunResult, error) {
 // RunInstance executes the k-th NAB instance broadcasting input.
 func (r *Runner) RunInstance(input []byte) (*InstanceResult, error) {
 	r.k++
-	ir := &InstanceResult{K: r.k, Outputs: map[graph.NodeID][]byte{}}
-	if len(input) != r.cfg.LenBytes {
-		return nil, fmt.Errorf("core: instance %d: input is %d bytes, want %d", r.k, len(input), r.cfg.LenBytes)
+	if len(input) != r.proto.cfg.LenBytes {
+		return nil, fmt.Errorf("core: instance %d: input is %d bytes, want %d", r.k, len(input), r.proto.cfg.LenBytes)
 	}
-
-	// Source already proven faulty: agree on the default value, no traffic.
-	if !r.gk.HasNode(r.cfg.Source) {
-		def := make([]byte, r.cfg.LenBytes)
-		for _, v := range r.honestNodes() {
-			ir.Outputs[v] = def
-		}
-		return ir, nil
-	}
-
-	excluded := r.n - r.gk.NumNodes()
-	ir.ExcludedNodes = excluded
-	tolerance := r.cfg.F - excluded
-	if tolerance < 0 {
-		tolerance = 0
-	}
-	ir.Phase1Only = excluded >= r.cfg.F
-
-	// Instance parameters.
-	gamma, err := capacity.Gamma(r.gk, r.cfg.Source)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: gamma: %w", r.k, err)
-	}
-	if r.cfg.GammaOverride > 0 && int64(r.cfg.GammaOverride) < gamma {
-		gamma = int64(r.cfg.GammaOverride)
-	}
-	ir.Gamma = gamma
-	omega := dispute.Omega(r.gk, r.disputes, r.n-r.cfg.F)
-	rho, err := capacity.Rho(omega)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: rho: %w", r.k, err)
-	}
-	if r.cfg.RhoOverride > 0 && r.cfg.RhoOverride < rho {
-		rho = r.cfg.RhoOverride
-	}
-	ir.Rho = rho
-	// The paper's symbols have L/rho bits. We realize wide symbols as
-	// `stripes` machine words over GF(2^symBits), symBits <= 64: the
-	// per-bit time cost stays L/rho (up to rounding) and any differing
-	// stripe is caught by the per-stripe check.
-	symBits := uint((r.lenBits + rho - 1) / rho)
-	if symBits > 64 {
-		symBits = 64
-	}
-	stripes := (r.lenBits + rho*int(symBits) - 1) / (rho * int(symBits))
-	if stripes < 1 {
-		stripes = 1
-	}
-	ir.SymBits = symBits
-	ir.Stripes = stripes
-	field, err := gf.New(symBits)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: field: %w", r.k, err)
-	}
-	scheme, tries, err := coding.GenerateVerified(r.gk, rho, field, omega, r.rng, r.cfg.MaxSchemeTries)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: scheme: %w", r.k, err)
-	}
-	ir.SchemeTries = tries
-	trees, err := spantree.PackArborescences(r.gk, r.cfg.Source, int(gamma))
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: trees: %w", r.k, err)
-	}
-
-	// Node states over the physical graph G; nodes outside V_k participate
-	// only as relays.
-	states := map[graph.NodeID]*nodeState{}
-	for _, v := range r.gk.Nodes() {
-		states[v] = newNodeState(v, r.adversaryFor(v), r.cfg.Source, input, r.lenBits, rho, symBits, stripes, trees, scheme, r.gk)
-	}
-	engine := sim.New(r.cfg.Graph)
-	engine.SetRecording(false)
-
-	// ---- Phase 1: unreliable broadcast over the packed arborescences.
-	maxDepth := 0
-	for _, tr := range trees {
-		if d := tr.Depth(); d > maxDepth {
-			maxDepth = d
-		}
-	}
-	for _, v := range r.cfg.Graph.Nodes() {
-		st, inVk := states[v]
-		if !inVk {
-			if err := engine.SetProcess(v, sim.Silent); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if err := engine.SetProcess(v, st.phase1Process()); err != nil {
-			return nil, err
-		}
-	}
-	p1, err := engine.RunPhase("phase1", maxDepth+1)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: phase 1: %w", r.k, err)
-	}
-	ir.Phase1Time = p1.CutThroughTime()
-	ir.Phase1SFTime = p1.StoreForwardTime()
-	ir.Phase1Rounds = maxDepth
-	for _, st := range states {
-		if err := st.finishPhase1(); err != nil {
-			return nil, err
-		}
-	}
-
-	if ir.Phase1Only {
-		// All remaining nodes are fault-free: Phase 1 output is final.
-		for _, v := range r.honestNodes() {
-			ir.Outputs[v] = states[v].value
-		}
-		ir.TotalBits = p1.TotalBits()
-		return ir, nil
-	}
-
-	// ---- Phase 2, step 2.1: equality check.
-	for _, v := range r.cfg.Graph.Nodes() {
-		st, inVk := states[v]
-		if !inVk {
-			if err := engine.SetProcess(v, sim.Silent); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if err := engine.SetProcess(v, st.equalityProcess()); err != nil {
-			return nil, err
-		}
-	}
-	eq, err := engine.RunPhase("equality", 2)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: equality: %w", r.k, err)
-	}
-	ir.EqualityTime = eq.CutThroughTime()
-
-	// ---- Phase 2, step 2.2: agree on every node's 1-bit flag.
-	participants := r.gk.Nodes()
-	flagNodes, err := r.runBroadcast(engine, states, participants, tolerance, func(st *nodeState) []byte {
-		if st.announcedFlag() {
-			return []byte{1}
-		}
-		return []byte{0}
-	}, "flags")
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: flags: %w", r.k, err)
-	}
-	fl := flagNodes.stats
-	ir.FlagTime = fl.CutThroughTime()
-
-	// Decode agreed flags per honest node and check agreement.
-	honest := r.honestNodes()
-	agreedFlags := map[graph.NodeID]bool{}
-	first := true
-	for _, v := range honest {
-		nd := flagNodes.nodes[v]
-		local := map[graph.NodeID]bool{}
-		for _, p := range participants {
-			dec := nd.Decide(p)
-			local[p] = len(dec) == 1 && dec[0] == 1
-		}
-		if first {
-			agreedFlags = local
-			first = false
-			continue
-		}
-		for p, f := range local {
-			if agreedFlags[p] != f {
-				return nil, fmt.Errorf("core: instance %d: flag agreement violated at node %d for general %d", r.k, v, p)
-			}
-		}
-	}
-	for _, p := range participants {
-		if agreedFlags[p] {
-			ir.Mismatch = true
-		}
-	}
-
-	if !ir.Mismatch {
-		for _, v := range honest {
-			ir.Outputs[v] = states[v].value
-		}
-		ir.TotalBits = p1.TotalBits() + eq.TotalBits() + fl.TotalBits()
-		return ir, nil
-	}
-
-	// ---- Phase 3: dispute control.
-	ir.Phase3 = true
-	claimNodes, err := r.runBroadcast(engine, states, participants, tolerance, func(st *nodeState) []byte {
-		c := st.buildClaims()
-		if c == nil {
-			return nil
-		}
-		return c.Marshal()
-	}, "claims")
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: claims: %w", r.k, err)
-	}
-	dc := claimNodes.stats
-	ir.DisputeTime = dc.CutThroughTime()
-
-	ac := &auditContext{
-		gk: r.gk, source: r.cfg.Source, trees: trees, scheme: scheme,
-		lenBits: r.lenBits, rho: rho, symBits: symBits, stripes: stripes,
-	}
-	var agreed *AuditResult
-	for _, v := range honest {
-		nd := claimNodes.nodes[v]
-		claims := map[graph.NodeID]*Claims{}
-		for _, p := range participants {
-			c := UnmarshalClaims(nd.Decide(p))
-			if c != nil && c.Node != p {
-				c = nil // claiming to be someone else: discard
-			}
-			if c != nil {
-				c.Flag = agreedFlags[p] // the announced flag is the agreed one
-			}
-			claims[p] = c
-		}
-		res := ac.Audit(claims)
-		if agreed == nil {
-			agreed = res
-		} else if !auditEqual(agreed, res) {
-			return nil, fmt.Errorf("core: instance %d: audit divergence at node %d (bug)", r.k, v)
-		}
-		ir.Outputs[v] = res.Output
-	}
-	if agreed == nil {
-		return nil, fmt.Errorf("core: instance %d: no honest nodes to audit", r.k)
-	}
-	ir.NewDisputes = agreed.Disputes
-	ir.NewFaulty = agreed.Faulty
-
-	// Fold findings into the accumulated dispute state and diminish G_k.
-	progress := false
-	for _, p := range agreed.Disputes {
-		if !r.disputes.Has(p[0], p[1]) {
-			progress = true
-		}
-		if err := r.disputes.Add(p[0], p[1]); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range agreed.Faulty {
-		if !r.faultySoFar[v] {
-			progress = true
-			r.faultySoFar[v] = true
-		}
-		if err := r.disputes.MarkFaulty(r.cfg.Graph, v); err != nil {
-			return nil, err
-		}
-	}
-	if !progress {
-		return nil, fmt.Errorf("core: instance %d: dispute control made no progress (bug: paper guarantees a new dispute or faulty node)", r.k)
-	}
-	next, _, err := r.disputes.Apply(r.cfg.Graph, r.cfg.F)
-	if err != nil {
-		return nil, fmt.Errorf("core: instance %d: diminishing graph: %w", r.k, err)
-	}
-	r.gk = next
-
-	ir.TotalBits = p1.TotalBits() + eq.TotalBits() + fl.TotalBits() + dc.TotalBits()
-	return ir, nil
-}
-
-// broadcastResult couples the per-node EIG states with the phase stats.
-type broadcastResult struct {
-	nodes map[graph.NodeID]*bb.Node
-	stats *sim.PhaseStats
-}
-
-// runBroadcast runs one simultaneous classic-BB round (flags or claims)
-// among participants, with non-participants relaying.
-func (r *Runner) runBroadcast(engine *sim.Engine, states map[graph.NodeID]*nodeState, participants []graph.NodeID, tolerance int, valueOf func(*nodeState) []byte, phase string) (*broadcastResult, error) {
-	nodes := map[graph.NodeID]*bb.Node{}
-	var rounds int
-	for _, v := range r.cfg.Graph.Nodes() {
-		st, inVk := states[v]
-		router := relay.NewRouter(v, r.relayTab)
-		if !inVk {
-			// Relay-only duty.
-			if err := engine.SetProcess(v, sim.StepFunc(func(round int, inbox []sim.Message) []sim.Message {
-				return router.HandleAll(inbox)
-			})); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if st.adv.SilentIn(phase) {
-			if err := engine.SetProcess(v, sim.Silent); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		nd, err := bb.NewNode(v, participants, tolerance, router, valueOf(st))
-		if err != nil {
-			return nil, err
-		}
-		nodes[v] = nd
-		rounds = nd.Rounds()
-		if err := engine.SetProcess(v, nd); err != nil {
-			return nil, err
-		}
-	}
-	stats, err := engine.RunPhase(phase, rounds)
+	plan, err := r.proto.PlanInstance(r.ds, r.k, r.rng)
 	if err != nil {
 		return nil, err
 	}
-	for _, nd := range nodes {
-		nd.Finish()
+	engine := sim.New(r.proto.cfg.Graph)
+	engine.SetRecording(false)
+	ir, err := plan.Execute(engine, r.k, input)
+	if err != nil {
+		return nil, err
 	}
-	return &broadcastResult{nodes: nodes, stats: stats}, nil
-}
-
-func auditEqual(a, b *AuditResult) bool {
-	if !bytes.Equal(a.Output, b.Output) {
-		return false
+	if err := r.proto.Fold(r.ds, ir); err != nil {
+		return nil, err
 	}
-	if len(a.Disputes) != len(b.Disputes) || len(a.Faulty) != len(b.Faulty) {
-		return false
-	}
-	for i := range a.Disputes {
-		if a.Disputes[i] != b.Disputes[i] {
-			return false
-		}
-	}
-	for i := range a.Faulty {
-		if a.Faulty[i] != b.Faulty[i] {
-			return false
-		}
-	}
-	return true
+	return ir, nil
 }

@@ -2,7 +2,9 @@
 // worked examples of Figures 1 and 2, the pipelining construction of
 // Figure 3 / Appendix D, and the quantitative content of Theorems 1-3 —
 // as text tables. cmd/nabexp prints them; bench_test.go wraps each in a
-// benchmark; EXPERIMENTS.md records paper-vs-measured.
+// benchmark; EXPERIMENTS.md (repo root) records paper-vs-measured,
+// including the lockstep-vs-pipelined runtime comparison whose raw
+// numbers live in BENCH_pipeline.json.
 package exp
 
 import (

@@ -1,0 +1,239 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nab/internal/graph"
+	"nab/internal/sim"
+	"nab/internal/transport"
+)
+
+// errAborted reports an instance execution cancelled at a dispute-control
+// barrier; the scheduler re-executes the instance on the fresh snapshot.
+var errAborted = errors.New("runtime: instance aborted")
+
+// mailbox buffers one node's frames for one instance, indexed by delivery
+// step. It is unbounded so transport demultiplexing never blocks behind a
+// slow actor (which would couple unrelated instances).
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	data    map[uint32][]*transport.Message
+	markers map[uint32]int
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{data: map[uint32][]*transport.Message{}, markers: map[uint32]int{}}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) deliver(m *transport.Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	if m.Marker {
+		mb.markers[m.Step]++
+		mb.cond.Broadcast()
+	} else {
+		mb.data[m.Step] = append(mb.data[m.Step], m)
+	}
+}
+
+// await blocks until every in-neighbour has completed step-1 (sent its
+// step-1 marker), then returns the messages due for delivery at step.
+// This is the actor-model realization of the synchronous round structure:
+// a marker from u promises that all of u's step-1 emissions — delivered at
+// step — are already in flight behind it on the FIFO link.
+func (mb *mailbox) await(step uint32, need int) ([]*transport.Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if step > 0 {
+		for mb.markers[step-1] < need && !mb.closed {
+			mb.cond.Wait()
+		}
+	}
+	if mb.closed {
+		return nil, errAborted
+	}
+	out := mb.data[step]
+	delete(mb.data, step)
+	delete(mb.markers, step-1)
+	return out, nil
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// instanceEngine is the message-driven core.PhaseEngine: one actor
+// goroutine per node per phase, synchronized by per-link end-of-step
+// markers rather than a global round loop. Nodes advance as a wavefront —
+// a node runs its step as soon as its own in-neighbourhood has finished
+// the previous one — and several engines run concurrently over one shared
+// transport, which is what makes instance pipelining real.
+//
+// The engine preserves sim.Engine's semantics exactly: messages emitted in
+// round r are delivered in round r+1, inboxes are ordered by sender,
+// final-round emissions carry into the next phase, a node can send only on
+// its own outgoing links, and every bit is charged to its link.
+type instanceEngine struct {
+	launch uint64
+	g      *graph.Directed
+	send   func(*transport.Message) error
+
+	nodes   []graph.NodeID
+	inCount map[graph.NodeID]int
+	outNbrs map[graph.NodeID][]graph.NodeID
+	procs   map[graph.NodeID]sim.Process
+	mail    map[graph.NodeID]*mailbox
+
+	stepBase uint32
+	dropped  atomic.Int64
+	aborted  atomic.Bool
+}
+
+func newInstanceEngine(launch uint64, g *graph.Directed, send func(*transport.Message) error) *instanceEngine {
+	e := &instanceEngine{
+		launch:  launch,
+		g:       g,
+		send:    send,
+		nodes:   g.Nodes(),
+		inCount: map[graph.NodeID]int{},
+		outNbrs: map[graph.NodeID][]graph.NodeID{},
+		procs:   map[graph.NodeID]sim.Process{},
+		mail:    map[graph.NodeID]*mailbox{},
+	}
+	for _, v := range e.nodes {
+		e.inCount[v] = len(g.InEdges(v))
+		for _, ed := range g.OutEdges(v) {
+			e.outNbrs[v] = append(e.outNbrs[v], ed.To)
+		}
+		e.procs[v] = sim.Silent
+		e.mail[v] = newMailbox()
+	}
+	return e
+}
+
+// SetProcess implements core.PhaseEngine.
+func (e *instanceEngine) SetProcess(v graph.NodeID, p sim.Process) error {
+	if _, ok := e.mail[v]; !ok {
+		return fmt.Errorf("runtime: node %d not in topology", v)
+	}
+	if p == nil {
+		return fmt.Errorf("runtime: nil process for node %d", v)
+	}
+	e.procs[v] = p
+	return nil
+}
+
+// deliver routes one frame into the owning node's mailbox.
+func (e *instanceEngine) deliver(m *transport.Message) {
+	if mb, ok := e.mail[m.To]; ok {
+		mb.deliver(m)
+	}
+}
+
+// abort cancels the execution: every blocked actor unblocks with
+// errAborted. Idempotent.
+func (e *instanceEngine) abort() {
+	if e.aborted.Swap(true) {
+		return
+	}
+	for _, mb := range e.mail {
+		mb.close()
+	}
+}
+
+// Dropped returns how many emissions violated physics.
+func (e *instanceEngine) Dropped() int64 { return e.dropped.Load() }
+
+// RunPhase implements core.PhaseEngine: it runs every node's actor for
+// `rounds` steps and returns the phase's capacity charges.
+func (e *instanceEngine) RunPhase(name string, rounds int) (*sim.PhaseStats, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("runtime: rounds = %d must be positive", rounds)
+	}
+	ps := sim.NewPhaseStats(name, e.g, rounds)
+	errs := make([]error, len(e.nodes))
+	var wg sync.WaitGroup
+	for i, v := range e.nodes {
+		wg.Add(1)
+		go func(i int, v graph.NodeID) {
+			defer wg.Done()
+			errs[i] = e.runNode(v, e.procs[v], rounds, ps)
+			if errs[i] != nil {
+				// A failed actor can never send its markers; abort the
+				// whole engine so peers don't wait for them forever.
+				e.abort()
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	// Prefer the root cause over the cascade of errAborted it provoked.
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errAborted) {
+			aborted = err
+			continue
+		}
+		return nil, err
+	}
+	if aborted != nil {
+		return nil, aborted
+	}
+	e.stepBase += uint32(rounds)
+	return ps, nil
+}
+
+// runNode is one node's actor for one phase.
+func (e *instanceEngine) runNode(v graph.NodeID, proc sim.Process, rounds int, ps *sim.PhaseStats) error {
+	mb := e.mail[v]
+	for r := 0; r < rounds; r++ {
+		abs := e.stepBase + uint32(r)
+		frames, err := mb.await(abs, e.inCount[v])
+		if err != nil {
+			return err
+		}
+		inbox := make([]sim.Message, 0, len(frames))
+		for _, f := range frames {
+			inbox = append(inbox, sim.Message{From: f.From, To: f.To, Bits: f.Bits, Body: f.Body})
+		}
+		sim.SortInbox(inbox)
+		for _, m := range proc.Step(r, inbox) {
+			if m.From != v || !e.g.HasEdge(m.From, m.To) || m.Bits < 0 {
+				// A node cannot forge senders or invent links; physics
+				// drops it, exactly as the lockstep engine does.
+				e.dropped.Add(1)
+				continue
+			}
+			ps.Charge(r, m.From, m.To, m.Bits)
+			if err := e.send(&transport.Message{
+				Instance: e.launch, Step: abs + 1,
+				From: m.From, To: m.To, Bits: m.Bits, Body: m.Body,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, u := range e.outNbrs[v] {
+			if err := e.send(&transport.Message{
+				Instance: e.launch, Step: abs, From: v, To: u, Marker: true,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

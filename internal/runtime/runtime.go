@@ -1,0 +1,437 @@
+// Package runtime executes NAB concurrently: per-node actors exchange
+// real messages over an internal/transport substrate, and a pipeline
+// scheduler keeps a window of W instances in flight — instance t+1's
+// Phase 1 overlaps instance t's Phase 2/3, the Appendix D construction
+// made operational.
+//
+// The runtime reuses the exact phase logic of internal/core (Protocol /
+// InstancePlan / DisputeState) on a message-driven PhaseEngine, so every
+// existing Adversary plugs in unchanged and outputs match the lockstep
+// core.Runner byte for byte. Instances later than t execute speculatively
+// on instance t's dispute-state snapshot; when an instance's Phase 3
+// changes the dispute state (a MISMATCH fired), the scheduler raises a
+// barrier: speculative executions are aborted and re-run on the fresh
+// snapshot. Clean instances — the common case the paper's throughput
+// analysis amortizes toward — never wait.
+//
+// Across instances of one dispute generation the expensive per-instance
+// precomputation (verified coding scheme, packed arborescences) is planned
+// once and cached, which the lockstep Runner recomputes every instance.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/dispute"
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/transport"
+)
+
+// Config parameterizes a pipelined runtime. The embedded core.Config is
+// validated identically to core.NewRunner.
+type Config struct {
+	core.Config
+
+	// Window is the maximum number of instances in flight (W >= 1).
+	// Default 4. W=1 degenerates to sequential execution, which also
+	// guarantees deterministic replay for stateful adversaries (see Run).
+	Window int
+
+	// Transport overrides the default in-process channel bus — e.g. a
+	// *transport.TCP for loopback serving. The runtime takes ownership
+	// and closes it. It must be built over the same topology as Graph.
+	Transport transport.Transport
+
+	// ChanOptions tunes the default in-process bus when Transport is nil
+	// (pacing time unit, token-bucket burst, inbox depth).
+	ChanOptions transport.ChanOptions
+}
+
+// Runtime hosts the actors, links and scheduler for one topology.
+type Runtime struct {
+	cfg   Config
+	proto *core.Protocol
+	tr    transport.Transport
+
+	linkMu sync.Mutex
+	links  map[[2]graph.NodeID]transport.Link
+
+	engMu   sync.RWMutex
+	engines map[uint64]*instanceEngine
+
+	// Scheduler state: ds is mutated only inside Run (folds are
+	// serialized); runMu admits one Run at a time.
+	runMu      sync.Mutex
+	ds         *core.DisputeState
+	k          int
+	entries    map[int]*planEntry // per-generation plan cache
+	nextLaunch uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New validates cfg, builds the transport (unless supplied) and starts the
+// per-node receive loops.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 4
+	}
+	if cfg.Window < 1 {
+		if cfg.Transport != nil {
+			cfg.Transport.Close()
+		}
+		return nil, fmt.Errorf("runtime: Window = %d must be >= 1", cfg.Window)
+	}
+	// Stateful adversaries (e.g. adversary.Random) would race when
+	// overlapped instances invoke their hooks concurrently; serialize the
+	// hooks so any window is memory-safe. Determinism across windows is a
+	// separate matter — see Run.
+	if len(cfg.Adversaries) > 0 {
+		wrapped := make(map[graph.NodeID]core.Adversary, len(cfg.Adversaries))
+		for v, a := range cfg.Adversaries {
+			wrapped[v] = &syncAdversary{inner: a}
+		}
+		cfg.Adversaries = wrapped
+	}
+	proto, err := core.NewProtocol(cfg.Config)
+	if err != nil {
+		// The runtime owns a supplied transport even on failed
+		// construction — the caller was told not to close it.
+		if cfg.Transport != nil {
+			cfg.Transport.Close()
+		}
+		return nil, err
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewChan(cfg.Graph, cfg.ChanOptions)
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		proto:   proto,
+		tr:      tr,
+		links:   map[[2]graph.NodeID]transport.Link{},
+		engines: map[uint64]*instanceEngine{},
+		ds:      core.NewDisputeState(cfg.Graph),
+		entries: map[int]*planEntry{},
+	}
+	for _, v := range cfg.Graph.Nodes() {
+		go rt.recvLoop(v)
+	}
+	return rt, nil
+}
+
+// Protocol returns the validated protocol the runtime drives.
+func (rt *Runtime) Protocol() *core.Protocol { return rt.proto }
+
+// InstanceGraph returns the current G_k.
+func (rt *Runtime) InstanceGraph() *graph.Directed {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	return rt.ds.Graph()
+}
+
+// Disputes returns the accumulated dispute set.
+func (rt *Runtime) Disputes() *dispute.Set {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	return rt.ds.Disputes()
+}
+
+// Close shuts the transport down; in-flight Runs fail.
+func (rt *Runtime) Close() error {
+	rt.closeOnce.Do(func() { rt.closeErr = rt.tr.Close() })
+	return rt.closeErr
+}
+
+// recvLoop demultiplexes node v's inbound frames to the owning instance
+// engines. Frames for unknown launches (aborted speculation) are dropped.
+func (rt *Runtime) recvLoop(v graph.NodeID) {
+	for {
+		m, err := rt.tr.Recv(v)
+		if err != nil {
+			return
+		}
+		rt.engMu.RLock()
+		eng, ok := rt.engines[m.Instance]
+		rt.engMu.RUnlock()
+		if ok {
+			eng.deliver(m)
+		}
+	}
+}
+
+// sendFrame routes one frame onto its (lazily dialed, shared) link.
+func (rt *Runtime) sendFrame(m *transport.Message) error {
+	key := [2]graph.NodeID{m.From, m.To}
+	rt.linkMu.Lock()
+	l, ok := rt.links[key]
+	if !ok {
+		var err error
+		l, err = rt.tr.Dial(m.From, m.To)
+		if err != nil {
+			rt.linkMu.Unlock()
+			return err
+		}
+		rt.links[key] = l
+	}
+	rt.linkMu.Unlock()
+	return l.Send(m)
+}
+
+func (rt *Runtime) register(eng *instanceEngine) {
+	rt.engMu.Lock()
+	rt.engines[eng.launch] = eng
+	rt.engMu.Unlock()
+}
+
+func (rt *Runtime) unregister(eng *instanceEngine) {
+	rt.engMu.Lock()
+	delete(rt.engines, eng.launch)
+	rt.engMu.Unlock()
+}
+
+// planEntry caches one dispute generation's InstancePlan — the verified
+// coding scheme and packed arborescences are computed once per generation
+// and shared by every instance (and re-execution) running on it.
+type planEntry struct {
+	gen  int
+	snap *core.DisputeState
+	once sync.Once
+	plan *core.InstancePlan
+	err  error
+}
+
+func (rt *Runtime) resolve(e *planEntry, k int) (*core.InstancePlan, error) {
+	e.once.Do(func() {
+		rng := rand.New(rand.NewSource(planSeed(rt.cfg.Seed, e.gen)))
+		e.plan, e.err = rt.proto.PlanInstance(e.snap, k, rng)
+	})
+	return e.plan, e.err
+}
+
+// planSeed derives a per-generation RNG seed (splitmix64 finalizer), so a
+// re-executed instance draws the same verified scheme regardless of which
+// launch planned it first.
+func planSeed(seed int64, gen int) int64 {
+	z := uint64(seed) + uint64(gen+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// flight is one speculative instance execution.
+type flight struct {
+	k     int
+	gen   int
+	eng   *instanceEngine
+	done  chan struct{}
+	ir    *core.InstanceResult
+	err   error
+	plans *planEntry
+}
+
+// Result extends the lockstep RunResult with wall-clock and substrate
+// accounting.
+type Result struct {
+	core.RunResult
+	// Wall is the real elapsed time of the pipelined run.
+	Wall time.Duration
+	// Window is the configured in-flight limit.
+	Window int
+	// Replays counts instance executions discarded at dispute-control
+	// barriers (speculation re-run on a fresh snapshot).
+	Replays int
+	// LinkBits is the per-link capacity charge of this run (including
+	// replayed work), i.e. the transport counters' delta over the run.
+	LinkBits map[[2]graph.NodeID]int64
+	// Dropped counts emissions that violated physics across the run.
+	Dropped int64
+}
+
+// InstancesPerSec is the run's wall-clock instance rate.
+func (res *Result) InstancesPerSec() float64 {
+	if res.Wall <= 0 {
+		return 0
+	}
+	return float64(len(res.Instances)) / res.Wall.Seconds()
+}
+
+// Run executes one pipelined instance per input and returns once all have
+// committed, in order. Committed outputs are identical to running the same
+// configuration on the lockstep core.Runner.
+//
+// Determinism caveat: an Adversary whose hooks consume hidden state (such
+// as adversary.Random's RNG) sees hook interleavings that depend on the
+// window; its behaviour is replayed deterministically only with Window=1.
+// Stateless adversaries (Crash, BlockFlipper, CodedCorruptor, FalseAlarm,
+// flag liars) are deterministic under any window.
+func (rt *Runtime) Run(inputs [][]byte) (*Result, error) {
+	return rt.RunFunc(inputs, nil)
+}
+
+// RunFunc is Run with a per-commit hook: commit (when non-nil) is invoked
+// synchronously as each instance commits, in order — the streaming
+// daemon's handle for replying before the whole batch finishes. A commit
+// error aborts the run.
+func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) error) (*Result, error) {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	start := time.Now()
+	startBits := rt.tr.LinkBits()
+
+	res := &Result{
+		RunResult: core.RunResult{LenBits: rt.proto.LenBits()},
+		Window:    rt.cfg.Window,
+	}
+	for i, in := range inputs {
+		if len(in) != rt.cfg.LenBytes {
+			return nil, fmt.Errorf("core: instance %d: input is %d bytes, want %d", rt.k+i+1, len(in), rt.cfg.LenBytes)
+		}
+	}
+
+	entryFor := func(gen int) *planEntry {
+		e, ok := rt.entries[gen]
+		if !ok {
+			e = &planEntry{gen: gen, snap: rt.ds.Clone()}
+			rt.entries[gen] = e
+		}
+		return e
+	}
+
+	base := rt.k
+	inflight := map[int]*flight{}
+	launch := func(k int) {
+		rt.nextLaunch++
+		f := &flight{
+			k:     k,
+			gen:   rt.ds.Gen(),
+			eng:   newInstanceEngine(rt.nextLaunch, rt.cfg.Graph, rt.sendFrame),
+			done:  make(chan struct{}),
+			plans: entryFor(rt.ds.Gen()),
+		}
+		inflight[k] = f
+		rt.register(f.eng)
+		go func() {
+			defer close(f.done)
+			plan, err := rt.resolve(f.plans, f.k)
+			if err != nil {
+				f.err = err
+				return
+			}
+			f.ir, f.err = plan.Execute(f.eng, f.k, inputs[f.k-base-1])
+		}()
+	}
+	reap := func(f *flight) {
+		f.eng.abort()
+		<-f.done
+		rt.unregister(f.eng)
+		res.Dropped += f.eng.Dropped()
+		delete(inflight, f.k)
+	}
+	fail := func(err error) (*Result, error) {
+		for _, f := range inflight {
+			reap(f)
+		}
+		return nil, err
+	}
+
+	first, last := rt.k+1, rt.k+len(inputs)
+	for next := first; rt.k < last; {
+		// Fill the window with speculative launches on the live snapshot.
+		for next <= last && next-rt.k <= rt.cfg.Window {
+			if _, ok := inflight[next]; !ok {
+				launch(next)
+			}
+			next++
+		}
+		// Commit strictly in order: wait for the oldest in-flight.
+		f := inflight[rt.k+1]
+		<-f.done
+		rt.unregister(f.eng)
+		res.Dropped += f.eng.Dropped()
+		delete(inflight, f.k)
+		if f.gen != rt.ds.Gen() {
+			// Cannot happen: every gen bump is followed by the barrier
+			// below, which reaps all speculation before the next wait.
+			return fail(fmt.Errorf("runtime: instance %d committed on stale generation %d != %d (scheduler bug)", f.k, f.gen, rt.ds.Gen()))
+		}
+		if f.err != nil {
+			return fail(f.err)
+		}
+		if err := rt.proto.Fold(rt.ds, f.ir); err != nil {
+			return fail(err)
+		}
+		res.Instances = append(res.Instances, f.ir)
+		rt.k++
+		if commit != nil {
+			if err := commit(f.ir); err != nil {
+				return fail(err)
+			}
+		}
+		if rt.ds.Gen() != f.gen {
+			// Dispute-control barrier: the committed instance changed the
+			// dispute state, so every speculative execution planned on the
+			// old snapshot is stale. Abort them; the fill loop relaunches
+			// on the fresh snapshot.
+			for _, fl := range inflight {
+				res.Replays++
+				reap(fl)
+			}
+			next = rt.k + 1
+		}
+	}
+	res.Wall = time.Since(start)
+	res.LinkBits = rt.tr.LinkBits()
+	for key, before := range startBits {
+		if after := res.LinkBits[key] - before; after > 0 {
+			res.LinkBits[key] = after
+		} else {
+			delete(res.LinkBits, key)
+		}
+	}
+	return res, nil
+}
+
+// syncAdversary serializes an Adversary's hooks so overlapping instances
+// cannot race on adversary-internal state.
+type syncAdversary struct {
+	mu    sync.Mutex
+	inner core.Adversary
+}
+
+func (s *syncAdversary) CorruptBlock(tree int, to graph.NodeID, block core.BitChunk) core.BitChunk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.CorruptBlock(tree, to, block)
+}
+
+func (s *syncAdversary) CorruptCoded(to graph.NodeID, symbols []gf.Elem) []gf.Elem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.CorruptCoded(to, symbols)
+}
+
+func (s *syncAdversary) OverrideFlag(honest bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.OverrideFlag(honest)
+}
+
+func (s *syncAdversary) CorruptClaims(claims *core.Claims) *core.Claims {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.CorruptClaims(claims)
+}
+
+func (s *syncAdversary) SilentIn(phase string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.SilentIn(phase)
+}

@@ -57,7 +57,9 @@ func (f StepFunc) Step(round int, inbox []Message) []Message { return f(round, i
 // that ignores a phase).
 var Silent Process = StepFunc(func(int, []Message) []Message { return nil })
 
-// PhaseStats aggregates the capacity charges of one phase.
+// PhaseStats aggregates the capacity charges of one phase. The lockstep
+// engine fills one in during RunPhase; message-driven engines build one via
+// NewPhaseStats/Charge.
 type PhaseStats struct {
 	Name        string
 	Rounds      int
@@ -65,6 +67,10 @@ type PhaseStats struct {
 	caps        map[[2]graph.NodeID]int64
 	roundMax    []float64 // per-round max bits/capacity
 	totalBits   int64
+
+	// Accumulator state (NewPhaseStats path only).
+	mu        sync.Mutex
+	roundBits []map[[2]graph.NodeID]int64
 }
 
 // CutThroughTime returns the phase duration in the zero-propagation-delay

@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nab/internal/graph"
+)
+
+// ChanOptions tunes the in-process bus.
+type ChanOptions struct {
+	// TimeUnit is the real-time duration of one model time unit. When
+	// positive, every link paces sends with a token bucket of rate z_e
+	// bits per TimeUnit, so a b-bit frame occupies the link for
+	// b/z_e time units — the paper's capacity charge made physical.
+	// Zero disables pacing (accounting only), the right setting for
+	// throughput benchmarks.
+	TimeUnit time.Duration
+	// Burst is the token bucket depth in bits; 0 defaults to one
+	// TimeUnit's worth (z_e bits).
+	Burst int64
+	// Buffer is the per-node inbox depth; 0 defaults to 4096 frames.
+	Buffer int
+}
+
+// Chan is the in-process Transport: one goroutine-safe FIFO per directed
+// link, merged into per-node inboxes.
+type Chan struct {
+	g   *graph.Directed
+	opt ChanOptions
+
+	mu      sync.Mutex
+	links   map[[2]graph.NodeID]*chanLink
+	inboxes map[graph.NodeID]chan *Message
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewChan builds the bus over topology g. Nodes and links are fixed at
+// construction; dialing outside the topology fails.
+func NewChan(g *graph.Directed, opt ChanOptions) *Chan {
+	if opt.Buffer <= 0 {
+		opt.Buffer = 4096
+	}
+	t := &Chan{
+		g:       g.Clone(),
+		opt:     opt,
+		links:   map[[2]graph.NodeID]*chanLink{},
+		inboxes: map[graph.NodeID]chan *Message{},
+		closed:  make(chan struct{}),
+	}
+	for _, v := range t.g.Nodes() {
+		t.inboxes[v] = make(chan *Message, opt.Buffer)
+	}
+	return t
+}
+
+// Dial implements Transport. Dialing the same link twice returns the same
+// underlying link state, so the token bucket stays per-link no matter how
+// many senders share it.
+func (t *Chan) Dial(from, to graph.NodeID) (Link, error) {
+	if !t.g.HasEdge(from, to) {
+		return nil, fmt.Errorf("transport: no link (%d,%d) in topology", from, to)
+	}
+	key := [2]graph.NodeID{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.links[key]; ok {
+		return l, nil
+	}
+	l := &chanLink{
+		t:       t,
+		key:     key,
+		capBits: t.g.Cap(from, to),
+		inbox:   t.inboxes[to],
+		tokens:  float64(t.burstFor(t.g.Cap(from, to))),
+		last:    time.Now(),
+	}
+	t.links[key] = l
+	return l, nil
+}
+
+func (t *Chan) burstFor(capBits int64) int64 {
+	if t.opt.Burst > 0 {
+		return t.opt.Burst
+	}
+	return capBits
+}
+
+// Recv implements Transport.
+func (t *Chan) Recv(self graph.NodeID) (*Message, error) {
+	t.mu.Lock()
+	inbox, ok := t.inboxes[self]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: node %d not in topology", self)
+	}
+	select {
+	case m := <-inbox:
+		return m, nil
+	case <-t.closed:
+		// Drain what was already delivered before reporting closure.
+		select {
+		case m := <-inbox:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// LinkBits implements Transport.
+func (t *Chan) LinkBits() map[[2]graph.NodeID]int64 {
+	out := map[[2]graph.NodeID]int64{}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for key, l := range t.links {
+		l.mu.Lock()
+		out[key] = l.bits
+		l.mu.Unlock()
+	}
+	return out
+}
+
+// Close implements Transport. In-flight Sends return ErrClosed.
+func (t *Chan) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	return nil
+}
+
+// chanLink is one directed link: a token bucket in front of the
+// recipient's inbox.
+type chanLink struct {
+	t       *Chan
+	key     [2]graph.NodeID
+	capBits int64
+	inbox   chan *Message
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	bits   int64
+}
+
+// Send implements Link. The token bucket serializes the link: concurrent
+// senders queue behind each other exactly as frames on a wire would.
+func (l *chanLink) Send(m *Message) error {
+	if m.From != l.key[0] || m.To != l.key[1] {
+		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.key[0], l.key[1])
+	}
+	if m.Bits < 0 {
+		return fmt.Errorf("transport: negative bit charge %d", m.Bits)
+	}
+	if !m.Marker && m.Bits > 0 {
+		l.pace(m.Bits)
+	}
+	select {
+	case l.inbox <- m:
+		return nil
+	case <-l.t.closed:
+		return ErrClosed
+	}
+}
+
+// pace charges bits against the token bucket, sleeping while the link
+// drains. Holding the lock across the sleep is deliberate: a link
+// transmits one frame at a time.
+func (l *chanLink) pace(bits int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bits += bits
+	tu := l.t.opt.TimeUnit
+	if tu <= 0 {
+		return
+	}
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() / tu.Seconds() * float64(l.capBits)
+	if burst := float64(l.t.burstFor(l.capBits)); l.tokens > burst {
+		l.tokens = burst
+	}
+	l.last = now
+	if deficit := float64(bits) - l.tokens; deficit > 0 {
+		wait := time.Duration(deficit / float64(l.capBits) * float64(tu))
+		time.Sleep(wait)
+		l.tokens = 0
+		l.last = time.Now()
+	} else {
+		l.tokens -= float64(bits)
+	}
+}
+
+// Close implements Link. Link state is owned by the transport; closing a
+// link is a no-op so other dialers of the same link are unaffected.
+func (l *chanLink) Close() error { return nil }

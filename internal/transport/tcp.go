@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"nab/internal/graph"
+)
+
+// TCP is the loopback TCP Transport: every node owns a listener on
+// 127.0.0.1, every directed link is a dialed connection carrying
+// length-prefixed wire frames (see wire.go). Frames addressed to the wrong
+// node or claiming a link absent from the topology are dropped on receipt —
+// the receiver enforces physics, since a wire cannot.
+//
+// TCP does not pace: real sockets have their own clocks. Per-link bit
+// accounting is kept on the receive side so utilization is still
+// comparable against capacity.Report.
+type TCP struct {
+	g *graph.Directed
+
+	mu        sync.Mutex
+	listeners map[graph.NodeID]net.Listener
+	addrs     map[graph.NodeID]string
+	inboxes   map[graph.NodeID]chan *Message
+	conns     []net.Conn
+	bits      map[[2]graph.NodeID]int64
+	dropped   int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewTCP listens on an ephemeral loopback port per node of g and starts
+// the accept loops.
+func NewTCP(g *graph.Directed) (*TCP, error) {
+	t := &TCP{
+		g:         g.Clone(),
+		listeners: map[graph.NodeID]net.Listener{},
+		addrs:     map[graph.NodeID]string{},
+		inboxes:   map[graph.NodeID]chan *Message{},
+		bits:      map[[2]graph.NodeID]int64{},
+		closed:    make(chan struct{}),
+	}
+	for _, v := range t.g.Nodes() {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen for node %d: %w", v, err)
+		}
+		t.listeners[v] = l
+		t.addrs[v] = l.Addr().String()
+		t.inboxes[v] = make(chan *Message, 4096)
+		go t.acceptLoop(v, l)
+	}
+	return t, nil
+}
+
+// Addr returns the loopback address node v listens on.
+func (t *TCP) Addr(v graph.NodeID) string { return t.addrs[v] }
+
+func (t *TCP) acceptLoop(v graph.NodeID, l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.conns = append(t.conns, conn)
+		t.mu.Unlock()
+		go t.readLoop(v, conn)
+	}
+}
+
+func (t *TCP) readLoop(v graph.NodeID, conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		m, err := ReadFrame(br)
+		if err != nil {
+			return // connection closed or garbage framing
+		}
+		if m.To != v || !t.g.HasEdge(m.From, m.To) || m.Bits < 0 {
+			t.mu.Lock()
+			t.dropped++
+			t.mu.Unlock()
+			continue
+		}
+		if !m.Marker && m.Bits > 0 {
+			t.mu.Lock()
+			t.bits[[2]graph.NodeID{m.From, m.To}] += m.Bits
+			t.mu.Unlock()
+		}
+		select {
+		case t.inboxes[v] <- m:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Dial implements Transport: one TCP connection per call. Runtime engines
+// dial each link once and share it.
+func (t *TCP) Dial(from, to graph.NodeID) (Link, error) {
+	if !t.g.HasEdge(from, to) {
+		return nil, fmt.Errorf("transport: no link (%d,%d) in topology", from, to)
+	}
+	conn, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial (%d,%d): %w", from, to, err)
+	}
+	t.mu.Lock()
+	t.conns = append(t.conns, conn)
+	t.mu.Unlock()
+	return &tcpLink{from: from, to: to, conn: conn, bw: bufio.NewWriter(conn)}, nil
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv(self graph.NodeID) (*Message, error) {
+	inbox, ok := t.inboxes[self]
+	if !ok {
+		return nil, fmt.Errorf("transport: node %d not in topology", self)
+	}
+	select {
+	case m := <-inbox:
+		return m, nil
+	case <-t.closed:
+		select {
+		case m := <-inbox:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// LinkBits implements Transport.
+func (t *TCP) LinkBits() map[[2]graph.NodeID]int64 {
+	out := map[[2]graph.NodeID]int64{}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for key, b := range t.bits {
+		out[key] = b
+	}
+	return out
+}
+
+// Dropped returns how many received frames violated physics.
+func (t *TCP) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Close implements Transport: closes every listener and connection.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for _, l := range t.listeners {
+			l.Close()
+		}
+		for _, c := range t.conns {
+			c.Close()
+		}
+	})
+	return nil
+}
+
+// tcpLink is the sender half of one dialed link.
+type tcpLink struct {
+	from, to graph.NodeID
+	conn     net.Conn
+
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+// Send implements Link: frames are written and flushed in order.
+func (l *tcpLink) Send(m *Message) error {
+	if m.From != l.from || m.To != l.to {
+		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.from, l.to)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := WriteFrame(l.bw, m); err != nil {
+		return err
+	}
+	return l.bw.Flush()
+}
+
+// Close implements Link.
+func (l *tcpLink) Close() error { return l.conn.Close() }

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/topo"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	g := topo.Fig1a()
+	tr, err := NewTCP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if _, err := tr.Dial(2, 5); err == nil {
+		t.Error("dialing a non-link succeeded")
+	}
+	l12, err := tr.Dial(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l12.Close()
+
+	sent := []*Message{
+		{Instance: 1, Step: 1, From: 1, To: 2, Bits: 13, Body: core.Phase1Msg{
+			Tree: 0, Block: core.BitChunk{Bytes: []byte{0xab, 0xcd}, BitLen: 13},
+		}},
+		{Instance: 1, Step: 2, From: 1, To: 2, Bits: 128, Body: core.EqMsg{Symbols: []gf.Elem{9, 10}}},
+		{Instance: 1, Step: 2, From: 1, To: 2, Marker: true},
+	}
+	for _, m := range sent {
+		if err := l12.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range sent {
+		got, err := tr.Recv(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Step != want.Step || got.Marker != want.Marker || !bodiesEqual(want.Body, got.Body) {
+			t.Errorf("frame %d mismatch: got %+v", i, got)
+		}
+	}
+	if got := tr.LinkBits()[[2]graph.NodeID{1, 2}]; got != 141 {
+		t.Errorf("link (1,2) accounted %d bits, want 141", got)
+	}
+}
+
+func TestTCPDropsForgedFrames(t *testing.T) {
+	g := topo.Fig1a()
+	tr, err := NewTCP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// A raw connection bypassing Link validation: frames claiming a
+	// non-existent link or the wrong recipient must be dropped.
+	conn, err := net.Dial("tcp", tr.Addr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	forged := []*Message{
+		{From: 2, To: 4, Bits: 8, Body: []byte("wrong recipient")}, // addressed to 4, delivered at 2
+		{From: 1, To: 2, Bits: -5, Body: []byte("negative bits")},
+	}
+	for _, m := range forged {
+		if err := WriteFrame(conn, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legit := &Message{From: 1, To: 2, Bits: 8, Body: []byte("ok")}
+	if err := WriteFrame(conn, legit); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Recv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bodiesEqual(legit.Body, got.Body) {
+		t.Errorf("received %+v, want the legitimate frame", got)
+	}
+	deadline := time.Now().Add(time.Second)
+	for tr.Dropped() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := tr.Dropped(); d != 2 {
+		t.Errorf("dropped %d forged frames, want 2", d)
+	}
+}

@@ -1,0 +1,79 @@
+// Package transport provides pluggable point-to-point message transports
+// for the concurrent NAB runtime (internal/runtime): real per-link message
+// channels replacing the lockstep simulator's in-memory delivery.
+//
+// A Transport exposes the paper's network model as an actual substrate:
+// nodes may communicate only over the directed links of the topology, each
+// link is FIFO, and every transmitted bit is charged against the link —
+// optionally enforced in real time by per-link token-bucket pacing that
+// reproduces the paper's capacity charge bits/z_e (a b-bit frame on a link
+// of capacity z_e occupies it for b/z_e time units).
+//
+// Two implementations ship:
+//
+//   - Chan: an in-process goroutine/channel bus, the default substrate for
+//     the pipelined runtime and for tests;
+//   - TCP: one loopback TCP connection per directed link with
+//     encoding/binary wire framing (see wire.go), the realistic-serving
+//     substrate used by cmd/nabserve.
+//
+// Both keep per-link bit accounting, so aggregate utilization can be
+// compared against capacity.Report's bounds.
+package transport
+
+import (
+	"errors"
+
+	"nab/internal/graph"
+)
+
+// Message is one frame on a directed link. Frames are tagged with the
+// runtime's pipelining coordinates (Instance, Step) so multiple NAB
+// instances can share the links concurrently.
+type Message struct {
+	// Instance identifies the runtime launch this frame belongs to.
+	Instance uint64
+	// Step is the absolute delivery step within the instance's execution
+	// (the runtime's cross-phase round counter).
+	Step uint32
+	From graph.NodeID
+	To   graph.NodeID
+	// Marker marks an end-of-step control frame: "From has emitted all of
+	// its step-Step messages on this link". Markers carry no payload and
+	// are never charged against link capacity.
+	Marker bool
+	// Bits is the information-theoretic size charged against the link
+	// capacity (the paper charges protocol content, not framing).
+	Bits int64
+	// Body is the protocol payload: core.Phase1Msg, core.EqMsg,
+	// relay.Packet, []byte, or nil for markers. Wire transports encode it
+	// with the codec in wire.go.
+	Body any
+}
+
+// Link is the sender half of one directed link. A Link is FIFO: frames
+// arrive at the remote node in Send order. Send may block while the link's
+// token bucket drains (pacing) but is safe for concurrent use.
+type Link interface {
+	Send(m *Message) error
+	Close() error
+}
+
+// Transport is a point-to-point substrate over a fixed capacitated
+// topology.
+type Transport interface {
+	// Dial opens the sender half of directed link (from, to). Dialing a
+	// link absent from the topology fails: physics forbids it.
+	Dial(from, to graph.NodeID) (Link, error)
+	// Recv blocks until the next frame addressed to self arrives, in
+	// arrival order across all of self's in-links. It returns ErrClosed
+	// after Close.
+	Recv(self graph.NodeID) (*Message, error)
+	// LinkBits snapshots the cumulative per-link capacity charges in bits
+	// (markers and framing excluded).
+	LinkBits() map[[2]graph.NodeID]int64
+	Close() error
+}
+
+// ErrClosed is returned by Recv and Send after the transport closes.
+var ErrClosed = errors.New("transport: closed")

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nab/internal/core"
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/relay"
+)
+
+// Wire format: every frame is a 4-byte big-endian length followed by a
+// fixed header and a kind-tagged payload, all encoding/binary big-endian.
+//
+//	header: u64 instance | u32 step | i64 from | i64 to | u8 flags |
+//	        i64 bits | u8 kind
+//	kindNone:   (no payload; markers and nil bodies)
+//	kindRaw:    raw bytes
+//	kindPhase1: u32 tree | u32 bitlen | u32 nbytes | bytes
+//	kindEq:     u32 count | count x u64 symbols
+//	kindRelay:  i64 origin | i64 dest | i32 pathIdx | i32 hop |
+//	            u32 idlen | msgID | u32 plen | payload
+//
+// These cover every body the NAB phases put on a link: Phase-1 tree blocks
+// (core.Phase1Msg), Phase-2 equality-check symbol vectors (core.EqMsg),
+// and relay path copies (relay.Packet) carrying both step-2.2 flag
+// broadcasts and Phase-3 dispute-control transcripts.
+const (
+	kindNone   = 0
+	kindRaw    = 1
+	kindPhase1 = 2
+	kindEq     = 3
+	kindRelay  = 4
+
+	flagMarker = 1 << 0
+
+	// MaxFrameBytes bounds a decoded frame; larger claims are garbage.
+	MaxFrameBytes = 1 << 26
+)
+
+// Encode serializes m (without the length prefix).
+func Encode(m *Message) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	var tmp [8]byte
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64(m.Instance)
+	put32(m.Step)
+	put64(uint64(int64(m.From)))
+	put64(uint64(int64(m.To)))
+	var flags byte
+	if m.Marker {
+		flags |= flagMarker
+	}
+	buf = append(buf, flags)
+	put64(uint64(m.Bits))
+
+	switch body := m.Body.(type) {
+	case nil:
+		buf = append(buf, kindNone)
+	case []byte:
+		buf = append(buf, kindRaw)
+		buf = append(buf, body...)
+	case core.Phase1Msg:
+		buf = append(buf, kindPhase1)
+		put32(uint32(body.Tree))
+		put32(uint32(body.Block.BitLen))
+		put32(uint32(len(body.Block.Bytes)))
+		buf = append(buf, body.Block.Bytes...)
+	case core.EqMsg:
+		buf = append(buf, kindEq)
+		put32(uint32(len(body.Symbols)))
+		for _, s := range body.Symbols {
+			put64(uint64(s))
+		}
+	case relay.Packet:
+		buf = append(buf, kindRelay)
+		put64(uint64(int64(body.Origin)))
+		put64(uint64(int64(body.Dest)))
+		put32(uint32(int32(body.PathIdx)))
+		put32(uint32(int32(body.Hop)))
+		put32(uint32(len(body.MsgID)))
+		buf = append(buf, body.MsgID...)
+		put32(uint32(len(body.Payload)))
+		buf = append(buf, body.Payload...)
+	default:
+		return nil, fmt.Errorf("transport: cannot encode body type %T", m.Body)
+	}
+	return buf, nil
+}
+
+// Decode parses a frame produced by Encode.
+func Decode(raw []byte) (*Message, error) {
+	const header = 8 + 4 + 8 + 8 + 1 + 8 + 1
+	if len(raw) < header {
+		return nil, fmt.Errorf("transport: frame too short (%d bytes)", len(raw))
+	}
+	pos := 0
+	get64 := func() uint64 {
+		v := binary.BigEndian.Uint64(raw[pos:])
+		pos += 8
+		return v
+	}
+	get32 := func() uint32 {
+		v := binary.BigEndian.Uint32(raw[pos:])
+		pos += 4
+		return v
+	}
+	m := &Message{}
+	m.Instance = get64()
+	m.Step = get32()
+	m.From = graph.NodeID(int64(get64()))
+	m.To = graph.NodeID(int64(get64()))
+	flags := raw[pos]
+	pos++
+	m.Marker = flags&flagMarker != 0
+	m.Bits = int64(get64())
+	kind := raw[pos]
+	pos++
+
+	rest := len(raw) - pos
+	need := func(n int) error {
+		if n < 0 || len(raw)-pos < n {
+			return fmt.Errorf("transport: truncated frame (need %d, have %d)", n, len(raw)-pos)
+		}
+		return nil
+	}
+	switch kind {
+	case kindNone:
+		m.Body = nil
+	case kindRaw:
+		m.Body = append([]byte(nil), raw[pos:]...)
+	case kindPhase1:
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		tree := int(int32(get32()))
+		bitLen := int(int32(get32()))
+		nb := int(get32())
+		if err := need(nb); err != nil {
+			return nil, err
+		}
+		m.Body = core.Phase1Msg{
+			Tree:  tree,
+			Block: core.BitChunk{Bytes: append([]byte(nil), raw[pos:pos+nb]...), BitLen: bitLen},
+		}
+	case kindEq:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		count := int(get32())
+		// Divide instead of multiplying: count*8 can overflow int on
+		// 32-bit platforms, bypassing the bound for crafted frames.
+		if count < 0 || count > (len(raw)-pos)/8 {
+			return nil, fmt.Errorf("transport: truncated frame (%d symbols in %d bytes)", count, len(raw)-pos)
+		}
+		syms := make([]gf.Elem, count)
+		for i := range syms {
+			syms[i] = gf.Elem(get64())
+		}
+		m.Body = core.EqMsg{Symbols: syms}
+	case kindRelay:
+		if err := need(8 + 8 + 4 + 4 + 4); err != nil {
+			return nil, err
+		}
+		var pkt relay.Packet
+		pkt.Origin = graph.NodeID(int64(get64()))
+		pkt.Dest = graph.NodeID(int64(get64()))
+		pkt.PathIdx = int(int32(get32()))
+		pkt.Hop = int(int32(get32()))
+		idLen := int(get32())
+		if err := need(idLen); err != nil {
+			return nil, err
+		}
+		pkt.MsgID = string(raw[pos : pos+idLen])
+		pos += idLen
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		plen := int(get32())
+		if err := need(plen); err != nil {
+			return nil, err
+		}
+		pkt.Payload = append([]byte(nil), raw[pos:pos+plen]...)
+		m.Body = pkt
+	default:
+		return nil, fmt.Errorf("transport: unknown payload kind %d (%d payload bytes)", kind, rest)
+	}
+	return m, nil
+}
+
+// WriteFrame writes the length-prefixed encoding of m to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	raw, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	if len(raw) > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(raw))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nab/internal/core"
+	"nab/internal/gf"
+	"nab/internal/relay"
+)
+
+// frameCases covers every body type NAB phases put on a link, plus the
+// marker control frame.
+func frameCases() []*Message {
+	return []*Message{
+		{Instance: 7, Step: 3, From: 1, To: 2, Marker: true},
+		{Instance: 1, Step: 0, From: 4, To: 5, Bits: 96, Body: []byte("raw payload")},
+		{Instance: 2, Step: 9, From: 2, To: 3, Bits: 13, Body: core.Phase1Msg{
+			Tree:  4,
+			Block: core.BitChunk{Bytes: []byte{0xde, 0xad, 0x80}, BitLen: 17},
+		}},
+		{Instance: 3, Step: 1, From: 6, To: 1, Bits: 192, Body: core.EqMsg{
+			Symbols: []gf.Elem{0, 1, 0xffffffffffffffff, 42},
+		}},
+		{Instance: 4, Step: 12, From: 3, To: 4, Bits: 352, Body: relay.Packet{
+			Origin: 2, Dest: 6, PathIdx: 3, Hop: 2, MsgID: "eig:1", Payload: []byte{1, 2, 3, 0},
+		}},
+		// Empty-payload edge cases.
+		{Instance: 5, Step: 2, From: 1, To: 3, Bits: 0, Body: core.EqMsg{Symbols: []gf.Elem{}}},
+		{Instance: 6, Step: 4, From: 2, To: 1, Bits: 0, Body: relay.Packet{
+			Origin: 2, Dest: 1, PathIdx: 0, Hop: 1, MsgID: "", Payload: nil,
+		}},
+	}
+}
+
+// bodiesEqual compares decoded bodies, tolerating nil-vs-empty slices
+// (wire format cannot distinguish them).
+func bodiesEqual(a, b any) bool {
+	switch x := a.(type) {
+	case []byte:
+		y, ok := b.([]byte)
+		return ok && bytes.Equal(x, y)
+	case core.EqMsg:
+		y, ok := b.(core.EqMsg)
+		if !ok || len(x.Symbols) != len(y.Symbols) {
+			return false
+		}
+		for i := range x.Symbols {
+			if x.Symbols[i] != y.Symbols[i] {
+				return false
+			}
+		}
+		return true
+	case relay.Packet:
+		y, ok := b.(relay.Packet)
+		return ok && x.Origin == y.Origin && x.Dest == y.Dest &&
+			x.PathIdx == y.PathIdx && x.Hop == y.Hop && x.MsgID == y.MsgID &&
+			bytes.Equal(x.Payload, y.Payload)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, m := range frameCases() {
+		raw, err := Encode(m)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Instance != m.Instance || got.Step != m.Step || got.From != m.From ||
+			got.To != m.To || got.Marker != m.Marker || got.Bits != m.Bits {
+			t.Errorf("case %d: header mismatch: got %+v want %+v", i, got, m)
+		}
+		if !bodiesEqual(m.Body, got.Body) {
+			t.Errorf("case %d: body mismatch: got %#v want %#v", i, got.Body, m.Body)
+		}
+	}
+}
+
+func TestWireFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	cases := frameCases()
+	for i, m := range cases {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("case %d: write: %v", i, err)
+		}
+	}
+	for i, m := range cases {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("case %d: read: %v", i, err)
+		}
+		if got.Step != m.Step || !bodiesEqual(m.Body, got.Body) {
+			t.Errorf("case %d: stream round-trip mismatch", i)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d trailing bytes after reading all frames", buf.Len())
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short frame accepted")
+	}
+	m := &Message{From: 1, To: 2, Body: core.EqMsg{Symbols: []gf.Elem{1, 2, 3}}}
+	raw, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the symbol vector mid-element.
+	if _, err := Decode(raw[:len(raw)-5]); err == nil {
+		t.Error("truncated eq frame accepted")
+	}
+	// Unknown payload kind.
+	bad := append([]byte(nil), raw...)
+	bad[8+4+8+8+1+8] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Encode(&Message{Body: 3.14}); err == nil {
+		t.Error("unencodable body accepted")
+	}
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}

@@ -23,6 +23,26 @@
 // Use AnalyzeCapacity to compute the paper's gamma*, rho*, the Theorem 2
 // capacity upper bound and the Theorem 3 throughput guarantee for a
 // topology.
+//
+// # Concurrent pipelined runtime
+//
+// Runner executes instances one at a time on the lockstep simulator. The
+// concurrent runtime (internal/runtime over internal/transport) runs every
+// node as an actor exchanging real messages and keeps a window of W
+// instances in flight — Appendix D's pipelining made operational — while
+// committing outputs identical to Runner's:
+//
+//	rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{
+//		Config: nab.Config{Graph: g, Source: 1, F: 1, LenBytes: 64},
+//		Window: 4,
+//	})
+//	if err != nil { ... }
+//	defer rt.Close()
+//	res, err := rt.Run(inputs) // res.Instances, res.Wall, res.InstancesPerSec()
+//
+// Pass a Transport (e.g. NewTCPTransport) to serve over loopback TCP with
+// binary wire framing; cmd/nabserve wraps that in a request-streaming
+// daemon.
 package nab
 
 import (
@@ -33,7 +53,9 @@ import (
 	"nab/internal/capacity"
 	"nab/internal/core"
 	"nab/internal/graph"
+	"nab/internal/runtime"
 	"nab/internal/topo"
+	"nab/internal/transport"
 )
 
 // Re-exported core types. See the internal packages for full documentation.
@@ -74,8 +96,39 @@ func NewGraph() *Graph { return graph.NewDirected() }
 // '#' comments, "node v" for isolated vertices).
 func ParseGraph(text string) (*Graph, error) { return graph.ParseDirected(text) }
 
+// Re-exported pipelined-runtime types. See internal/runtime and
+// internal/transport for full documentation.
+type (
+	// PipelineConfig parameterizes the concurrent runtime: an embedded
+	// Config plus the in-flight window and transport selection.
+	PipelineConfig = runtime.Config
+	// PipelinedRunner executes NAB instances concurrently with W in
+	// flight, committing outputs identical to Runner's.
+	PipelinedRunner = runtime.Runtime
+	// PipelineResult extends RunResult with wall-clock, replay and
+	// per-link accounting.
+	PipelineResult = runtime.Result
+	// PipelineReport is the aggregate throughput accounting, comparable
+	// against CapacityReport's Theorem 2/3 bounds.
+	PipelineReport = runtime.Report
+	// Transport is a pluggable point-to-point substrate (per-link
+	// Dial/Send/Recv with capacity accounting).
+	Transport = transport.Transport
+	// TransportOptions tunes the in-process bus (token-bucket pacing).
+	TransportOptions = transport.ChanOptions
+)
+
 // NewRunner validates cfg and prepares a NAB execution.
 func NewRunner(cfg Config) (*Runner, error) { return core.NewRunner(cfg) }
+
+// NewPipelinedRunner validates cfg and starts the concurrent runtime.
+// Close it when done.
+func NewPipelinedRunner(cfg PipelineConfig) (*PipelinedRunner, error) { return runtime.New(cfg) }
+
+// NewTCPTransport builds a loopback-TCP substrate over g (one listener
+// per node, one connection per directed link, encoding/binary framing)
+// for PipelineConfig.Transport.
+func NewTCPTransport(g *Graph) (Transport, error) { return transport.NewTCP(g) }
 
 // AnalyzeCapacity computes the paper's throughput quantities for source in
 // g with fault bound f. With exact=true the reachable-instance-graph family

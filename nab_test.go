@@ -26,6 +26,59 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+func TestFacadePipelinedRunner(t *testing.T) {
+	g := nab.CompleteGraph(4, 1)
+	rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{
+		Config: nab.Config{Graph: g, Source: 1, F: 1, LenBytes: 8},
+		Window: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	inputs := [][]byte{[]byte("8 bytes!"), []byte("more of!"), []byte("the same")}
+	res, err := rt.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ir := range res.Instances {
+		for v, out := range ir.Outputs {
+			if !bytes.Equal(out, inputs[i]) {
+				t.Errorf("instance %d: node %d decided %x", i+1, v, out)
+			}
+		}
+	}
+	if rep := rt.Report(res, nil); rep.Instances != 3 {
+		t.Errorf("report instances = %d", rep.Instances)
+	}
+}
+
+func TestFacadeTCPTransport(t *testing.T) {
+	g := nab.CompleteGraph(4, 1)
+	tr, err := nab.NewTCPTransport(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{
+		Config:    nab.Config{Graph: g, Source: 1, F: 1, LenBytes: 8},
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	input := []byte("via tcp!")
+	res, err := rt.Run([][]byte{input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Instances[0].Outputs {
+		if !bytes.Equal(out, input) {
+			t.Errorf("node %d decided %x", v, out)
+		}
+	}
+}
+
 func TestFacadeCapacity(t *testing.T) {
 	rep, err := nab.AnalyzeCapacity(nab.PaperFig1Graph(), 1, 1, true)
 	if err != nil {

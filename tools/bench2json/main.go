@@ -1,0 +1,136 @@
+// Command bench2json measures lockstep vs pipelined instance rates on the
+// benchmark topologies and writes a machine-readable BENCH_pipeline.json,
+// seeding the repo's performance trajectory. EXPERIMENTS.md quotes its
+// output.
+//
+//	go run ./tools/bench2json -q 32 -window 4 -out BENCH_pipeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nab"
+)
+
+// Row is one topology's lockstep-vs-pipelined measurement.
+type Row struct {
+	Topology     string  `json:"topology"`
+	Nodes        int     `json:"nodes"`
+	F            int     `json:"f"`
+	LenBytes     int     `json:"lenBytes"`
+	Instances    int     `json:"instances"`
+	Window       int     `json:"window"`
+	LockstepIPS  float64 `json:"lockstep_instances_per_sec"`
+	PipelinedIPS float64 `json:"pipelined_instances_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	Replays      int     `json:"replays"`
+}
+
+// Output is the file's top-level shape.
+type Output struct {
+	Bench string `json:"bench"`
+	Seed  int64  `json:"seed"`
+	Rows  []Row  `json:"rows"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench2json", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_pipeline.json", "output path (- for stdout)")
+	q := fs.Int("q", 32, "instances per measurement")
+	lenBytes := fs.Int("len", 64, "input length in bytes")
+	window := fs.Int("window", 4, "pipeline window")
+	seed := fs.Int64("seed", 2012, "coding-matrix seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	circ, err := nab.CirculantGraph(9, 1, 1, 2)
+	if err != nil {
+		return err
+	}
+	thin, err := nab.OneThinLinkGraph(7, 2, 3, 8, 1)
+	if err != nil {
+		return err
+	}
+	topos := []struct {
+		name string
+		g    *nab.Graph
+		f    int
+	}{
+		{"CompleteGraph(7,1)", nab.CompleteGraph(7, 1), 2},
+		{"Circulant(9,1,{1,2})", circ, 1},
+		{"OneThinLink(7)", thin, 1},
+	}
+
+	inputs := make([][]byte, *q)
+	for i := range inputs {
+		inputs[i] = make([]byte, *lenBytes)
+		for j := range inputs[i] {
+			inputs[i][j] = byte(i + j)
+		}
+	}
+
+	res := Output{Bench: "lockstep-vs-pipelined", Seed: *seed}
+	for _, tp := range topos {
+		cfg := nab.Config{Graph: tp.g, Source: 1, F: tp.f, LenBytes: *lenBytes, Seed: *seed}
+
+		runner, err := nab.NewRunner(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tp.name, err)
+		}
+		start := time.Now()
+		if _, err := runner.Run(inputs); err != nil {
+			return fmt.Errorf("%s: lockstep: %w", tp.name, err)
+		}
+		lockIPS := float64(*q) / time.Since(start).Seconds()
+
+		rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{Config: cfg, Window: *window})
+		if err != nil {
+			return fmt.Errorf("%s: %w", tp.name, err)
+		}
+		pres, err := rt.Run(inputs)
+		rt.Close()
+		if err != nil {
+			return fmt.Errorf("%s: pipelined: %w", tp.name, err)
+		}
+
+		row := Row{
+			Topology: tp.name, Nodes: tp.g.NumNodes(), F: tp.f,
+			LenBytes: *lenBytes, Instances: *q, Window: *window,
+			LockstepIPS:  lockIPS,
+			PipelinedIPS: pres.InstancesPerSec(),
+			Speedup:      pres.InstancesPerSec() / lockIPS,
+			Replays:      pres.Replays,
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(w, "%-22s lockstep %7.1f/s  pipelined %7.1f/s  speedup %.2fx\n",
+			row.Topology, row.LockstepIPS, row.PipelinedIPS, row.Speedup)
+	}
+
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		_, err = w.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", *out)
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var log strings.Builder
+	if err := run([]string{"-q", "4", "-len", "16", "-window", "2", "-out", out}, &log); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Output
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.LockstepIPS <= 0 || row.PipelinedIPS <= 0 {
+			t.Errorf("%s: non-positive rates: %+v", row.Topology, row)
+		}
+	}
+	if !strings.Contains(log.String(), "speedup") {
+		t.Errorf("missing summary output:\n%s", log.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-q", "notanum"}, &log); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
