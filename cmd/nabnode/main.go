@@ -1,0 +1,274 @@
+// Command nabnode runs one NAB node as its own OS process in a
+// multi-process cluster: peers dial full-mesh TCP links from a shared
+// cluster.json, the pipelined runtime drives only the locally hosted
+// node, and committed results stream to stdout as JSON lines. Outputs
+// are byte-identical to the single-process lockstep runner.
+//
+// Run one node (repeat per node of the cluster):
+//
+//	nabnode -cluster cluster.json -id 3
+//
+// Or bring up a whole local cluster — one child process per node — with
+// one command (writes the generated config next to the workload flags):
+//
+//	nabnode -spawn-local -topo k4 -f 1 -len 24 -q 8 -adversary 3=alarm
+//
+// Per committed instance, a node process emits
+//
+//	{"node":3,"instance":1,"outputs":{"3":"..."},"mismatch":false,"phase3":false}
+//
+// (outputs base64-keyed by hosted node, fault-free hosts only), and on
+// completion a summary line {"node":3,"done":true,...}. The -spawn-local
+// parent relays every child's lines and exits non-zero if any child
+// fails.
+//
+// Liveness: NAB is a synchronous-model protocol — crash faults are part
+// of the fault model only as scripted in-protocol adversaries ("crash"),
+// whose processes keep pacing the rounds. A node PROCESS that dies
+// outside the model (kill -9, host loss) stalls the remaining peers,
+// which wait for its frames indefinitely; supervise processes externally
+// and restart the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"nab/internal/cluster"
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/topo"
+)
+
+// instanceLine is one committed instance on stdout.
+type instanceLine struct {
+	Node     graph.NodeID            `json:"node"`
+	Instance int                     `json:"instance"`
+	Outputs  map[graph.NodeID][]byte `json:"outputs"`
+	Mismatch bool                    `json:"mismatch"`
+	Phase3   bool                    `json:"phase3"`
+}
+
+// summaryLine closes a node's stream.
+type summaryLine struct {
+	Node      graph.NodeID `json:"node"`
+	Done      bool         `json:"done"`
+	Instances int          `json:"instances"`
+	WallSecs  float64      `json:"wallSecs"`
+	Replays   int          `json:"replays"`
+	Dropped   int64        `json:"dropped"`
+	Disputes  string       `json:"disputes"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nabnode:", err)
+		os.Exit(1)
+	}
+}
+
+type adversaryFlags map[graph.NodeID]string
+
+func (af adversaryFlags) String() string { return fmt.Sprint(map[graph.NodeID]string(af)) }
+
+func (af adversaryFlags) Set(s string) error {
+	idStr, spec, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want node=strategy, got %q", s)
+	}
+	var id int
+	if _, err := fmt.Sscanf(idStr, "%d", &id); err != nil {
+		return fmt.Errorf("bad node id %q: %w", idStr, err)
+	}
+	if _, err := cluster.ParseAdversary(spec); err != nil {
+		return err
+	}
+	af[graph.NodeID(id)] = spec
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nabnode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfgPath := fs.String("cluster", "", "cluster.json path (node mode: required)")
+	id := fs.Int("id", 0, "node id this process hosts (node mode)")
+	spawn := fs.Bool("spawn-local", false, "generate a loopback cluster config and spawn one child process per node")
+	topoName := fs.String("topo", "k4", "spawn mode: built-in topology (k4, k5, k7, thin7, circ9)")
+	file := fs.String("file", "", "spawn mode: topology file (overrides -topo)")
+	source := fs.Int("source", 1, "spawn mode: source node id")
+	f := fs.Int("f", 1, "spawn mode: fault bound")
+	lenBytes := fs.Int("len", 24, "spawn mode: input length in bytes")
+	q := fs.Int("q", 8, "spawn mode: instances to broadcast")
+	window := fs.Int("window", 4, "spawn mode: pipeline window")
+	seed := fs.Int64("seed", 7, "spawn mode: seed for coding matrices and workload")
+	out := fs.String("out", "", "spawn mode: write the generated cluster.json here (default: temp file)")
+	advs := adversaryFlags{}
+	fs.Var(advs, "adversary", "spawn mode, node=strategy (repeatable): crash, flip, coded, alarm, suppress, random:<seed>")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *spawn {
+		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, advs)
+	}
+	if *cfgPath == "" {
+		return fmt.Errorf("either -cluster with -id (node mode) or -spawn-local is required")
+	}
+	cfg, err := cluster.Load(*cfgPath)
+	if err != nil {
+		return err
+	}
+	return runNode(cfg, graph.NodeID(*id), stdout)
+}
+
+// runNode is node mode: join the cluster, stream commits, print the
+// summary.
+func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer) error {
+	n, err := cluster.Start(cfg, id, cluster.Options{})
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	enc := json.NewEncoder(stdout)
+	res, err := n.RunStream(cfg.Inputs(), func(ir *core.InstanceResult) error {
+		return enc.Encode(instanceLine{
+			Node: id, Instance: ir.K, Outputs: ir.Outputs,
+			Mismatch: ir.Mismatch, Phase3: ir.Phase3,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return enc.Encode(summaryLine{
+		Node: id, Done: true, Instances: len(res.Instances),
+		WallSecs: res.Wall.Seconds(), Replays: res.Replays,
+		Dropped: n.Dropped(), Disputes: n.Runtime().Disputes().String(),
+	})
+}
+
+// spawnLocal generates a loopback config (every node its own process) and
+// supervises one child nabnode per node.
+func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out string, advs adversaryFlags) error {
+	g, err := loadGraph(file, topoName)
+	if err != nil {
+		return err
+	}
+	nodes := g.Nodes()
+	addrs, err := cluster.FreeAddrs(len(nodes) + 1)
+	if err != nil {
+		return err
+	}
+	cfg := &cluster.Config{
+		Topology: g.Marshal(), Source: graph.NodeID(source), F: f,
+		LenBytes: lenBytes, Seed: seed, Window: window, Instances: q,
+		CtrlAddr: addrs[len(nodes)],
+	}
+	for i, v := range nodes {
+		cfg.Nodes = append(cfg.Nodes, cluster.NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if out == "" {
+		tmp, err := os.CreateTemp("", "nabnode-cluster-*.json")
+		if err != nil {
+			return err
+		}
+		out = tmp.Name()
+		tmp.Close()
+		defer os.Remove(out)
+	}
+	if err := cfg.Save(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "nabnode: spawning %d node processes (cluster config: %s)\n", len(nodes), out)
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(nodes))
+	var outMu sync.Mutex
+	childErr := &syncWriter{w: stderr} // children's stderr copies run concurrently
+	for i, v := range nodes {
+		cmd := exec.Command(self, "-cluster", out, "-id", fmt.Sprint(v))
+		cmd.Env = append(os.Environ(), "NABNODE_CHILD=1")
+		cmd.Stderr = childErr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn node %d: %w", v, err)
+		}
+		wg.Add(1)
+		go func(i int, v graph.NodeID) {
+			defer wg.Done()
+			sc := bufio.NewScanner(pipe)
+			sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+			for sc.Scan() {
+				outMu.Lock()
+				fmt.Fprintln(stdout, sc.Text())
+				outMu.Unlock()
+			}
+			if err := cmd.Wait(); err != nil {
+				errs[i] = fmt.Errorf("node %d process: %w", v, err)
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	wall := time.Since(start)
+	fmt.Fprintf(stderr, "nabnode: %d processes x %d instances in %.2fs (%.1f inst/s cluster-wide)\n",
+		len(nodes), q, wall.Seconds(), float64(q)/wall.Seconds())
+	return nil
+}
+
+// syncWriter serializes the children's interleaved writes to one sink.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func loadGraph(file, name string) (*graph.Directed, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return graph.ParseDirected(string(data))
+	}
+	switch name {
+	case "k4":
+		return topo.CompleteBi(4, 1), nil
+	case "k5":
+		return topo.CompleteBi(5, 2), nil
+	case "k7":
+		return topo.CompleteBi(7, 2), nil
+	case "thin7":
+		return topo.OneThinLink(7, 2, 3, 8, 1)
+	case "circ9":
+		return topo.Circulant(9, 1, 1, 2)
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

@@ -1,0 +1,115 @@
+// Multi-process cluster, condensed into one program: five peers — one
+// per node of K5, each with its own TCP mesh endpoint exactly as five
+// separate `nabnode` processes would have — broadcast a pipelined
+// workload over real sockets while a scripted false alarmer forces
+// dispute control, and every peer's committed outputs are checked
+// against the single-process lockstep runner. For the real thing, run
+//
+//	go run ./cmd/nabnode -spawn-local -topo k5 -f 1 -adversary 4=alarm
+//
+// which spawns genuine OS processes from the same cluster config format.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	"nab"
+)
+
+func main() {
+	g := nab.CompleteGraph(5, 2)
+	nodes := g.Nodes()
+
+	addrs, err := nab.FreeClusterAddrs(len(nodes) + 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := &nab.ClusterConfig{
+		Topology:  g.Marshal(),
+		Source:    1,
+		F:         1,
+		LenBytes:  32,
+		Seed:      2012,
+		Window:    4,
+		Instances: 12,
+		CtrlAddr:  addrs[len(nodes)],
+	}
+	for i, v := range nodes {
+		spec := nab.ClusterNodeSpec{ID: v, Addr: addrs[i]}
+		if v == 4 {
+			spec.Adversary = "alarm" // force a dispute phase and an exclusion
+		}
+		cfg.Nodes = append(cfg.Nodes, spec)
+	}
+
+	// Lockstep oracle for the same workload.
+	coreCfg, err := cfg.CoreConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lock, err := nab.NewRunner(coreCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := lock.Run(cfg.Inputs())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One peer per node, booted concurrently in any order.
+	type peerOut struct {
+		id  nab.NodeID
+		res *nab.PipelineResult
+		err error
+	}
+	outs := make([]peerOut, len(nodes))
+	var wg sync.WaitGroup
+	for i, v := range nodes {
+		wg.Add(1)
+		go func(i int, v nab.NodeID) {
+			defer wg.Done()
+			peer, err := nab.StartClusterNode(cfg, v, nab.ClusterOptions{})
+			if err != nil {
+				outs[i] = peerOut{id: v, err: err}
+				return
+			}
+			defer peer.Close()
+			res, err := peer.Run()
+			outs[i] = peerOut{id: v, res: res, err: err}
+		}(i, v)
+	}
+	wg.Wait()
+
+	agreed := 0
+	for _, po := range outs {
+		if po.err != nil {
+			log.Fatalf("peer %d: %v", po.id, po.err)
+		}
+		for k, ir := range po.res.Instances {
+			for v, out := range ir.Outputs {
+				if !bytes.Equal(out, want.Instances[k].Outputs[v]) {
+					log.Fatalf("instance %d: node %d diverged from lockstep", k+1, v)
+				}
+				agreed++
+			}
+		}
+	}
+	first := outs[0].res
+	fmt.Printf("cluster of %d peers over TCP: %d instances committed, %d node-outputs byte-identical to lockstep\n",
+		len(nodes), len(first.Instances), agreed)
+	fmt.Printf("dispute phases: %d (alarmer excluded), replays at barriers: %d, wall %.0fms\n",
+		countPhase3(first), first.Replays, first.Wall.Seconds()*1000)
+}
+
+func countPhase3(res *nab.PipelineResult) int {
+	n := 0
+	for _, ir := range res.Instances {
+		if ir.Phase3 {
+			n++
+		}
+	}
+	return n
+}

@@ -122,41 +122,72 @@ func (MuteClaims) CorruptClaims(*core.Claims) *core.Claims { return nil }
 
 // Random flips coins for every decision, driven by a seeded RNG — the
 // fuzzing adversary for correctness sweeps (E8).
+//
+// Set Seed (and leave RNG nil) for the instance-scoped form: every
+// instance k draws from a fresh RNG derived from (Seed, k), so hook
+// sequences are reproducible under pipelined speculation, barrier replays
+// and multi-process clusters at any window. A non-nil RNG is the legacy
+// shared-stream form, deterministic only under Window=1.
 type Random struct {
 	core.Honest
-	RNG *rand.Rand
+	RNG  *rand.Rand
+	Seed int64
 }
 
 var _ core.Adversary = (*Random)(nil)
+var _ core.InstanceScoped = (*Random)(nil)
+
+// ForInstance implements core.InstanceScoped: with no shared RNG, each
+// instance gets its own stream seeded by (Seed, k) via a splitmix64
+// finalizer, so re-executions of instance k behave identically.
+func (r *Random) ForInstance(k int) core.Adversary {
+	if r.RNG != nil {
+		return r // legacy shared-stream form
+	}
+	z := uint64(r.Seed) + uint64(k+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Random{RNG: rand.New(rand.NewSource(int64(z ^ (z >> 31))))}
+}
+
+// rng returns the stream to draw from, lazily deriving the instance-0
+// stream when a zero-value Random is used directly (callers should prefer
+// ForInstance via the core executor).
+func (r *Random) rng() *rand.Rand {
+	if r.RNG == nil {
+		r.RNG = rand.New(rand.NewSource(r.Seed))
+	}
+	return r.RNG
+}
 
 // CorruptBlock randomly flips one bit half the time.
 func (r *Random) CorruptBlock(_ int, _ graph.NodeID, block core.BitChunk) core.BitChunk {
-	if r.RNG.Intn(2) == 0 || block.BitLen == 0 {
+	if r.rng().Intn(2) == 0 || block.BitLen == 0 {
 		return block
 	}
 	out := core.BitChunk{Bytes: append([]byte(nil), block.Bytes...), BitLen: block.BitLen}
-	bit := r.RNG.Intn(block.BitLen)
+	bit := r.rng().Intn(block.BitLen)
 	out.Bytes[bit/8] ^= 1 << (7 - bit%8)
 	return out
 }
 
 // CorruptCoded randomly perturbs one symbol a third of the time.
 func (r *Random) CorruptCoded(_ graph.NodeID, symbols []gf.Elem) []gf.Elem {
-	if len(symbols) == 0 || r.RNG.Intn(3) != 0 {
+	if len(symbols) == 0 || r.rng().Intn(3) != 0 {
 		return symbols
 	}
 	out := append([]gf.Elem(nil), symbols...)
-	out[r.RNG.Intn(len(out))] ^= 1 + uint64(r.RNG.Intn(7))
+	out[r.rng().Intn(len(out))] ^= 1 + uint64(r.rng().Intn(7))
 	return out
 }
 
 // OverrideFlag lies about the flag a quarter of the time.
 func (r *Random) OverrideFlag(honest bool) bool {
-	if r.RNG.Intn(4) == 0 {
+	if r.rng().Intn(4) == 0 {
 		return !honest
 	}
 	return honest
 }
 
 // SilentIn crashes out of a phase a tenth of the time.
-func (r *Random) SilentIn(string) bool { return r.RNG.Intn(10) == 0 }
+func (r *Random) SilentIn(string) bool { return r.rng().Intn(10) == 0 }

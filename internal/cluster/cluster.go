@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/runtime"
+	"nab/internal/transport"
+)
+
+// Options tunes one process's cluster endpoint.
+type Options struct {
+	// TimeUnit/Burst enable per-link capacity pacing on the wire (see
+	// transport.PeerOptions).
+	TimeUnit time.Duration
+	Burst    int64
+	// BootTimeout bounds how long link and control dials wait for peer
+	// processes to come up. Default 20s.
+	BootTimeout time.Duration
+}
+
+// Node is one process's membership in a cluster: the transport endpoint,
+// the control-plane endpoint and the (partial) pipelined runtime driving
+// the locally hosted topology nodes.
+type Node struct {
+	cfg    *Config
+	locals []graph.NodeID
+	tr     *transport.Peer
+	ctrl   *ctrlPlane
+	rt     *runtime.Runtime
+}
+
+// Start brings this process into the cluster as the host of node id (and
+// every node colocated at id's address): it opens the mesh listener,
+// joins the control plane (serving it if id's process hosts the source),
+// and starts the partial runtime. Peers may be started in any order;
+// link dials retry until the mesh is up.
+func Start(cfg *Config, id graph.NodeID, opt Options) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec, ok := cfg.Spec(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %d has no spec", id)
+	}
+	locals := cfg.Colocated(id)
+	coreCfg, err := cfg.CoreConfig()
+	if err != nil {
+		return nil, err
+	}
+
+	tr, err := transport.NewPeer(coreCfg.Graph, locals, cfg.Addrs(), spec.Addr, transport.PeerOptions{
+		TimeUnit:    opt.TimeUnit,
+		Burst:       opt.Burst,
+		DialTimeout: opt.BootTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The source's host coordinates: it can decode every schedule
+	// decision itself (the source never leaves the instance graph while
+	// instances still run phases) and streams them to followers.
+	isCoord := false
+	for _, v := range locals {
+		if v == cfg.Source {
+			isCoord = true
+		}
+	}
+	procs := map[string]bool{}
+	for _, ns := range cfg.Nodes {
+		procs[ns.Addr] = true
+	}
+	var ctrl *ctrlPlane
+	if isCoord {
+		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs))
+	} else {
+		ctrl, err = newFollower(cfg.CtrlAddr, opt.BootTimeout)
+	}
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+
+	rt, err := runtime.New(runtime.Config{
+		Config:     coreCfg,
+		Window:     cfg.Window,
+		Transport:  tr,
+		LocalNodes: locals,
+		Plane:      ctrl,
+	})
+	if err != nil {
+		ctrl.Close()
+		return nil, err // runtime owns (and closed) the transport
+	}
+	return &Node{cfg: cfg, locals: locals, tr: tr, ctrl: ctrl, rt: rt}, nil
+}
+
+// Locals returns the topology nodes this process hosts.
+func (n *Node) Locals() []graph.NodeID { return append([]graph.NodeID(nil), n.locals...) }
+
+// Runtime exposes the underlying partial runtime (e.g. for RunFunc
+// streaming commits).
+func (n *Node) Runtime() *runtime.Runtime { return n.rt }
+
+// Run executes the config's deterministic workload. Every process of the
+// cluster calls Run; each result carries the outputs of the local
+// fault-free nodes, with mismatch bits and dispute evolution agreed
+// cluster-wide.
+func (n *Node) Run() (*runtime.Result, error) {
+	return n.RunInputs(n.cfg.Inputs())
+}
+
+// RunInputs executes an explicit input sequence (all processes must pass
+// identical inputs). After the local commits it holds the process at the
+// cluster's shutdown barrier, keeping sockets open while stragglers flush
+// their final frames.
+func (n *Node) RunInputs(inputs [][]byte) (*runtime.Result, error) {
+	return n.RunStream(inputs, nil)
+}
+
+// RunStream is RunInputs with a per-commit hook invoked synchronously as
+// each instance commits, in order (see runtime.RunFunc) — the handle for
+// streaming a node's decisions out while the pipeline keeps running.
+func (n *Node) RunStream(inputs [][]byte, commit func(*core.InstanceResult) error) (*runtime.Result, error) {
+	res, err := n.rt.RunFunc(inputs, commit)
+	timeout := 30 * time.Second
+	if err != nil {
+		// Still announce done (peers should not wait for a failed
+		// process), but do not linger.
+		timeout = time.Second
+	}
+	n.ctrl.barrier(timeout)
+	return res, err
+}
+
+// Dropped reports inbound frames the transport rejected as violating
+// their handshake pinning.
+func (n *Node) Dropped() int64 { return n.tr.Dropped() }
+
+// Close leaves the cluster: shuts the runtime (and its transport) and
+// the control plane down.
+func (n *Node) Close() error {
+	err := n.rt.Close()
+	n.ctrl.Close()
+	return err
+}

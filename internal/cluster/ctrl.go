@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/runtime"
+	"nab/internal/transport"
+)
+
+// The control plane distributes the two per-instance schedule decisions a
+// process cannot always decode from its own nodes' broadcasts: the agreed
+// MISMATCH bit (does Phase 3 run?) and the audit findings (what does
+// every process fold?). The coordinator — the process hosting the source
+// — decodes both locally for every instance and streams them to
+// followers as JSON lines; followers buffer them keyed by (instance,
+// generation) and only consult the buffer when a local node has fallen
+// out of the instance graph (i.e. was proven faulty), so trusting the
+// coordinator for them weakens nothing: honest nodes always decode their
+// own decisions.
+//
+// Decisions are replayed to late-connecting followers, making process
+// start order irrelevant.
+
+// ctrlMsg is one decision on the wire.
+type ctrlMsg struct {
+	Type     string            `json:"type"` // "mismatch" or "audit"
+	K        int               `json:"k"`
+	Gen      int               `json:"gen"`
+	Mismatch bool              `json:"mismatch,omitempty"`
+	Output   []byte            `json:"output,omitempty"`
+	Disputes [][2]graph.NodeID `json:"disputes,omitempty"`
+	Faulty   []graph.NodeID    `json:"faulty,omitempty"`
+}
+
+// decisionKey identifies one execution: barrier replays of instance k run
+// on a later dispute generation.
+type decisionKey struct{ k, gen int }
+
+// decisions is the shared buffer of received (or locally made) decisions.
+type decisions struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	mismatch map[decisionKey]bool
+	audits   map[decisionKey]*core.AuditResult
+	failed   error // control connection broken: all waits fail
+}
+
+func newDecisions() *decisions {
+	d := &decisions{
+		mismatch: map[decisionKey]bool{},
+		audits:   map[decisionKey]*core.AuditResult{},
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *decisions) put(m ctrlMsg) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := decisionKey{m.K, m.Gen}
+	switch m.Type {
+	case "mismatch":
+		d.mismatch[key] = m.Mismatch
+	case "audit":
+		d.audits[key] = &core.AuditResult{Output: m.Output, Disputes: m.Disputes, Faulty: m.Faulty}
+	}
+	d.cond.Broadcast()
+}
+
+func (d *decisions) fail(err error) {
+	d.mu.Lock()
+	if d.failed == nil {
+		d.failed = err
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// view is one execution's runtime.ExecutionView over the decision
+// buffer. closed is guarded by the decisions mutex, so a waiter that has
+// checked it cannot miss the Close broadcast (a wakeup fired between the
+// check and cond.Wait would be lost under a separate lock).
+type view struct {
+	d      *decisions
+	key    decisionKey
+	pub    func(ctrlMsg) error // non-nil on the coordinator: broadcast
+	closed bool                // guarded by d.mu
+}
+
+var _ runtime.ExecutionView = (*view)(nil)
+
+// Close implements runtime.ExecutionView (idempotent).
+func (v *view) Close() {
+	v.d.mu.Lock()
+	v.closed = true
+	v.d.cond.Broadcast()
+	v.d.mu.Unlock()
+}
+
+// wait blocks until ready() yields a value, the view closes, or the
+// control plane fails. Caller-side state is all under d.mu.
+func wait[T any](v *view, what string, ready func() (T, bool)) (T, error) {
+	v.d.mu.Lock()
+	defer v.d.mu.Unlock()
+	for {
+		if val, ok := ready(); ok {
+			return val, nil
+		}
+		var zero T
+		if v.d.failed != nil {
+			return zero, fmt.Errorf("cluster: control plane: %w", v.d.failed)
+		}
+		if v.closed {
+			return zero, fmt.Errorf("cluster: execution (k=%d, gen=%d) abandoned while awaiting %s", v.key.k, v.key.gen, what)
+		}
+		v.d.cond.Wait()
+	}
+}
+
+// DecidedMismatch implements core.ScheduleView: record, and on the
+// coordinator broadcast to the followers.
+func (v *view) DecidedMismatch(mismatch bool) error {
+	msg := ctrlMsg{Type: "mismatch", K: v.key.k, Gen: v.key.gen, Mismatch: mismatch}
+	v.d.put(msg)
+	if v.pub != nil {
+		return v.pub(msg)
+	}
+	return nil
+}
+
+// NeedMismatch implements core.ScheduleView.
+func (v *view) NeedMismatch() (bool, error) {
+	return wait(v, "mismatch decision", func() (bool, bool) {
+		mm, ok := v.d.mismatch[v.key]
+		return mm, ok
+	})
+}
+
+// DecidedAudit implements core.ScheduleView.
+func (v *view) DecidedAudit(a *core.AuditResult) error {
+	msg := ctrlMsg{Type: "audit", K: v.key.k, Gen: v.key.gen, Output: a.Output, Disputes: a.Disputes, Faulty: a.Faulty}
+	v.d.put(msg)
+	if v.pub != nil {
+		return v.pub(msg)
+	}
+	return nil
+}
+
+// NeedAudit implements core.ScheduleView.
+func (v *view) NeedAudit() (*core.AuditResult, error) {
+	return wait(v, "audit decision", func() (*core.AuditResult, bool) {
+		a, ok := v.d.audits[v.key]
+		return a, ok
+	})
+}
+
+// ctrlPlane is the per-process control-plane endpoint; it implements
+// runtime.SchedulePlane. Besides the decision stream it hosts the
+// shutdown barrier: a process that finished its workload must keep its
+// sockets open until every peer finished too (stragglers still flush
+// final-round frames to early finishers), so each process announces
+// "done" and tears down only after the coordinator's "alldone".
+type ctrlPlane struct {
+	d *decisions
+
+	// Coordinator side.
+	listener net.Listener
+	expect   int // processes counted at the shutdown barrier
+	subMu    sync.Mutex
+	log      []ctrlMsg
+	subs     []chan ctrlMsg
+
+	// Follower side.
+	conn   net.Conn
+	sendMu sync.Mutex
+
+	doneMu    sync.Mutex
+	doneCount int
+	allDone   chan struct{}
+	doneOnce  sync.Once
+
+	closeOnce sync.Once
+}
+
+var _ runtime.SchedulePlane = (*ctrlPlane)(nil)
+
+// Execution implements runtime.SchedulePlane.
+func (p *ctrlPlane) Execution(k, gen int) runtime.ExecutionView {
+	v := &view{d: p.d, key: decisionKey{k, gen}}
+	if p.listener != nil {
+		v.pub = p.broadcast
+	}
+	return v
+}
+
+// newCoordinator opens the control-plane listener and starts serving
+// decision streams to followers. expect is the number of processes the
+// shutdown barrier waits for (the coordinator included).
+func newCoordinator(addr string, expect int) (*ctrlPlane, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: control listen %s: %w", addr, err)
+	}
+	p := &ctrlPlane{d: newDecisions(), listener: l, expect: expect, allDone: make(chan struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *ctrlPlane) acceptLoop() {
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		// Register the subscriber and replay the decision log so far; the
+		// writer goroutine owns the connection's write half, the reader
+		// counts the follower's barrier announcement.
+		ch := make(chan ctrlMsg, 4096)
+		p.subMu.Lock()
+		backlog := append([]ctrlMsg(nil), p.log...)
+		p.subs = append(p.subs, ch)
+		p.subMu.Unlock()
+		go func() {
+			defer conn.Close()
+			bw := bufio.NewWriter(conn)
+			enc := json.NewEncoder(bw)
+			for _, m := range backlog {
+				if enc.Encode(m) != nil {
+					return
+				}
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			for m := range ch {
+				if enc.Encode(m) != nil || bw.Flush() != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			for {
+				var m ctrlMsg
+				if err := dec.Decode(&m); err != nil {
+					return
+				}
+				if m.Type == "done" {
+					p.countDone()
+				}
+			}
+		}()
+	}
+}
+
+// countDone tallies one process at the shutdown barrier; the last one
+// releases everyone.
+func (p *ctrlPlane) countDone() {
+	p.doneMu.Lock()
+	p.doneCount++
+	reached := p.doneCount >= p.expect
+	p.doneMu.Unlock()
+	if reached {
+		p.doneOnce.Do(func() {
+			p.broadcast(ctrlMsg{Type: "alldone"})
+			close(p.allDone)
+		})
+	}
+}
+
+// broadcast appends to the log and fans out to every follower. A
+// follower too far behind to keep a 4096-decision buffer is cut off
+// rather than silently skipped: closing its channel makes its writer
+// goroutine exit and close the connection, so the follower's decision
+// stream fails fast instead of hanging a later Need* forever.
+func (p *ctrlPlane) broadcast(m ctrlMsg) error {
+	p.subMu.Lock()
+	defer p.subMu.Unlock()
+	p.log = append(p.log, m)
+	keep := p.subs[:0]
+	for _, ch := range p.subs {
+		select {
+		case ch <- m:
+			keep = append(keep, ch)
+		default:
+			close(ch)
+		}
+	}
+	p.subs = keep
+	return nil
+}
+
+// newFollower dials the coordinator (retrying while the cluster boots)
+// and starts buffering its decision stream.
+func newFollower(addr string, timeout time.Duration) (*ctrlPlane, error) {
+	if timeout <= 0 {
+		timeout = 20 * time.Second
+	}
+	conn, err := transport.DialRetry(addr, timeout, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: control dial %s: %w", addr, err)
+	}
+	p := &ctrlPlane{d: newDecisions(), conn: conn, allDone: make(chan struct{})}
+	go p.readLoop()
+	return p, nil
+}
+
+func (p *ctrlPlane) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(p.conn))
+	for {
+		var m ctrlMsg
+		if err := dec.Decode(&m); err != nil {
+			p.d.fail(fmt.Errorf("decision stream ended: %w", err))
+			p.doneOnce.Do(func() { close(p.allDone) })
+			return
+		}
+		if m.Type == "alldone" {
+			p.doneOnce.Do(func() { close(p.allDone) })
+			continue
+		}
+		p.d.put(m)
+	}
+}
+
+// barrier announces this process done and waits (bounded) for the rest of
+// the cluster, so sockets stay open while stragglers flush their last
+// frames. Best effort: on timeout or a dead control link it returns
+// anyway — the local results are already committed.
+func (p *ctrlPlane) barrier(timeout time.Duration) {
+	if p.listener != nil {
+		p.countDone() // the coordinator counts itself
+	} else {
+		p.sendMu.Lock()
+		err := json.NewEncoder(p.conn).Encode(ctrlMsg{Type: "done"})
+		p.sendMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+	select {
+	case <-p.allDone:
+	case <-time.After(timeout):
+	}
+}
+
+// Close tears the control plane down; pending waits fail.
+func (p *ctrlPlane) Close() error {
+	p.closeOnce.Do(func() {
+		if p.listener != nil {
+			p.listener.Close()
+			p.subMu.Lock()
+			for _, ch := range p.subs {
+				close(ch)
+			}
+			p.subs = nil
+			p.subMu.Unlock()
+		}
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.d.fail(fmt.Errorf("control plane closed"))
+		p.doneOnce.Do(func() { close(p.allDone) })
+	})
+	return nil
+}

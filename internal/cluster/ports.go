@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+)
+
+// FreeAddrs reserves n distinct loopback TCP addresses by briefly
+// listening on ephemeral ports. The usual caveat applies — the ports are
+// released before the cluster binds them — but loopback clusters built
+// immediately afterwards (tests, -spawn-local) make collisions
+// practically impossible.
+func FreeAddrs(n int) ([]string, error) {
+	out := make([]string, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: reserve port: %w", err)
+		}
+		listeners = append(listeners, l)
+		out = append(out, l.Addr().String())
+	}
+	return out, nil
+}

@@ -35,6 +35,19 @@ type Adversary interface {
 	SilentIn(phase string) bool
 }
 
+// InstanceScoped is implemented by adversaries whose behaviour consumes
+// hidden state (e.g. an RNG): before instance k executes, ForInstance(k)
+// is asked for the adversary to drive that instance with. Returning a
+// fresh strategy derived from k makes every execution of instance k
+// reproducible — under pipelined speculation and barrier replays at any
+// window, and across process boundaries in a cluster — because the hook
+// sequence no longer depends on how instances interleave. Adversaries
+// without the interface keep their shared state (and its Window=1
+// determinism caveat).
+type InstanceScoped interface {
+	ForInstance(k int) Adversary
+}
+
 // Honest is the identity Adversary: a node driven by it follows the
 // protocol exactly. It is the base for partial overrides.
 type Honest struct{}

@@ -253,9 +253,71 @@ func (p *Protocol) PlanInstance(ds *DisputeState, k int, rng *rand.Rand) (*Insta
 	return pl, nil
 }
 
+// ScheduleView supplies or records the two mid-instance schedule decisions
+// of one instance execution: whether Phase 3 runs (the agreed MISMATCH
+// bit) and the dispute-control audit findings. A partial execution whose
+// local nodes all sit outside V_k cannot derive them from its own
+// broadcast decodes, yet must still follow the agreed schedule (relays
+// participate in Phase 3, and every process folds the same dispute
+// deltas); the view is its window onto the rest of the cluster.
+//
+// Decided* is invoked when the execution derived the decision locally —
+// a coordinator's view broadcasts it to the processes that asked.
+// Need* is invoked when it could not; the call may block until the
+// decision arrives (and should fail rather than block forever once the
+// execution is abandoned).
+type ScheduleView interface {
+	DecidedMismatch(mismatch bool) error
+	NeedMismatch() (bool, error)
+	DecidedAudit(a *AuditResult) error
+	NeedAudit() (*AuditResult, error)
+}
+
+// LocalView restricts an instance execution to the nodes one process
+// hosts. The nil view (or a nil Locals set) is the classic single-process
+// execution: every node is local and no ScheduleView is consulted.
+type LocalView struct {
+	// Locals are the nodes whose actors this process runs. Remote nodes'
+	// processes are never constructed and never given to the engine —
+	// their traffic arrives over the transport from the peers hosting
+	// them.
+	Locals map[graph.NodeID]bool
+	// Sched resolves mid-instance schedule decisions no local node can
+	// decode. Required only for partial executions that may host
+	// excluded-from-V_k nodes.
+	Sched ScheduleView
+}
+
+// local reports whether node v is hosted by this execution.
+func (lv *LocalView) local(v graph.NodeID) bool {
+	return lv == nil || lv.Locals == nil || lv.Locals[v]
+}
+
+// partial reports whether the execution hosts a strict subset of nodes.
+func (lv *LocalView) partial() bool { return lv != nil && lv.Locals != nil }
+
+func (lv *LocalView) sched() ScheduleView {
+	if lv == nil {
+		return nil
+	}
+	return lv.Sched
+}
+
 // Execute runs instance k broadcasting input on the given engine. It does
 // not touch cross-instance state; fold the result with Protocol.Fold.
 func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*InstanceResult, error) {
+	return pl.ExecuteLocal(engine, k, input, nil)
+}
+
+// ExecuteLocal runs instance k's protocol for the nodes in view only —
+// the distributed deployment's per-process execution. Every process of a
+// cluster calls ExecuteLocal with the same plan and input but its own
+// Locals set; the union of their behaviours over a shared transport is
+// exactly one Execute, and each InstanceResult carries the outputs of the
+// local fault-free nodes plus the (cluster-agreed) mismatch bit and
+// dispute findings, so every process can Fold identically. A nil view
+// executes every node (identical to Execute).
+func (pl *InstancePlan) ExecuteLocal(engine PhaseEngine, k int, input []byte, view *LocalView) (*InstanceResult, error) {
 	p := pl.p
 	ir := &InstanceResult{K: k, Outputs: map[graph.NodeID][]byte{}}
 	if len(input) != p.cfg.LenBytes {
@@ -265,7 +327,9 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 	if pl.sourceGone {
 		def := make([]byte, p.cfg.LenBytes)
 		for _, v := range p.honestNodes() {
-			ir.Outputs[v] = def
+			if view.local(v) {
+				ir.Outputs[v] = def
+			}
 		}
 		return ir, nil
 	}
@@ -279,14 +343,25 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 	ir.SchemeTries = pl.schemeTries
 
 	// Node states over the physical graph G; nodes outside V_k participate
-	// only as relays.
+	// only as relays. Only local nodes get state: remote actors run in the
+	// processes hosting them.
 	states := map[graph.NodeID]*nodeState{}
 	for _, v := range pl.gk.Nodes() {
-		states[v] = newNodeState(v, p.adversaryFor(v), p.cfg.Source, input, p.lenBits, pl.rho, pl.symBits, pl.stripes, pl.trees, pl.scheme, pl.gk)
+		if !view.local(v) {
+			continue
+		}
+		adv := p.adversaryFor(v)
+		if sc, ok := adv.(InstanceScoped); ok {
+			adv = sc.ForInstance(k)
+		}
+		states[v] = newNodeState(v, adv, p.cfg.Source, input, p.lenBits, pl.rho, pl.symBits, pl.stripes, pl.trees, pl.scheme, pl.gk)
 	}
 
 	// ---- Phase 1: unreliable broadcast over the packed arborescences.
 	for _, v := range p.cfg.Graph.Nodes() {
+		if !view.local(v) {
+			continue
+		}
 		st, inVk := states[v]
 		if !inVk {
 			if err := engine.SetProcess(v, sim.Silent); err != nil {
@@ -314,7 +389,9 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 	if pl.phase1Only {
 		// All remaining nodes are fault-free: Phase 1 output is final.
 		for _, v := range p.honestNodes() {
-			ir.Outputs[v] = states[v].value
+			if view.local(v) {
+				ir.Outputs[v] = states[v].value
+			}
 		}
 		ir.TotalBits = p1.TotalBits()
 		return ir, nil
@@ -322,6 +399,9 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 
 	// ---- Phase 2, step 2.1: equality check.
 	for _, v := range p.cfg.Graph.Nodes() {
+		if !view.local(v) {
+			continue
+		}
 		st, inVk := states[v]
 		if !inVk {
 			if err := engine.SetProcess(v, sim.Silent); err != nil {
@@ -346,27 +426,37 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 			return []byte{1}
 		}
 		return []byte{0}
-	}, "flags")
+	}, "flags", view)
 	if err != nil {
 		return nil, fmt.Errorf("core: instance %d: flags: %w", k, err)
 	}
 	fl := flagNodes.stats
 	ir.FlagTime = fl.CutThroughTime()
 
-	// Decode agreed flags per honest node and check agreement.
+	// Decode agreed flags per local honest node and check agreement.
 	honest := p.honestNodes()
-	agreedFlags := map[graph.NodeID]bool{}
-	first := true
-	for _, v := range honest {
-		nd := flagNodes.nodes[v]
+	decodeFlags := func(nd *bb.Node) map[graph.NodeID]bool {
 		local := map[graph.NodeID]bool{}
 		for _, q := range participants {
 			dec := nd.Decide(q)
 			local[q] = len(dec) == 1 && dec[0] == 1
 		}
-		if first {
+		return local
+	}
+	agreedFlags := map[graph.NodeID]bool{}
+	haveFlags := false
+	for _, v := range honest {
+		if !view.local(v) {
+			continue
+		}
+		nd := flagNodes.nodes[v]
+		if nd == nil {
+			continue
+		}
+		local := decodeFlags(nd)
+		if !haveFlags {
 			agreedFlags = local
-			first = false
+			haveFlags = true
 			continue
 		}
 		for q, f := range local {
@@ -375,15 +465,49 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 			}
 		}
 	}
-	for _, q := range participants {
-		if agreedFlags[q] {
-			ir.Mismatch = true
+	if !haveFlags && view.partial() {
+		// No local honest participant; a local faulty node's passive decode
+		// still tracks the agreed schedule (the host process is untrusted
+		// only to the extent its node already is).
+		for _, q := range participants {
+			if nd := flagNodes.nodes[q]; nd != nil {
+				agreedFlags = decodeFlags(nd)
+				haveFlags = true
+				break
+			}
 		}
+	}
+	switch {
+	case haveFlags:
+		for _, q := range participants {
+			if agreedFlags[q] {
+				ir.Mismatch = true
+			}
+		}
+		if s := view.sched(); s != nil {
+			if err := s.DecidedMismatch(ir.Mismatch); err != nil {
+				return nil, fmt.Errorf("core: instance %d: publish mismatch: %w", k, err)
+			}
+		}
+	case view.partial():
+		// Every local node sits outside V_k (relay duty only): the agreed
+		// schedule must come from a peer that decoded it.
+		s := view.sched()
+		if s == nil {
+			return nil, fmt.Errorf("core: instance %d: no local participant decoded the flag agreement and no schedule view is configured", k)
+		}
+		mm, err := s.NeedMismatch()
+		if err != nil {
+			return nil, fmt.Errorf("core: instance %d: await mismatch: %w", k, err)
+		}
+		ir.Mismatch = mm
 	}
 
 	if !ir.Mismatch {
 		for _, v := range honest {
-			ir.Outputs[v] = states[v].value
+			if view.local(v) {
+				ir.Outputs[v] = states[v].value
+			}
 		}
 		ir.TotalBits = p1.TotalBits() + eq.TotalBits() + fl.TotalBits()
 		return ir, nil
@@ -397,7 +521,7 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 			return nil
 		}
 		return c.Marshal()
-	}, "claims")
+	}, "claims", view)
 	if err != nil {
 		return nil, fmt.Errorf("core: instance %d: claims: %w", k, err)
 	}
@@ -408,9 +532,7 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 		gk: pl.gk, source: p.cfg.Source, trees: pl.trees, scheme: pl.scheme,
 		lenBits: p.lenBits, rho: pl.rho, symBits: pl.symBits, stripes: pl.stripes,
 	}
-	var agreed *AuditResult
-	for _, v := range honest {
-		nd := claimNodes.nodes[v]
+	decodeAudit := func(nd *bb.Node) *AuditResult {
 		claims := map[graph.NodeID]*Claims{}
 		for _, q := range participants {
 			c := UnmarshalClaims(nd.Decide(q))
@@ -422,7 +544,18 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 			}
 			claims[q] = c
 		}
-		res := ac.Audit(claims)
+		return ac.Audit(claims)
+	}
+	var agreed *AuditResult
+	for _, v := range honest {
+		if !view.local(v) {
+			continue
+		}
+		nd := claimNodes.nodes[v]
+		if nd == nil {
+			continue
+		}
+		res := decodeAudit(nd)
 		if agreed == nil {
 			agreed = res
 		} else if !auditEqual(agreed, res) {
@@ -430,7 +563,32 @@ func (pl *InstancePlan) Execute(engine PhaseEngine, k int, input []byte) (*Insta
 		}
 		ir.Outputs[v] = res.Output
 	}
-	if agreed == nil {
+	if agreed == nil && view.partial() {
+		// Fall back to a local faulty node's passive decode for the fold.
+		for _, q := range participants {
+			if nd := claimNodes.nodes[q]; nd != nil {
+				agreed = decodeAudit(nd)
+				break
+			}
+		}
+	}
+	switch {
+	case agreed != nil:
+		if s := view.sched(); s != nil {
+			if err := s.DecidedAudit(agreed); err != nil {
+				return nil, fmt.Errorf("core: instance %d: publish audit: %w", k, err)
+			}
+		}
+	case view.partial():
+		s := view.sched()
+		if s == nil {
+			return nil, fmt.Errorf("core: instance %d: no local participant decoded the claims and no schedule view is configured", k)
+		}
+		agreed, err = s.NeedAudit()
+		if err != nil {
+			return nil, fmt.Errorf("core: instance %d: await audit: %w", k, err)
+		}
+	default:
 		return nil, fmt.Errorf("core: instance %d: no honest nodes to audit", k)
 	}
 	ir.NewDisputes = agreed.Disputes
@@ -484,12 +642,28 @@ type broadcastResult struct {
 	stats *sim.PhaseStats
 }
 
+// muted wraps a sim.Process so it consumes its inbox but emits nothing —
+// the passive decoder a partial execution uses for silent local nodes, so
+// the host process still learns the agreed outcome without touching the
+// wire. Wire traffic and capacity charges are identical to sim.Silent.
+func muted(p sim.Process) sim.Process {
+	return sim.StepFunc(func(round int, inbox []sim.Message) []sim.Message {
+		p.Step(round, inbox)
+		return nil
+	})
+}
+
 // runBroadcast runs one simultaneous classic-BB round (flags or claims)
-// among participants, with non-participants relaying.
-func (p *Protocol) runBroadcast(engine PhaseEngine, states map[graph.NodeID]*nodeState, participants []graph.NodeID, tolerance int, valueOf func(*nodeState) []byte, phase string) (*broadcastResult, error) {
+// among participants, with non-participants relaying. Only the view's
+// local nodes are driven; the round count is derived from the relay table
+// so relay-only processes agree on it without constructing a BB node.
+func (p *Protocol) runBroadcast(engine PhaseEngine, states map[graph.NodeID]*nodeState, participants []graph.NodeID, tolerance int, valueOf func(*nodeState) []byte, phase string, view *LocalView) (*broadcastResult, error) {
 	nodes := map[graph.NodeID]*bb.Node{}
-	var rounds int
+	rounds := (tolerance+1)*p.relayTab.Rounds() + 1
 	for _, v := range p.cfg.Graph.Nodes() {
+		if !view.local(v) {
+			continue
+		}
 		st, inVk := states[v]
 		router := relay.NewRouter(v, p.relayTab)
 		if !inVk {
@@ -502,7 +676,21 @@ func (p *Protocol) runBroadcast(engine PhaseEngine, states map[graph.NodeID]*nod
 			continue
 		}
 		if st.adv.SilentIn(phase) {
-			if err := engine.SetProcess(v, sim.Silent); err != nil {
+			if !view.partial() {
+				if err := engine.SetProcess(v, sim.Silent); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Partial execution: decode passively (valueOf — and its
+			// adversary hooks — is not consulted, matching the lockstep
+			// hook sequence for silent nodes).
+			nd, err := bb.NewNode(v, participants, tolerance, router, nil)
+			if err != nil {
+				return nil, err
+			}
+			nodes[v] = nd
+			if err := engine.SetProcess(v, muted(nd)); err != nil {
 				return nil, err
 			}
 			continue
@@ -511,8 +699,10 @@ func (p *Protocol) runBroadcast(engine PhaseEngine, states map[graph.NodeID]*nod
 		if err != nil {
 			return nil, err
 		}
+		if nd.Rounds() != rounds {
+			return nil, fmt.Errorf("core: %s rounds mismatch: node %d wants %d, schedule says %d (bug)", phase, v, nd.Rounds(), rounds)
+		}
 		nodes[v] = nd
-		rounds = nd.Rounds()
 		if err := engine.SetProcess(v, nd); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"nab/internal/gf"
+)
+
+// Property tests over randomized field degrees, shapes and entries: the
+// linear-algebra identities the coding layer's soundness rests on.
+
+func TestInvertMulRoundTripProperty(t *testing.T) {
+	const trials = 60
+	rng := rand.New(rand.NewSource(42))
+	degrees := []uint{2, 3, 8, 16, 32, 64}
+	for i := 0; i < trials; i++ {
+		m := degrees[rng.Intn(len(degrees))]
+		f := gf.MustNew(m)
+		n := 1 + rng.Intn(6)
+		a, err := Random(f, n, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Invertible() {
+			// Singular draws are legitimate (probability ~1/2^m per
+			// dimension); they must be rejected consistently.
+			if _, err := a.Inverse(); err == nil {
+				t.Fatalf("GF(2^%d) n=%d: singular matrix inverted", m, n)
+			}
+			continue
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("GF(2^%d) n=%d: Inverse: %v", m, n, err)
+		}
+		id, err := Identity(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// invert∘mul round trip, both sides.
+		if prod, err := a.Mul(inv); err != nil || !prod.Equal(id) {
+			t.Fatalf("GF(2^%d) n=%d: A * A^-1 != I (err %v)", m, n, err)
+		}
+		if prod, err := inv.Mul(a); err != nil || !prod.Equal(id) {
+			t.Fatalf("GF(2^%d) n=%d: A^-1 * A != I (err %v)", m, n, err)
+		}
+		// Solve(A, A*x) == x for a random x.
+		x := make([]gf.Elem, n)
+		for j := range x {
+			x[j] = f.Rand(rng)
+		}
+		b, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Solve(b)
+		if err != nil {
+			t.Fatalf("GF(2^%d) n=%d: Solve: %v", m, n, err)
+		}
+		for j := range x {
+			if got[j] != x[j] {
+				t.Fatalf("GF(2^%d) n=%d: Solve(A, Ax) != x at %d", m, n, j)
+			}
+		}
+		// Inverse of the inverse is the original.
+		back, err := inv.Inverse()
+		if err != nil || !back.Equal(a) {
+			t.Fatalf("GF(2^%d) n=%d: (A^-1)^-1 != A (err %v)", m, n, err)
+		}
+	}
+}
+
+func TestMatrixRingIdentitiesProperty(t *testing.T) {
+	const trials = 60
+	rng := rand.New(rand.NewSource(7))
+	degrees := []uint{2, 8, 16, 64}
+	for i := 0; i < trials; i++ {
+		f := gf.MustNew(degrees[rng.Intn(len(degrees))])
+		r, k, c := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, _ := Random(f, r, k, rng)
+		b, _ := Random(f, k, c, rng)
+		cM, _ := Random(f, k, c, rng)
+
+		// (A*B)^T == B^T * A^T.
+		ab, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := b.Transpose().Mul(a.Transpose())
+		if err != nil || !ab.Transpose().Equal(want) {
+			t.Fatalf("transpose identity failed (r=%d k=%d c=%d, err %v)", r, k, c, err)
+		}
+
+		// Distributivity via entrywise addition: A*(B+C) == A*B + A*C.
+		sum := MustNew(f, k, c)
+		for x := 0; x < k; x++ {
+			for y := 0; y < c; y++ {
+				sum.Set(x, y, f.Add(b.At(x, y), cM.At(x, y)))
+			}
+		}
+		left, err := a.Mul(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, err := a.Mul(cM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right := MustNew(f, r, c)
+		for x := 0; x < r; x++ {
+			for y := 0; y < c; y++ {
+				right.Set(x, y, f.Add(ab.At(x, y), ac.At(x, y)))
+			}
+		}
+		if !left.Equal(right) {
+			t.Fatalf("distributivity failed (r=%d k=%d c=%d)", r, k, c)
+		}
+
+		// Rank is invariant under transpose and bounded by min(r, k).
+		if got, tr := a.Rank(), a.Transpose().Rank(); got != tr || got > minInt(r, k) {
+			t.Fatalf("rank invariants failed: rank=%d, rank^T=%d, bound=%d", got, tr, minInt(r, k))
+		}
+	}
+}

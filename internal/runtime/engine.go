@@ -102,18 +102,27 @@ type instanceEngine struct {
 	aborted  atomic.Bool
 }
 
-func newInstanceEngine(launch uint64, g *graph.Directed, send func(*transport.Message) error) *instanceEngine {
+// newInstanceEngine builds the engine for one execution. With a non-nil
+// locals set, only those nodes get actors and mailboxes: the remaining
+// nodes' actors run in peer processes, whose frames (including
+// end-of-step markers) arrive over the shared transport exactly like
+// local ones — marker synchronization does not care which process a
+// neighbour lives in.
+func newInstanceEngine(launch uint64, g *graph.Directed, send func(*transport.Message) error, locals map[graph.NodeID]bool) *instanceEngine {
 	e := &instanceEngine{
 		launch:  launch,
 		g:       g,
 		send:    send,
-		nodes:   g.Nodes(),
 		inCount: map[graph.NodeID]int{},
 		outNbrs: map[graph.NodeID][]graph.NodeID{},
 		procs:   map[graph.NodeID]sim.Process{},
 		mail:    map[graph.NodeID]*mailbox{},
 	}
-	for _, v := range e.nodes {
+	for _, v := range g.Nodes() {
+		if locals != nil && !locals[v] {
+			continue
+		}
+		e.nodes = append(e.nodes, v)
 		e.inCount[v] = len(g.InEdges(v))
 		for _, ed := range g.OutEdges(v) {
 			e.outNbrs[v] = append(e.outNbrs[v], ed.To)
@@ -124,10 +133,11 @@ func newInstanceEngine(launch uint64, g *graph.Directed, send func(*transport.Me
 	return e
 }
 
-// SetProcess implements core.PhaseEngine.
+// SetProcess implements core.PhaseEngine. Only locally hosted nodes
+// accept a process.
 func (e *instanceEngine) SetProcess(v graph.NodeID, p sim.Process) error {
 	if _, ok := e.mail[v]; !ok {
-		return fmt.Errorf("runtime: node %d not in topology", v)
+		return fmt.Errorf("runtime: node %d not hosted by this engine", v)
 	}
 	if p == nil {
 		return fmt.Errorf("runtime: nil process for node %d", v)

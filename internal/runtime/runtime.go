@@ -50,19 +50,63 @@ type Config struct {
 	// ChanOptions tunes the default in-process bus when Transport is nil
 	// (pacing time unit, token-bucket burst, inbox depth).
 	ChanOptions transport.ChanOptions
+
+	// LocalNodes restricts this runtime to hosting the given nodes' actors
+	// — the multi-process deployment, where each process runs one (or a
+	// few) nodes and the Transport carries the rest of the topology's
+	// traffic to peer processes. Nil hosts every node (single-process).
+	//
+	// Every process of a cluster must drive its runtime with the same
+	// configuration and the same Run input sequence: the schedulers make
+	// identical launch/commit/barrier decisions (folds are deterministic
+	// and agreed), which keeps launch numbering — and therefore frame
+	// routing — aligned across processes without any coordination traffic.
+	LocalNodes []graph.NodeID
+
+	// Plane resolves mid-instance schedule decisions for partial runtimes
+	// whose local nodes cannot decode them (see core.ScheduleView).
+	// Required when LocalNodes is set and a local node can be excluded
+	// from the instance graph.
+	Plane SchedulePlane
+}
+
+// ExecutionView is one instance execution's core.ScheduleView; Close is
+// called (possibly more than once — it must be idempotent) when the
+// execution commits or is abandoned at a dispute barrier, and must
+// unblock any pending Need* call.
+type ExecutionView interface {
+	core.ScheduleView
+	Close()
+}
+
+// SchedulePlane hands out per-execution schedule views, keyed by the
+// instance number and the dispute-state generation it executes on (a
+// barrier replay of instance k runs on a later generation).
+type SchedulePlane interface {
+	Execution(k, gen int) ExecutionView
 }
 
 // Runtime hosts the actors, links and scheduler for one topology.
 type Runtime struct {
-	cfg   Config
-	proto *core.Protocol
-	tr    transport.Transport
+	cfg    Config
+	proto  *core.Protocol
+	tr     transport.Transport
+	locals map[graph.NodeID]bool // nil = all nodes local
 
 	linkMu sync.Mutex
 	links  map[[2]graph.NodeID]transport.Link
 
 	engMu   sync.RWMutex
 	engines map[uint64]*instanceEngine
+	// pending buffers frames for launches not registered yet: peer
+	// processes number launches identically but register them at their own
+	// pace, so a frame may arrive before the local flight exists. Frames
+	// for launches at or below maxLaunch belong to completed or aborted
+	// executions and are dropped; so are frames claiming a launch further
+	// ahead than any honest peer can run (see pendingSlack), which bounds
+	// the buffer against a peer streaming garbage launch numbers.
+	pending   map[uint64][]*transport.Message
+	maxLaunch uint64
 
 	// Scheduler state: ds is mutated only inside Run (folds are
 	// serialized); runMu admits one Run at a time.
@@ -112,17 +156,36 @@ func New(cfg Config) (*Runtime, error) {
 	if tr == nil {
 		tr = transport.NewChan(cfg.Graph, cfg.ChanOptions)
 	}
+	var locals map[graph.NodeID]bool
+	if cfg.LocalNodes != nil {
+		locals = make(map[graph.NodeID]bool, len(cfg.LocalNodes))
+		for _, v := range cfg.LocalNodes {
+			if !cfg.Graph.HasNode(v) {
+				tr.Close()
+				return nil, fmt.Errorf("runtime: local node %d not in topology", v)
+			}
+			locals[v] = true
+		}
+		if len(locals) == 0 {
+			tr.Close()
+			return nil, fmt.Errorf("runtime: empty LocalNodes (nil means all-local)")
+		}
+	}
 	rt := &Runtime{
 		cfg:     cfg,
 		proto:   proto,
 		tr:      tr,
+		locals:  locals,
 		links:   map[[2]graph.NodeID]transport.Link{},
 		engines: map[uint64]*instanceEngine{},
+		pending: map[uint64][]*transport.Message{},
 		ds:      core.NewDisputeState(cfg.Graph),
 		entries: map[int]*planEntry{},
 	}
 	for _, v := range cfg.Graph.Nodes() {
-		go rt.recvLoop(v)
+		if locals == nil || locals[v] {
+			go rt.recvLoop(v)
+		}
 	}
 	return rt, nil
 }
@@ -150,8 +213,21 @@ func (rt *Runtime) Close() error {
 	return rt.closeErr
 }
 
+// pendingSlack bounds how far beyond the newest local launch a buffered
+// frame's launch number may run. An honest peer's scheduler is at most
+// one window of speculative launches past the oldest uncommitted
+// instance, and it cannot commit (hence advance) an instance before this
+// process has launched it too, so the honest gap is under two windows of
+// launch numbers; the slack is deliberately generous on top of that.
+func (rt *Runtime) pendingSlack() uint64 {
+	return uint64(4*rt.cfg.Window + 8)
+}
+
 // recvLoop demultiplexes node v's inbound frames to the owning instance
-// engines. Frames for unknown launches (aborted speculation) are dropped.
+// engines. Frames for past launches (aborted or committed speculation)
+// are dropped; frames for launches this process has not started yet —
+// possible only across processes, where peers run ahead — are buffered
+// until the flight registers, within pendingSlack.
 func (rt *Runtime) recvLoop(v graph.NodeID) {
 	for {
 		m, err := rt.tr.Recv(v)
@@ -161,6 +237,16 @@ func (rt *Runtime) recvLoop(v graph.NodeID) {
 		rt.engMu.RLock()
 		eng, ok := rt.engines[m.Instance]
 		rt.engMu.RUnlock()
+		if ok {
+			eng.deliver(m)
+			continue
+		}
+		rt.engMu.Lock()
+		if eng, ok = rt.engines[m.Instance]; !ok &&
+			m.Instance > rt.maxLaunch && m.Instance <= rt.maxLaunch+rt.pendingSlack() {
+			rt.pending[m.Instance] = append(rt.pending[m.Instance], m)
+		}
+		rt.engMu.Unlock()
 		if ok {
 			eng.deliver(m)
 		}
@@ -187,8 +273,19 @@ func (rt *Runtime) sendFrame(m *transport.Message) error {
 
 func (rt *Runtime) register(eng *instanceEngine) {
 	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
 	rt.engines[eng.launch] = eng
-	rt.engMu.Unlock()
+	if eng.launch > rt.maxLaunch {
+		rt.maxLaunch = eng.launch
+	}
+	// Drain the buffer while still holding engMu: a recvLoop delivering
+	// directly (it blocks on the lock until we release) must not slip a
+	// later frame — e.g. an end-of-step marker — in front of buffered
+	// earlier ones, or an actor could consume a step missing a message.
+	for _, m := range rt.pending[eng.launch] {
+		eng.deliver(m)
+	}
+	delete(rt.pending, eng.launch)
 }
 
 func (rt *Runtime) unregister(eng *instanceEngine) {
@@ -231,6 +328,7 @@ type flight struct {
 	k     int
 	gen   int
 	eng   *instanceEngine
+	view  ExecutionView // nil without a schedule plane
 	done  chan struct{}
 	ir    *core.InstanceResult
 	err   error
@@ -265,13 +363,17 @@ func (res *Result) InstancesPerSec() float64 {
 
 // Run executes one pipelined instance per input and returns once all have
 // committed, in order. Committed outputs are identical to running the same
-// configuration on the lockstep core.Runner.
+// configuration on the lockstep core.Runner. With LocalNodes set, the
+// result carries only the local nodes' outputs; every process of the
+// cluster must call Run with the same inputs.
 //
-// Determinism caveat: an Adversary whose hooks consume hidden state (such
-// as adversary.Random's RNG) sees hook interleavings that depend on the
-// window; its behaviour is replayed deterministically only with Window=1.
-// Stateless adversaries (Crash, BlockFlipper, CodedCorruptor, FalseAlarm,
-// flag liars) are deterministic under any window.
+// Determinism caveat: an Adversary whose hooks consume hidden shared
+// state sees hook interleavings that depend on the window; its behaviour
+// is replayed deterministically only with Window=1. Adversaries
+// implementing core.InstanceScoped (e.g. adversary.Random with a Seed and
+// nil RNG) draw per-instance state instead and are deterministic under
+// any window, as are stateless adversaries (Crash, BlockFlipper,
+// CodedCorruptor, FalseAlarm, flag liars).
 func (rt *Runtime) Run(inputs [][]byte) (*Result, error) {
 	return rt.RunFunc(inputs, nil)
 }
@@ -312,9 +414,16 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 		f := &flight{
 			k:     k,
 			gen:   rt.ds.Gen(),
-			eng:   newInstanceEngine(rt.nextLaunch, rt.cfg.Graph, rt.sendFrame),
+			eng:   newInstanceEngine(rt.nextLaunch, rt.cfg.Graph, rt.sendFrame, rt.locals),
 			done:  make(chan struct{}),
 			plans: entryFor(rt.ds.Gen()),
+		}
+		if rt.cfg.Plane != nil {
+			f.view = rt.cfg.Plane.Execution(f.k, f.gen)
+		}
+		var lv *core.LocalView
+		if rt.locals != nil || f.view != nil {
+			lv = &core.LocalView{Locals: rt.locals, Sched: f.view}
 		}
 		inflight[k] = f
 		rt.register(f.eng)
@@ -325,15 +434,24 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 				f.err = err
 				return
 			}
-			f.ir, f.err = plan.Execute(f.eng, f.k, inputs[f.k-base-1])
+			f.ir, f.err = plan.ExecuteLocal(f.eng, f.k, inputs[f.k-base-1], lv)
 		}()
+	}
+	finish := func(f *flight) {
+		rt.unregister(f.eng)
+		if f.view != nil {
+			f.view.Close()
+		}
+		res.Dropped += f.eng.Dropped()
+		delete(inflight, f.k)
 	}
 	reap := func(f *flight) {
 		f.eng.abort()
+		if f.view != nil {
+			f.view.Close() // unblock a Need* wait between phases
+		}
 		<-f.done
-		rt.unregister(f.eng)
-		res.Dropped += f.eng.Dropped()
-		delete(inflight, f.k)
+		finish(f)
 	}
 	fail := func(err error) (*Result, error) {
 		for _, f := range inflight {
@@ -354,9 +472,7 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 		// Commit strictly in order: wait for the oldest in-flight.
 		f := inflight[rt.k+1]
 		<-f.done
-		rt.unregister(f.eng)
-		res.Dropped += f.eng.Dropped()
-		delete(inflight, f.k)
+		finish(f)
 		if f.gen != rt.ds.Gen() {
 			// Cannot happen: every gen bump is followed by the barrier
 			// below, which reaps all speculation before the next wait.
@@ -404,6 +520,22 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 type syncAdversary struct {
 	mu    sync.Mutex
 	inner core.Adversary
+}
+
+// ForInstance forwards core.InstanceScoped: a genuinely per-instance
+// adversary is used by one execution at a time, so it gets a wrapper of
+// its own. An adversary that answers ForInstance with itself (the legacy
+// shared-stream form) must keep THIS wrapper — a fresh one would hand
+// overlapping instances distinct mutexes around shared state.
+func (s *syncAdversary) ForInstance(k int) core.Adversary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc, ok := s.inner.(core.InstanceScoped); ok {
+		if derived := sc.ForInstance(k); derived != s.inner {
+			return &syncAdversary{inner: derived}
+		}
+	}
+	return s
 }
 
 func (s *syncAdversary) CorruptBlock(tree int, to graph.NodeID, block core.BitChunk) core.BitChunk {

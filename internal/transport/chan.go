@@ -71,22 +71,13 @@ func (t *Chan) Dial(from, to graph.NodeID) (Link, error) {
 		return l, nil
 	}
 	l := &chanLink{
-		t:       t,
-		key:     key,
-		capBits: t.g.Cap(from, to),
-		inbox:   t.inboxes[to],
-		tokens:  float64(t.burstFor(t.g.Cap(from, to))),
-		last:    time.Now(),
+		t:     t,
+		key:   key,
+		inbox: t.inboxes[to],
+		pace:  newPacer(t.g.Cap(from, to), t.opt.TimeUnit, t.opt.Burst),
 	}
 	t.links[key] = l
 	return l, nil
-}
-
-func (t *Chan) burstFor(capBits int64) int64 {
-	if t.opt.Burst > 0 {
-		return t.opt.Burst
-	}
-	return capBits
 }
 
 // Recv implements Transport.
@@ -117,9 +108,7 @@ func (t *Chan) LinkBits() map[[2]graph.NodeID]int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for key, l := range t.links {
-		l.mu.Lock()
-		out[key] = l.bits
-		l.mu.Unlock()
+		out[key] = l.pace.Bits()
 	}
 	return out
 }
@@ -130,18 +119,13 @@ func (t *Chan) Close() error {
 	return nil
 }
 
-// chanLink is one directed link: a token bucket in front of the
-// recipient's inbox.
+// chanLink is one directed link: a token bucket (see pacer) in front of
+// the recipient's inbox.
 type chanLink struct {
-	t       *Chan
-	key     [2]graph.NodeID
-	capBits int64
-	inbox   chan *Message
-
-	mu     sync.Mutex
-	tokens float64
-	last   time.Time
-	bits   int64
+	t     *Chan
+	key   [2]graph.NodeID
+	inbox chan *Message
+	pace  *pacer
 }
 
 // Send implements Link. The token bucket serializes the link: concurrent
@@ -154,40 +138,13 @@ func (l *chanLink) Send(m *Message) error {
 		return fmt.Errorf("transport: negative bit charge %d", m.Bits)
 	}
 	if !m.Marker && m.Bits > 0 {
-		l.pace(m.Bits)
+		l.pace.charge(m.Bits)
 	}
 	select {
 	case l.inbox <- m:
 		return nil
 	case <-l.t.closed:
 		return ErrClosed
-	}
-}
-
-// pace charges bits against the token bucket, sleeping while the link
-// drains. Holding the lock across the sleep is deliberate: a link
-// transmits one frame at a time.
-func (l *chanLink) pace(bits int64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.bits += bits
-	tu := l.t.opt.TimeUnit
-	if tu <= 0 {
-		return
-	}
-	now := time.Now()
-	l.tokens += now.Sub(l.last).Seconds() / tu.Seconds() * float64(l.capBits)
-	if burst := float64(l.t.burstFor(l.capBits)); l.tokens > burst {
-		l.tokens = burst
-	}
-	l.last = now
-	if deficit := float64(bits) - l.tokens; deficit > 0 {
-		wait := time.Duration(deficit / float64(l.capBits) * float64(tu))
-		time.Sleep(wait)
-		l.tokens = 0
-		l.last = time.Now()
-	} else {
-		l.tokens -= float64(bits)
 	}
 }
 

@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// pacer is one directed link's token bucket and cumulative bit meter:
+// charging b bits on a link of capacity capBits bits per TimeUnit
+// occupies the link for b/capBits time units — the paper's capacity
+// charge made physical. A zero TimeUnit disables timing (accounting
+// only). Holding the mutex across the sleep is deliberate: a link
+// transmits one frame at a time, so concurrent senders queue behind each
+// other exactly as frames on a wire would.
+type pacer struct {
+	capBits int64
+	tu      time.Duration
+	burst   int64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	bits   int64
+}
+
+func newPacer(capBits int64, tu time.Duration, burst int64) *pacer {
+	if burst <= 0 {
+		burst = capBits
+	}
+	return &pacer{capBits: capBits, tu: tu, burst: burst, tokens: float64(burst), last: time.Now()}
+}
+
+// charge accounts bits against the link and sleeps while it drains.
+func (p *pacer) charge(bits int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bits += bits
+	if p.tu <= 0 {
+		return
+	}
+	now := time.Now()
+	p.tokens += now.Sub(p.last).Seconds() / p.tu.Seconds() * float64(p.capBits)
+	if b := float64(p.burst); p.tokens > b {
+		p.tokens = b
+	}
+	p.last = now
+	if deficit := float64(bits) - p.tokens; deficit > 0 {
+		wait := time.Duration(deficit / float64(p.capBits) * float64(p.tu))
+		time.Sleep(wait)
+		p.tokens = 0
+		p.last = time.Now()
+	} else {
+		p.tokens -= float64(bits)
+	}
+}
+
+// Bits returns the cumulative capacity charge.
+func (p *pacer) Bits() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bits
+}

@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"nab/internal/graph"
+)
+
+// PeerOptions tunes the multi-process TCP mesh.
+type PeerOptions struct {
+	// TimeUnit enables send-side per-link token-bucket pacing (the same
+	// model as ChanOptions.TimeUnit): even across real sockets, a b-bit
+	// frame occupies its link of capacity z_e for b/z_e time units before
+	// the next frame may enter it. Zero disables pacing (accounting only).
+	TimeUnit time.Duration
+	// Burst is the token bucket depth in bits; 0 defaults to z_e.
+	Burst int64
+	// DialTimeout bounds how long Dial retries a peer that has not come up
+	// yet — cluster processes boot in arbitrary order, so the first dials
+	// of a full mesh must wait for listeners. Default 20s.
+	DialTimeout time.Duration
+	// Buffer is the per-node inbox depth; 0 defaults to 4096 frames.
+	Buffer int
+}
+
+// Handshake layout: every mesh connection opens with a fixed 21-byte
+// frame — 4-byte magic, 1-byte version, 8-byte from, 8-byte to — pinning
+// the directed link the connection carries. The accepting side verifies
+// the link exists in the topology and terminates at one of its local
+// nodes, then answers with a 1-byte verdict. Data frames (wire.go) follow
+// on accepted connections, dialer to accepter only.
+const (
+	peerMagic   = "NABp"
+	peerVersion = 1
+
+	peerAccept    = 0x00
+	peerRejectBad = 0x01 // malformed or wrong-version handshake
+	peerRejectPhy = 0x02 // link not in topology or not terminating here
+)
+
+// Peer is the multi-process Transport: this process hosts a subset of the
+// topology's nodes, listens on one TCP address for inbound links, and
+// dials one TCP connection per outgoing directed link whose receiver is
+// hosted by a remote process (local-to-local links short-circuit in
+// memory). Frames for links the handshake did not pin, or violating
+// physics, are dropped on receipt.
+//
+// Trust model: the mesh assumes a trusted network boundary. The
+// handshake pins each connection to one directed link but does not
+// authenticate the dialer, and pacing is enforced on the send side —
+// Byzantine behaviour is modelled at the protocol layer (core.Adversary
+// hooks scripted in the shared cluster config), not by the transport. A
+// deployment across an untrusted network needs an authenticated channel
+// (e.g. mTLS) in front of the listeners.
+type Peer struct {
+	g      *graph.Directed
+	locals map[graph.NodeID]bool
+	addrs  map[graph.NodeID]string
+	opt    PeerOptions
+
+	listener net.Listener
+
+	mu      sync.Mutex
+	inboxes map[graph.NodeID]chan *Message
+	pacers  map[[2]graph.NodeID]*pacer
+	recvd   map[[2]graph.NodeID]int64 // receive-side charges from remote peers
+	conns   []net.Conn
+	dropped int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewPeer opens this process's mesh endpoint: a listener on listenAddr
+// for inbound links, and inboxes for the local nodes. addrs must name the
+// listen address of every node's hosting process (local nodes included).
+func NewPeer(g *graph.Directed, localNodes []graph.NodeID, addrs map[graph.NodeID]string, listenAddr string, opt PeerOptions) (*Peer, error) {
+	if opt.Buffer <= 0 {
+		opt.Buffer = 4096
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 20 * time.Second
+	}
+	p := &Peer{
+		g:       g.Clone(),
+		locals:  map[graph.NodeID]bool{},
+		addrs:   map[graph.NodeID]string{},
+		opt:     opt,
+		inboxes: map[graph.NodeID]chan *Message{},
+		pacers:  map[[2]graph.NodeID]*pacer{},
+		recvd:   map[[2]graph.NodeID]int64{},
+		closed:  make(chan struct{}),
+	}
+	for _, v := range localNodes {
+		if !p.g.HasNode(v) {
+			return nil, fmt.Errorf("transport: local node %d not in topology", v)
+		}
+		p.locals[v] = true
+		p.inboxes[v] = make(chan *Message, opt.Buffer)
+	}
+	if len(p.locals) == 0 {
+		return nil, fmt.Errorf("transport: peer hosts no nodes")
+	}
+	for _, v := range p.g.Nodes() {
+		a, ok := addrs[v]
+		if !ok {
+			return nil, fmt.Errorf("transport: no address for node %d", v)
+		}
+		p.addrs[v] = a
+	}
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: peer listen %s: %w", listenAddr, err)
+	}
+	p.listener = l
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address the peer actually listens on (resolving an
+// ephemeral ":0" request).
+func (p *Peer) Addr() string { return p.listener.Addr().String() }
+
+func (p *Peer) acceptLoop() {
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.track(conn)
+		go p.serveConn(conn)
+	}
+}
+
+func (p *Peer) track(conn net.Conn) {
+	p.mu.Lock()
+	p.conns = append(p.conns, conn)
+	p.mu.Unlock()
+}
+
+// serveConn validates one inbound link handshake, then pumps its frames.
+func (p *Peer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(p.opt.DialTimeout))
+	from, to, err := readHandshake(conn)
+	verdict := byte(peerAccept)
+	if err != nil {
+		verdict = peerRejectBad
+	} else if !p.g.HasEdge(from, to) || !p.locals[to] {
+		verdict = peerRejectPhy
+	}
+	if _, err := conn.Write([]byte{verdict}); err != nil || verdict != peerAccept {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	br := bufio.NewReader(conn)
+	for {
+		m, err := ReadFrame(br)
+		if err != nil {
+			return // connection closed or garbage framing
+		}
+		// The handshake pinned the link; frames claiming any other
+		// coordinates, or negative charges, violate physics.
+		if m.From != from || m.To != to || m.Bits < 0 {
+			p.mu.Lock()
+			p.dropped++
+			p.mu.Unlock()
+			continue
+		}
+		if !m.Marker && m.Bits > 0 {
+			p.mu.Lock()
+			p.recvd[[2]graph.NodeID{from, to}] += m.Bits
+			p.mu.Unlock()
+		}
+		select {
+		case p.inboxes[to] <- m:
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+func readHandshake(conn net.Conn) (from, to graph.NodeID, err error) {
+	var buf [21]byte
+	if _, err = io.ReadFull(conn, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	if string(buf[:4]) != peerMagic || buf[4] != peerVersion {
+		return 0, 0, fmt.Errorf("transport: bad handshake magic/version")
+	}
+	from = graph.NodeID(int64(binary.BigEndian.Uint64(buf[5:13])))
+	to = graph.NodeID(int64(binary.BigEndian.Uint64(buf[13:21])))
+	return from, to, nil
+}
+
+func writeHandshake(conn net.Conn, from, to graph.NodeID) error {
+	var buf [21]byte
+	copy(buf[:4], peerMagic)
+	buf[4] = peerVersion
+	binary.BigEndian.PutUint64(buf[5:13], uint64(int64(from)))
+	binary.BigEndian.PutUint64(buf[13:21], uint64(int64(to)))
+	if _, err := conn.Write(buf[:]); err != nil {
+		return err
+	}
+	var verdict [1]byte
+	if _, err := io.ReadFull(conn, verdict[:]); err != nil {
+		return err
+	}
+	if verdict[0] != peerAccept {
+		return fmt.Errorf("transport: peer rejected link (%d,%d) with code %d", from, to, verdict[0])
+	}
+	return nil
+}
+
+// pacerFor returns the shared send-side token bucket of one link.
+func (p *Peer) pacerFor(key [2]graph.NodeID) *pacer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc, ok := p.pacers[key]
+	if !ok {
+		pc = newPacer(p.g.Cap(key[0], key[1]), p.opt.TimeUnit, p.opt.Burst)
+		p.pacers[key] = pc
+	}
+	return pc
+}
+
+// Dial implements Transport: the sender half of link (from, to). from
+// must be hosted here; a remote receiver gets a dedicated TCP connection
+// (retried with backoff while the cluster boots), a local one an
+// in-memory enqueue. Both share the link's token bucket.
+func (p *Peer) Dial(from, to graph.NodeID) (Link, error) {
+	if !p.g.HasEdge(from, to) {
+		return nil, fmt.Errorf("transport: no link (%d,%d) in topology", from, to)
+	}
+	if !p.locals[from] {
+		return nil, fmt.Errorf("transport: node %d is not hosted by this process", from)
+	}
+	key := [2]graph.NodeID{from, to}
+	if p.locals[to] {
+		return &peerLoopLink{p: p, key: key, inbox: p.inboxes[to], pace: p.pacerFor(key)}, nil
+	}
+	conn, err := DialRetry(p.addrs[to], p.opt.DialTimeout, p.closed)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial link (%d,%d): %w", from, to, err)
+	}
+	if err := writeHandshake(conn, from, to); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake link (%d,%d): %w", from, to, err)
+	}
+	p.track(conn)
+	return &peerLink{key: key, conn: conn, bw: bufio.NewWriter(conn), pace: p.pacerFor(key)}, nil
+}
+
+// DialRetry connects to addr with exponential backoff (25ms doubling to
+// a 500ms cap) until timeout — the boot-order-independent dial every
+// cluster endpoint needs, since peer processes come up in arbitrary
+// order. A close of cancel (when non-nil) aborts the wait with
+// ErrClosed.
+func DialRetry(addr string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 25 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-cancel:
+			return nil, ErrClosed
+		}
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Recv implements Transport.
+func (p *Peer) Recv(self graph.NodeID) (*Message, error) {
+	inbox, ok := p.inboxes[self]
+	if !ok {
+		return nil, fmt.Errorf("transport: node %d is not hosted by this process", self)
+	}
+	select {
+	case m := <-inbox:
+		return m, nil
+	case <-p.closed:
+		select {
+		case m := <-inbox:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// LinkBits implements Transport: send-side charges for local senders plus
+// receive-side charges for remote-to-local links, i.e. every link this
+// process can observe, each counted once.
+func (p *Peer) LinkBits() map[[2]graph.NodeID]int64 {
+	out := map[[2]graph.NodeID]int64{}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, pc := range p.pacers {
+		out[key] = pc.Bits()
+	}
+	for key, b := range p.recvd {
+		out[key] += b
+	}
+	return out
+}
+
+// Dropped returns how many inbound frames violated their link pinning.
+func (p *Peer) Dropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Close implements Transport: closes the listener and every connection.
+func (p *Peer) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.listener.Close()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for _, c := range p.conns {
+			c.Close()
+		}
+	})
+	return nil
+}
+
+// peerLink is the sender half of one remote directed link.
+type peerLink struct {
+	key  [2]graph.NodeID
+	conn net.Conn
+	pace *pacer
+
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+// Send implements Link: pace, then write and flush in order.
+func (l *peerLink) Send(m *Message) error {
+	if m.From != l.key[0] || m.To != l.key[1] {
+		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.key[0], l.key[1])
+	}
+	if m.Bits < 0 {
+		return fmt.Errorf("transport: negative bit charge %d", m.Bits)
+	}
+	if !m.Marker && m.Bits > 0 {
+		l.pace.charge(m.Bits)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := WriteFrame(l.bw, m); err != nil {
+		return err
+	}
+	return l.bw.Flush()
+}
+
+// Close implements Link.
+func (l *peerLink) Close() error { return l.conn.Close() }
+
+// peerLoopLink is the sender half of a local-to-local link: same pacing
+// and accounting, no socket.
+type peerLoopLink struct {
+	p     *Peer
+	key   [2]graph.NodeID
+	inbox chan *Message
+	pace  *pacer
+}
+
+// Send implements Link.
+func (l *peerLoopLink) Send(m *Message) error {
+	if m.From != l.key[0] || m.To != l.key[1] {
+		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.key[0], l.key[1])
+	}
+	if m.Bits < 0 {
+		return fmt.Errorf("transport: negative bit charge %d", m.Bits)
+	}
+	if !m.Marker && m.Bits > 0 {
+		l.pace.charge(m.Bits)
+	}
+	select {
+	case l.inbox <- m:
+		return nil
+	case <-l.p.closed:
+		return ErrClosed
+	}
+}
+
+// Close implements Link: link state is owned by the transport.
+func (l *peerLoopLink) Close() error { return nil }

@@ -43,6 +43,21 @@
 // Pass a Transport (e.g. NewTCPTransport) to serve over loopback TCP with
 // binary wire framing; cmd/nabserve wraps that in a request-streaming
 // daemon.
+//
+// # Multi-process cluster
+//
+// The cluster deployment (internal/cluster, cmd/nabnode) runs every node
+// in an OS process of its own: full-mesh TCP links dialed from a shared
+// ClusterConfig carry the protocol frames (with optional per-link
+// capacity pacing on the wire), each process's runtime drives only its
+// local node, and committed outputs remain byte-identical to Runner:
+//
+//	cfg, err := nab.LoadClusterConfig("cluster.json")
+//	node, err := nab.StartClusterNode(cfg, 3, nab.ClusterOptions{})
+//	defer node.Close()
+//	res, err := node.Run() // this node's committed outputs
+//
+// One command brings a local cluster up: `nabnode -spawn-local -topo k4`.
 package nab
 
 import (
@@ -51,6 +66,7 @@ import (
 	"nab/internal/adversary"
 	"nab/internal/baseline"
 	"nab/internal/capacity"
+	"nab/internal/cluster"
 	"nab/internal/core"
 	"nab/internal/graph"
 	"nab/internal/runtime"
@@ -130,6 +146,35 @@ func NewPipelinedRunner(cfg PipelineConfig) (*PipelinedRunner, error) { return r
 // for PipelineConfig.Transport.
 func NewTCPTransport(g *Graph) (Transport, error) { return transport.NewTCP(g) }
 
+// Re-exported multi-process cluster types. See internal/cluster for full
+// documentation.
+type (
+	// ClusterConfig is the shared description of a multi-process
+	// deployment: node placements, topology, workload and control plane.
+	ClusterConfig = cluster.Config
+	// ClusterNodeSpec places one node (id, hosting address, optional
+	// scripted adversary).
+	ClusterNodeSpec = cluster.NodeSpec
+	// ClusterNode is one process's membership in a cluster.
+	ClusterNode = cluster.Node
+	// ClusterOptions tunes a process's endpoints (wire pacing, boot
+	// timeout).
+	ClusterOptions = cluster.Options
+)
+
+// LoadClusterConfig reads and validates a cluster.json.
+func LoadClusterConfig(path string) (*ClusterConfig, error) { return cluster.Load(path) }
+
+// StartClusterNode joins the cluster as the host of node id (and any
+// node sharing its address). Close the node when done.
+func StartClusterNode(cfg *ClusterConfig, id NodeID, opt ClusterOptions) (*ClusterNode, error) {
+	return cluster.Start(cfg, id, opt)
+}
+
+// FreeClusterAddrs reserves n loopback addresses for building local
+// cluster configs (tests, demos).
+func FreeClusterAddrs(n int) ([]string, error) { return cluster.FreeAddrs(n) }
+
 // AnalyzeCapacity computes the paper's throughput quantities for source in
 // g with fault bound f. With exact=true the reachable-instance-graph family
 // is enumerated exactly (small networks); otherwise the node-deletion
@@ -197,9 +242,19 @@ func CodedCorruptorAdversary() Adversary { return &adversary.CodedCorruptor{} }
 // FalseAlarmAdversary always announces MISMATCH, forcing dispute control.
 func FalseAlarmAdversary() Adversary { return adversary.FalseAlarm{} }
 
-// RandomAdversary flips coins at every protocol decision point.
+// RandomAdversary flips coins at every protocol decision point from one
+// shared stream; replayed deterministically only at Window=1. Prefer
+// SeededRandomAdversary for pipelined or clustered runs.
 func RandomAdversary(seed int64) Adversary {
 	return &adversary.Random{RNG: rand.New(rand.NewSource(seed))}
+}
+
+// SeededRandomAdversary is the instance-scoped coin flipper: every
+// instance draws from a fresh stream derived from (seed, instance), so
+// runs are reproducible under any pipeline window, across barrier
+// replays, and across cluster processes.
+func SeededRandomAdversary(seed int64) Adversary {
+	return &adversary.Random{Seed: seed}
 }
 
 // --- baselines --------------------------------------------------------------

@@ -4,14 +4,24 @@
 // output.
 //
 //	go run ./tools/bench2json -q 32 -window 4 -out BENCH_pipeline.json
+//
+// With -cluster it additionally builds cmd/nabnode (via the go tool) and
+// measures a true multi-process cluster — one OS process per node over
+// real TCP — on the same workloads, recording loopback-vs-multi-process
+// throughput side by side.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"nab"
@@ -29,6 +39,9 @@ type Row struct {
 	PipelinedIPS float64 `json:"pipelined_instances_per_sec"`
 	Speedup      float64 `json:"speedup"`
 	Replays      int     `json:"replays"`
+	// ClusterIPS is the multi-process rate (one OS process per node over
+	// real TCP), present only with -cluster.
+	ClusterIPS float64 `json:"cluster_instances_per_sec,omitempty"`
 }
 
 // Output is the file's top-level shape.
@@ -52,8 +65,19 @@ func run(args []string, w io.Writer) error {
 	lenBytes := fs.Int("len", 64, "input length in bytes")
 	window := fs.Int("window", 4, "pipeline window")
 	seed := fs.Int64("seed", 2012, "coding-matrix seed")
+	withCluster := fs.Bool("cluster", false, "also measure a multi-process cluster (builds cmd/nabnode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var nabnode string
+	if *withCluster {
+		bin, cleanup, err := buildNabnode()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		nabnode = bin
 	}
 
 	circ, err := nab.CirculantGraph(9, 1, 1, 2)
@@ -114,9 +138,19 @@ func run(args []string, w io.Writer) error {
 			Speedup:      pres.InstancesPerSec() / lockIPS,
 			Replays:      pres.Replays,
 		}
+		if nabnode != "" {
+			row.ClusterIPS, err = clusterIPS(nabnode, tp.g, tp.f, *lenBytes, *q, *window, *seed)
+			if err != nil {
+				return fmt.Errorf("%s: cluster: %w", tp.name, err)
+			}
+		}
 		res.Rows = append(res.Rows, row)
-		fmt.Fprintf(w, "%-22s lockstep %7.1f/s  pipelined %7.1f/s  speedup %.2fx\n",
+		fmt.Fprintf(w, "%-22s lockstep %7.1f/s  pipelined %7.1f/s  speedup %.2fx",
 			row.Topology, row.LockstepIPS, row.PipelinedIPS, row.Speedup)
+		if nabnode != "" {
+			fmt.Fprintf(w, "  multiprocess %7.1f/s", row.ClusterIPS)
+		}
+		fmt.Fprintln(w)
 	}
 
 	raw, err := json.MarshalIndent(res, "", "  ")
@@ -133,4 +167,65 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "wrote %s\n", *out)
 	return nil
+}
+
+// buildNabnode compiles cmd/nabnode into a temp dir.
+func buildNabnode() (bin string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "bench2json-nabnode-*")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	bin = filepath.Join(dir, "nabnode")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/nabnode")
+	if outB, err := cmd.CombinedOutput(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("go build ./cmd/nabnode: %v\n%s", err, outB)
+	}
+	return bin, cleanup, nil
+}
+
+// clusterIPS runs the workload on a true multi-process cluster — one
+// nabnode OS process per topology node — and derives instances/sec from
+// the source process's reported wall time (boot and teardown excluded).
+func clusterIPS(nabnode string, g *nab.Graph, f, lenBytes, q, window int, seed int64) (float64, error) {
+	dir, err := os.MkdirTemp("", "bench2json-cluster-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	topoPath := filepath.Join(dir, "topo.txt")
+	if err := os.WriteFile(topoPath, []byte(g.Marshal()), 0o644); err != nil {
+		return 0, err
+	}
+	cmd := exec.Command(nabnode,
+		"-spawn-local", "-file", topoPath, "-source", "1",
+		"-f", fmt.Sprint(f), "-len", fmt.Sprint(lenBytes),
+		"-q", fmt.Sprint(q), "-window", fmt.Sprint(window),
+		"-seed", fmt.Sprint(seed), "-out", filepath.Join(dir, "cluster.json"))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return 0, fmt.Errorf("nabnode -spawn-local: %v\n%s", err, stderr.String())
+	}
+	// The source node's summary line carries the run's wall seconds.
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, `"done":true`) {
+			continue
+		}
+		var sum struct {
+			Node      int     `json:"node"`
+			Instances int     `json:"instances"`
+			WallSecs  float64 `json:"wallSecs"`
+		}
+		if err := json.Unmarshal([]byte(line), &sum); err != nil {
+			continue
+		}
+		if sum.Node == 1 && sum.WallSecs > 0 {
+			return float64(sum.Instances) / sum.WallSecs, nil
+		}
+	}
+	return 0, fmt.Errorf("no source summary line in nabnode output")
 }
