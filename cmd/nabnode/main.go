@@ -32,18 +32,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"nab"
 	"nab/internal/cluster"
-	"nab/internal/core"
 	"nab/internal/graph"
 	"nab/internal/topo"
 )
@@ -126,46 +129,138 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return runNode(cfg, graph.NodeID(*id), stdout)
+	rsv, err := inheritedListeners(cfg, graph.NodeID(*id))
+	if err != nil {
+		return err
+	}
+	return runNode(cfg, graph.NodeID(*id), stdout, rsv)
 }
 
-// runNode is node mode: join the cluster, stream commits, print the
-// summary.
-func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer) error {
-	n, err := cluster.Start(cfg, id, cluster.Options{})
+// inheritedListeners rebuilds the listeners a -spawn-local parent handed
+// down as file descriptors (NABNODE_MESH_FD for the mesh endpoint,
+// NABNODE_CTRL_FD for the coordinator's control plane), so the child
+// serves exactly the sockets the parent reserved — no release-then-rebind
+// window. Returns nil when the process was started without a handoff.
+func inheritedListeners(cfg *cluster.Config, id graph.NodeID) (*cluster.Reservation, error) {
+	meshFD, ctrlFD := os.Getenv("NABNODE_MESH_FD"), os.Getenv("NABNODE_CTRL_FD")
+	if meshFD == "" && ctrlFD == "" {
+		return nil, nil
+	}
+	spec, ok := cfg.Spec(id)
+	if !ok {
+		return nil, fmt.Errorf("node %d has no spec", id)
+	}
+	rsv := cluster.NewReservation()
+	adopt := func(env, addr string) error {
+		if env == "" {
+			return nil
+		}
+		fd, err := strconv.Atoi(env)
+		if err != nil {
+			return fmt.Errorf("bad listener fd %q: %w", env, err)
+		}
+		f := os.NewFile(uintptr(fd), addr)
+		l, err := net.FileListener(f)
+		f.Close() // FileListener dups; drop the inherited descriptor
+		if err != nil {
+			return fmt.Errorf("adopt listener fd %d for %s: %w", fd, addr, err)
+		}
+		rsv.Add(addr, l)
+		return nil
+	}
+	if err := adopt(meshFD, spec.Addr); err != nil {
+		return nil, err
+	}
+	if err := adopt(ctrlFD, cfg.CtrlAddr); err != nil {
+		return nil, err
+	}
+	return rsv, nil
+}
+
+// runNode is node mode: open a streaming session as the cluster host of
+// node id, feed it the configured workload, relay commits as JSON lines,
+// print the summary.
+func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation) error {
+	ctx := context.Background()
+	sess, err := nab.Open(ctx, nab.Config{},
+		nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv}))
 	if err != nil {
 		return err
 	}
-	defer n.Close()
+	defer sess.Close()
+	go func() {
+		for _, in := range cfg.Inputs() {
+			if _, err := sess.Submit(ctx, in); err != nil {
+				return // the terminal error surfaces via sess.Err
+			}
+		}
+		sess.Drain(ctx)
+	}()
 	enc := json.NewEncoder(stdout)
-	res, err := n.RunStream(cfg.Inputs(), func(ir *core.InstanceResult) error {
-		return enc.Encode(instanceLine{
-			Node: id, Instance: ir.K, Outputs: ir.Outputs,
-			Mismatch: ir.Mismatch, Phase3: ir.Phase3,
-		})
-	})
-	if err != nil {
+	for c := range sess.Commits() {
+		if err := enc.Encode(instanceLine{
+			Node: id, Instance: c.Result.K, Outputs: c.Result.Outputs,
+			Mismatch: c.Result.Mismatch, Phase3: c.Result.Phase3,
+		}); err != nil {
+			return err
+		}
+	}
+	if err := sess.Err(); err != nil {
 		return err
 	}
+	res := sess.Result()
 	return enc.Encode(summaryLine{
 		Node: id, Done: true, Instances: len(res.Instances),
 		WallSecs: res.Wall.Seconds(), Replays: res.Replays,
-		Dropped: n.Dropped(), Disputes: n.Runtime().Disputes().String(),
+		Dropped: sess.Cluster().Dropped(), Disputes: sess.Disputes().String(),
 	})
 }
 
+// childExtras dups node v's reserved listeners out of rsv for handing to
+// its child process: the mesh endpoint always, plus the control-plane
+// endpoint when v's process hosts the source (the coordinator). Returns
+// the files for exec.Cmd.ExtraFiles and the matching NABNODE_*_FD env
+// entries (ExtraFiles[0] becomes fd 3 in the child).
+func childExtras(rsv *cluster.Reservation, cfg *cluster.Config, v graph.NodeID) ([]*os.File, []string, error) {
+	spec, ok := cfg.Spec(v)
+	if !ok {
+		return nil, nil, fmt.Errorf("node %d has no spec", v)
+	}
+	mesh, err := rsv.File(spec.Addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	files := []*os.File{mesh}
+	env := []string{"NABNODE_MESH_FD=3"}
+	if v == cfg.Source {
+		ctrl, err := rsv.File(cfg.CtrlAddr)
+		if err != nil {
+			mesh.Close()
+			return nil, nil, err
+		}
+		files = append(files, ctrl)
+		env = append(env, "NABNODE_CTRL_FD=4")
+	}
+	return files, env, nil
+}
+
 // spawnLocal generates a loopback config (every node its own process) and
-// supervises one child nabnode per node.
+// supervises one child nabnode per node. The parent reserves every
+// endpoint as a held listener and hands the sockets to the children as
+// inherited descriptors, so no port can be lost between reservation and
+// boot.
 func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out string, advs adversaryFlags) error {
 	g, err := loadGraph(file, topoName)
 	if err != nil {
 		return err
 	}
 	nodes := g.Nodes()
-	addrs, err := cluster.FreeAddrs(len(nodes) + 1)
+	rsv, err := cluster.ReserveAddrs(len(nodes) + 1)
 	if err != nil {
 		return err
 	}
+	defer rsv.Close()
+	addrs := rsv.Addrs()
 	cfg := &cluster.Config{
 		Topology: g.Marshal(), Source: graph.NodeID(source), F: f,
 		LenBytes: lenBytes, Seed: seed, Window: window, Instances: q,
@@ -201,14 +296,23 @@ func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenB
 	var outMu sync.Mutex
 	childErr := &syncWriter{w: stderr} // children's stderr copies run concurrently
 	for i, v := range nodes {
+		files, env, err := childExtras(rsv, cfg, v)
+		if err != nil {
+			return err
+		}
 		cmd := exec.Command(self, "-cluster", out, "-id", fmt.Sprint(v))
-		cmd.Env = append(os.Environ(), "NABNODE_CHILD=1")
+		cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)
+		cmd.ExtraFiles = files
 		cmd.Stderr = childErr
 		pipe, err := cmd.StdoutPipe()
 		if err != nil {
 			return err
 		}
-		if err := cmd.Start(); err != nil {
+		err = cmd.Start()
+		for _, f := range files {
+			f.Close() // the child owns the sockets now
+		}
+		if err != nil {
 			return fmt.Errorf("spawn node %d: %w", v, err)
 		}
 		wg.Add(1)

@@ -34,15 +34,18 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// e2eConfig builds a K4 cluster config with one process per node.
-func e2eConfig(t *testing.T, q int, advs map[graph.NodeID]string) (*cluster.Config, string) {
+// e2eConfig builds a K4 cluster config with one process per node, its
+// endpoints reserved as held listeners for the fd handoff.
+func e2eConfig(t *testing.T, q int, advs map[graph.NodeID]string) (*cluster.Config, string, *cluster.Reservation) {
 	t.Helper()
 	g := topo.CompleteBi(4, 1)
 	nodes := g.Nodes()
-	addrs, err := cluster.FreeAddrs(len(nodes) + 1)
+	rsv, err := cluster.ReserveAddrs(len(nodes) + 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { rsv.Close() })
+	addrs := rsv.Addrs()
 	cfg := &cluster.Config{
 		Topology: g.Marshal(), Source: 1, F: 1,
 		LenBytes: 24, Seed: 11, Window: 4, Instances: q,
@@ -58,12 +61,13 @@ func e2eConfig(t *testing.T, q int, advs map[graph.NodeID]string) (*cluster.Conf
 	if err := cfg.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	return cfg, path
+	return cfg, path, rsv
 }
 
-// spawnNodes runs one OS process per node of the config and returns each
+// spawnNodes runs one OS process per node of the config — each adopting
+// its reserved listeners via inherited descriptors — and returns each
 // process's stdout.
-func spawnNodes(t *testing.T, cfg *cluster.Config, path string) map[graph.NodeID]string {
+func spawnNodes(t *testing.T, cfg *cluster.Config, path string, rsv *cluster.Reservation) map[graph.NodeID]string {
 	t.Helper()
 	self, err := os.Executable()
 	if err != nil {
@@ -77,11 +81,20 @@ func spawnNodes(t *testing.T, cfg *cluster.Config, path string) map[graph.NodeID
 	for i, ns := range cfg.Nodes {
 		buf := &bytes.Buffer{}
 		outs[ns.ID] = buf
+		files, env, err := childExtras(rsv, cfg, ns.ID)
+		if err != nil {
+			t.Fatalf("node %d listeners: %v", ns.ID, err)
+		}
 		cmd := exec.CommandContext(ctx, self, "-cluster", path, "-id", fmt.Sprint(ns.ID))
-		cmd.Env = append(os.Environ(), "NABNODE_CHILD=1")
+		cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)
+		cmd.ExtraFiles = files
 		cmd.Stdout = buf
 		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
+		err = cmd.Start()
+		for _, f := range files {
+			f.Close() // the child owns the sockets now
+		}
+		if err != nil {
 			t.Fatalf("spawn node %d: %v", ns.ID, err)
 		}
 		wg.Add(1)
@@ -151,7 +164,7 @@ func TestClusterE2E(t *testing.T) {
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
-			cfg, path := e2eConfig(t, q, sc.advs)
+			cfg, path, rsv := e2eConfig(t, q, sc.advs)
 
 			// Lockstep oracle.
 			coreCfg, err := cfg.CoreConfig()
@@ -167,7 +180,7 @@ func TestClusterE2E(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			outs := spawnNodes(t, cfg, path)
+			outs := spawnNodes(t, cfg, path, rsv)
 
 			merged := make([]map[graph.NodeID][]byte, q)
 			for i := range merged {

@@ -1,8 +1,9 @@
-// Command nabserve hosts a pipelined NAB runtime as a daemon: clients
+// Command nabserve hosts a NAB broadcast session as a daemon: clients
 // connect over TCP, stream framed broadcast requests, and receive one
-// framed reply per committed instance, in order. Arriving requests are
-// batched into the runtime's pipeline window, so a streaming client keeps
-// W instances in flight automatically.
+// framed reply per committed instance, in order. Requests feed the
+// session's submission queue directly, so a streaming client keeps the
+// engine's pipeline window full automatically — no batching layer in
+// between.
 //
 // Server:
 //
@@ -23,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -34,17 +36,15 @@ import (
 	"strconv"
 	"strings"
 
+	"nab"
 	"nab/internal/adversary"
-	"nab/internal/core"
 	"nab/internal/graph"
-	"nab/internal/runtime"
 	"nab/internal/topo"
-	"nab/internal/transport"
 )
 
-type adversaryFlags map[graph.NodeID]core.Adversary
+type adversaryFlags map[nab.NodeID]nab.Adversary
 
-func (af adversaryFlags) String() string { return fmt.Sprint(map[graph.NodeID]core.Adversary(af)) }
+func (af adversaryFlags) String() string { return fmt.Sprint(map[nab.NodeID]nab.Adversary(af)) }
 
 func (af adversaryFlags) Set(s string) error {
 	parts := strings.SplitN(s, "=", 2)
@@ -55,7 +55,7 @@ func (af adversaryFlags) Set(s string) error {
 	if err != nil {
 		return fmt.Errorf("bad node id %q: %w", parts[0], err)
 	}
-	var a core.Adversary
+	var a nab.Adversary
 	switch parts[1] {
 	case "flip":
 		a = &adversary.BlockFlipper{}
@@ -66,11 +66,13 @@ func (af adversaryFlags) Set(s string) error {
 	case "crash":
 		a = adversary.Crash{}
 	case "random":
-		a = &adversary.Random{RNG: rand.New(rand.NewSource(int64(id)))}
+		// The instance-scoped (seeded) form: deterministic under any
+		// pipeline window, unlike the deprecated shared-stream adversary.
+		a = &adversary.Random{Seed: int64(id)}
 	default:
 		return fmt.Errorf("unknown strategy %q", parts[1])
 	}
-	af[graph.NodeID(id)] = a
+	af[nab.NodeID(id)] = a
 	return nil
 }
 
@@ -118,25 +120,23 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := runtime.Config{
-		Config: core.Config{
-			Graph: g, Source: graph.NodeID(*source), F: *f,
-			LenBytes: *lenBytes, Seed: *seed, Adversaries: advs,
-		},
-		Window: *window,
+	cfg := nab.Config{
+		Graph: g, Source: nab.NodeID(*source), F: *f,
+		LenBytes: *lenBytes, Seed: *seed, Adversaries: advs,
 	}
+	opts := []nab.SessionOption{nab.WithWindow(*window)}
 	if *netTransport {
-		tr, err := transport.NewTCP(g)
+		tr, err := nab.NewTCPTransport(g)
 		if err != nil {
 			return err
 		}
-		cfg.Transport = tr
+		opts = append(opts, nab.WithTransport(tr))
 	}
-	rt, err := runtime.New(cfg)
+	sess, err := nab.Open(context.Background(), cfg, opts...)
 	if err != nil {
 		return err
 	}
-	defer rt.Close()
+	defer sess.Close()
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -145,93 +145,117 @@ func run(args []string, w io.Writer) error {
 	defer l.Close()
 	fmt.Fprintf(w, "nabserve: listening on %s (topo %s, n=%d, f=%d, len=%d, window=%d)\n",
 		l.Addr(), *topoName, g.NumNodes(), *f, *lenBytes, *window)
-	return serve(l, rt, *lenBytes, *window, w)
+	return serve(l, sess, *lenBytes, w)
 }
 
 // serve accepts clients one at a time: NAB broadcasts a single global
 // instance sequence, so concurrent clients would interleave their requests
-// into one stream anyway.
-func serve(l net.Listener, rt *runtime.Runtime, lenBytes, window int, w io.Writer) error {
+// into one stream anyway. The session — and with it the engine's dispute
+// state — lives across connections.
+func serve(l net.Listener, sess *nab.Session, lenBytes int, w io.Writer) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return nil // listener closed: clean shutdown
 		}
-		if err := session(conn, rt, lenBytes, window); err != nil && err != io.EOF {
+		if err := session(conn, sess, lenBytes); err != nil && err != io.EOF {
 			fmt.Fprintf(w, "nabserve: session %s: %v\n", conn.RemoteAddr(), err)
 		}
 		conn.Close()
+		if err := sess.Err(); err != nil {
+			return err // the engine died; stop accepting
+		}
 	}
 }
 
-// session streams one client's requests through the runtime. A reader
-// goroutine feeds a queue; the pipeline drains it in batches up to 4x the
-// window, so the runtime always has speculative work available.
-func session(conn net.Conn, rt *runtime.Runtime, lenBytes, window int) error {
-	requests := make(chan []byte, 4*window)
-	readErr := make(chan error, 1)
+// session bridges one client connection onto the shared Session: a reader
+// goroutine submits each framed request (blocking when the pipeline is
+// saturated — the session's backpressure is the connection's flow
+// control), while the main loop writes one reply per commit as it lands.
+// Every submission this connection made is matched with a consumed commit
+// before returning, so an early disconnect cannot leak replies into the
+// next connection.
+func session(conn net.Conn, sess *nab.Session, lenBytes int) error {
+	ctx := context.Background()
+	// events carries one nil per accepted submission, then the reader's
+	// terminal error (io.EOF for a clean disconnect). done releases a
+	// reader whose event nobody will consume (early bridge exit).
+	events := make(chan error, 64)
 	done := make(chan struct{})
-	defer close(done) // unblock the reader if the session exits early
+	defer close(done)
 	go func() {
-		defer close(requests)
+		defer close(events)
 		for {
 			in, err := readFrame(conn, lenBytes)
-			if err != nil {
-				readErr <- err
-				return
+			if err == nil {
+				_, err = sess.Submit(ctx, in)
 			}
 			select {
-			case requests <- in:
+			case events <- err:
 			case <-done:
+				return
+			}
+			if err != nil {
 				return
 			}
 		}
 	}()
 
-	for in := range requests {
-		batch := drainInto([][]byte{in}, requests, 4*window)
-		// Replies stream per committed instance, so the first request of
-		// a large batch is not held back by the rest of the pipeline.
-		_, err := rt.RunFunc(batch, func(ir *core.InstanceResult) error {
-			return writeReply(conn, &reply{
-				Instance:  ir.K,
-				Output:    agreedOutput(ir),
-				Mismatch:  ir.Mismatch,
-				Phase3:    ir.Phase3,
-				ModelTime: ir.TotalTime(),
-			})
-		})
-		if err != nil {
-			return err
+	outstanding, open := 0, true
+	var firstErr error
+	for open || outstanding > 0 {
+		var evCh chan error
+		if open {
+			evCh = events
 		}
-	}
-	select {
-	case err := <-readErr:
-		return err
-	default:
-		return nil
-	}
-}
-
-// drainInto appends queued requests without blocking, up to max.
-func drainInto(batch [][]byte, ch chan []byte, max int) [][]byte {
-	for len(batch) < max {
+		var cmCh <-chan nab.Commit
+		if outstanding > 0 {
+			cmCh = sess.Commits()
+		}
 		select {
-		case more, ok := <-ch:
-			if !ok {
-				return batch
+		case err := <-evCh:
+			if err != nil {
+				open = false
+				// A clean disconnect (EOF) of the read side still gets
+				// replies for everything it submitted — the client may
+				// have only half-closed. Real errors switch to draining.
+				if err != io.EOF && firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
-			batch = append(batch, more)
-		default:
-			return batch
+			outstanding++
+		case c, ok := <-cmCh:
+			if !ok {
+				// The session ended; no further commits will come.
+				if firstErr == nil {
+					firstErr = sess.Err()
+				}
+				return firstErr
+			}
+			outstanding--
+			if firstErr != nil {
+				continue // draining only; the client is gone
+			}
+			if err := writeReply(conn, &reply{
+				Instance:  c.Result.K,
+				Output:    agreedOutput(c.Result),
+				Mismatch:  c.Result.Mismatch,
+				Phase3:    c.Result.Phase3,
+				ModelTime: c.Result.TotalTime(),
+			}); err != nil {
+				firstErr = err
+				// Unblock a reader stuck in readFrame so the drain ends.
+				conn.Close()
+			}
 		}
 	}
-	return batch
+	return firstErr
 }
 
 // agreedOutput picks the (common) decision of the fault-free nodes.
-func agreedOutput(ir *core.InstanceResult) []byte {
-	var best graph.NodeID
+func agreedOutput(ir *nab.InstanceResult) []byte {
+	var best nab.NodeID
 	var out []byte
 	for v, val := range ir.Outputs {
 		if out == nil || v < best {

@@ -2,28 +2,26 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net"
 	"strings"
 	"testing"
 
+	"nab"
 	"nab/internal/adversary"
 	"nab/internal/core"
 	"nab/internal/graph"
-	"nab/internal/runtime"
 	"nab/internal/topo"
 )
 
-// startServer hosts a runtime-backed session server on an ephemeral port.
+// startServer hosts a session-backed server on an ephemeral port.
 func startServer(t *testing.T, lenBytes, window int, advs map[graph.NodeID]core.Adversary) (addr string, shutdown func()) {
 	t.Helper()
-	rt, err := runtime.New(runtime.Config{
-		Config: core.Config{
-			Graph: topo.CompleteBi(4, 1), Source: 1, F: 1,
-			LenBytes: lenBytes, Seed: 7, Adversaries: advs,
-		},
-		Window: window,
-	})
+	sess, err := nab.Open(context.Background(), nab.Config{
+		Graph: topo.CompleteBi(4, 1), Source: 1, F: 1,
+		LenBytes: lenBytes, Seed: 7, Adversaries: advs,
+	}, nab.WithWindow(window))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,12 +32,12 @@ func startServer(t *testing.T, lenBytes, window int, advs map[graph.NodeID]core.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		serve(l, rt, lenBytes, window, io.Discard)
+		serve(l, sess, lenBytes, io.Discard)
 	}()
 	return l.Addr().String(), func() {
 		l.Close()
 		<-done
-		rt.Close()
+		sess.Close()
 	}
 }
 
@@ -168,5 +166,37 @@ func TestFlagsAndErrors(t *testing.T) {
 	}
 	if err := run([]string{"-connect", "127.0.0.1:1", "-q", "1"}, io.Discard); err == nil {
 		t.Error("client connected to a dead address")
+	}
+}
+
+// TestServeHalfCloseFlushesReplies pins the wire contract for clients
+// that write all requests, half-close the connection, then read: every
+// accepted request still gets its reply.
+func TestServeHalfCloseFlushesReplies(t *testing.T) {
+	const lenBytes, q = 16, 3
+	addr, shutdown := startServer(t, lenBytes, 2, nil)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < q; i++ {
+		if err := writeFrame(conn, bytes.Repeat([]byte{byte(i + 1)}, lenBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < q; i++ {
+		rep, err := readReply(conn, lenBytes)
+		if err != nil {
+			t.Fatalf("reply %d after half-close: %v", i+1, err)
+		}
+		if rep.Instance != i+1 {
+			t.Errorf("reply %d: instance %d", i+1, rep.Instance)
+		}
 	}
 }

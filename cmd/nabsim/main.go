@@ -48,7 +48,9 @@ func (af adversaryFlags) Set(s string) error {
 	case "crash":
 		a = adversary.Crash{}
 	case "random":
-		a = &adversary.Random{RNG: rand.New(rand.NewSource(int64(id)))}
+		// The instance-scoped (seeded) form: reproducible regardless of
+		// execution engine, unlike the deprecated shared-stream adversary.
+		a = &adversary.Random{Seed: int64(id)}
 	default:
 		return fmt.Errorf("unknown strategy %q", parts[1])
 	}

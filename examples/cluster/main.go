@@ -23,10 +23,14 @@ func main() {
 	g := nab.CompleteGraph(5, 2)
 	nodes := g.Nodes()
 
-	addrs, err := nab.FreeClusterAddrs(len(nodes) + 1)
+	// Held-listener reservation: the ports stay bound from here until
+	// each peer's bootstrap adopts them — nothing can snipe them between.
+	rsv, err := nab.ReserveClusterAddrs(len(nodes) + 1)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rsv.Close()
+	addrs := rsv.Addrs()
 	cfg := &nab.ClusterConfig{
 		Topology:  g.Marshal(),
 		Source:    1,
@@ -71,7 +75,7 @@ func main() {
 		wg.Add(1)
 		go func(i int, v nab.NodeID) {
 			defer wg.Done()
-			peer, err := nab.StartClusterNode(cfg, v, nab.ClusterOptions{})
+			peer, err := nab.StartClusterNode(cfg, v, nab.ClusterOptions{Reservation: rsv})
 			if err != nil {
 				outs[i] = peerOut{id: v, err: err}
 				return

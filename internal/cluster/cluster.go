@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"sync"
 	"time"
 
 	"nab/internal/core"
@@ -19,6 +22,11 @@ type Options struct {
 	// BootTimeout bounds how long link and control dials wait for peer
 	// processes to come up. Default 20s.
 	BootTimeout time.Duration
+	// Reservation supplies held listeners from ReserveAddrs: the bootstrap
+	// takes this process's mesh endpoint (and, on the coordinator, the
+	// control-plane endpoint) from it instead of re-binding the configured
+	// addresses, closing the release-then-rebind race.
+	Reservation *Reservation
 }
 
 // Node is one process's membership in a cluster: the transport endpoint,
@@ -30,14 +38,29 @@ type Node struct {
 	tr     *transport.Peer
 	ctrl   *ctrlPlane
 	rt     *runtime.Runtime
+
+	stopOnce sync.Once
+	stop     chan struct{} // releases the context watchdog
 }
 
 // Start brings this process into the cluster as the host of node id (and
 // every node colocated at id's address): it opens the mesh listener,
 // joins the control plane (serving it if id's process hosts the source),
 // and starts the partial runtime. Peers may be started in any order;
-// link dials retry until the mesh is up.
+// link dials retry until the mesh is up. Start is StartContext with a
+// background context.
 func Start(cfg *Config, id graph.NodeID, opt Options) (*Node, error) {
+	return StartContext(context.Background(), cfg, id, opt)
+}
+
+// StartContext is Start bounded by ctx: canceling it aborts the boot-time
+// dial retries (a follower waiting for the coordinator to come up) and
+// makes the control plane's pending schedule waits fail, so a canceled
+// session tears down instead of waiting out BootTimeout.
+func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options) (*Node, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,11 +74,15 @@ func Start(cfg *Config, id graph.NodeID, opt Options) (*Node, error) {
 		return nil, err
 	}
 
-	tr, err := transport.NewPeer(coreCfg.Graph, locals, cfg.Addrs(), spec.Addr, transport.PeerOptions{
+	popt := transport.PeerOptions{
 		TimeUnit:    opt.TimeUnit,
 		Burst:       opt.Burst,
 		DialTimeout: opt.BootTimeout,
-	})
+	}
+	if opt.Reservation != nil {
+		popt.Listener = opt.Reservation.Take(spec.Addr)
+	}
+	tr, err := transport.NewPeer(coreCfg.Graph, locals, cfg.Addrs(), spec.Addr, popt)
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +102,13 @@ func Start(cfg *Config, id graph.NodeID, opt Options) (*Node, error) {
 	}
 	var ctrl *ctrlPlane
 	if isCoord {
-		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs))
+		var cl net.Listener
+		if opt.Reservation != nil {
+			cl = opt.Reservation.Take(cfg.CtrlAddr)
+		}
+		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs), cl)
 	} else {
-		ctrl, err = newFollower(cfg.CtrlAddr, opt.BootTimeout)
+		ctrl, err = newFollower(ctx, cfg.CtrlAddr, opt.BootTimeout)
 	}
 	if err != nil {
 		tr.Close()
@@ -95,7 +126,18 @@ func Start(cfg *Config, id graph.NodeID, opt Options) (*Node, error) {
 		ctrl.Close()
 		return nil, err // runtime owns (and closed) the transport
 	}
-	return &Node{cfg: cfg, locals: locals, tr: tr, ctrl: ctrl, rt: rt}, nil
+	n := &Node{cfg: cfg, locals: locals, tr: tr, ctrl: ctrl, rt: rt, stop: make(chan struct{})}
+	// The watchdog force-closes the endpoints on cancellation, so actors
+	// blocked in link dials (a peer process that never came up) or paced
+	// sends abort promptly instead of waiting out their timeouts.
+	go func() {
+		select {
+		case <-ctx.Done():
+			n.Close()
+		case <-n.stop:
+		}
+	}()
+	return n, nil
 }
 
 // Locals returns the topology nodes this process hosts.
@@ -109,30 +151,57 @@ func (n *Node) Runtime() *runtime.Runtime { return n.rt }
 // cluster calls Run; each result carries the outputs of the local
 // fault-free nodes, with mismatch bits and dispute evolution agreed
 // cluster-wide.
+//
+// Deprecated: Run is the one-shot batch form kept for compatibility; it
+// delegates to Stream (see also nab.Session, the facade over it).
 func (n *Node) Run() (*runtime.Result, error) {
 	return n.RunInputs(n.cfg.Inputs())
 }
 
 // RunInputs executes an explicit input sequence (all processes must pass
-// identical inputs). After the local commits it holds the process at the
-// cluster's shutdown barrier, keeping sockets open while stragglers flush
-// their final frames.
+// identical inputs).
+//
+// Deprecated: RunInputs is the one-shot batch form kept for
+// compatibility; it delegates to Stream.
 func (n *Node) RunInputs(inputs [][]byte) (*runtime.Result, error) {
 	return n.RunStream(inputs, nil)
 }
 
 // RunStream is RunInputs with a per-commit hook invoked synchronously as
-// each instance commits, in order (see runtime.RunFunc) — the handle for
-// streaming a node's decisions out while the pipeline keeps running.
+// each instance commits, in order.
+//
+// Deprecated: RunStream is the one-shot batch form kept for
+// compatibility; it delegates to Stream.
 func (n *Node) RunStream(inputs [][]byte, commit func(*core.InstanceResult) error) (*runtime.Result, error) {
-	res, err := n.rt.RunFunc(inputs, commit)
+	// Preserve the batch contract: reject a malformed batch before
+	// engaging the mesh, so no process half-commits it.
+	if err := n.rt.ValidateInputs(inputs); err != nil {
+		return nil, err
+	}
+	subs := make(chan []byte, len(inputs))
+	for _, in := range inputs {
+		subs <- in
+	}
+	close(subs)
+	return n.Stream(context.Background(), subs, commit)
+}
+
+// Stream executes submissions pulled from subs until the channel closes
+// (see runtime.RunStream: a bounded channel gives backpressure; every
+// process of the cluster must feed the same sequence). After the local
+// commits it holds the process at the cluster's shutdown barrier, keeping
+// sockets open while stragglers flush their final frames. Canceling ctx
+// aborts in-flight executions — mid-dispute included — and skips the
+// lingering barrier wait.
+func (n *Node) Stream(ctx context.Context, subs <-chan []byte, commit func(*core.InstanceResult) error) (*runtime.Result, error) {
+	res, err := n.rt.RunStream(ctx, subs, commit)
 	timeout := 30 * time.Second
 	if err != nil {
-		// Still announce done (peers should not wait for a failed
-		// process), but do not linger.
+		// Still announce done (peers should not wait for a failed or
+		// canceled process), but do not linger.
 		timeout = time.Second
 	}
-	n.ctrl.barrier(timeout)
+	n.ctrl.barrier(ctx, timeout)
 	return res, err
 }
 
@@ -141,8 +210,9 @@ func (n *Node) RunStream(inputs [][]byte, commit func(*core.InstanceResult) erro
 func (n *Node) Dropped() int64 { return n.tr.Dropped() }
 
 // Close leaves the cluster: shuts the runtime (and its transport) and
-// the control plane down.
+// the control plane down. Idempotent.
 func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stop) })
 	err := n.rt.Close()
 	n.ctrl.Close()
 	return err

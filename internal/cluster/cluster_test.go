@@ -15,14 +15,17 @@ import (
 
 // mkConfig assembles a loopback cluster config: nodes are assigned to
 // hosting processes round-robin over `procs` addresses (procs == n gives
-// every node its own process).
-func mkConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, procs, instances int, advs map[graph.NodeID]string) *cluster.Config {
+// every node its own process). The endpoints are reserved as held
+// listeners; runCluster hands them to the node bootstraps.
+func mkConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, procs, instances int, advs map[graph.NodeID]string) (*cluster.Config, *cluster.Reservation) {
 	t.Helper()
 	nodes := g.Nodes()
-	addrs, err := cluster.FreeAddrs(procs + 1)
+	rsv, err := cluster.ReserveAddrs(procs + 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { rsv.Close() })
+	addrs := rsv.Addrs()
 	cfg := &cluster.Config{
 		Topology:  g.Marshal(),
 		Source:    source,
@@ -46,7 +49,7 @@ func mkConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, procs, in
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	return cfg
+	return cfg, rsv
 }
 
 // clusterResult is one hosting process's view of the run.
@@ -62,7 +65,7 @@ type clusterResult struct {
 // standing in for one OS process, with node-to-node traffic on real TCP
 // sockets), runs the configured workload everywhere, and collects every
 // process's view.
-func runCluster(t *testing.T, cfg *cluster.Config) []clusterResult {
+func runCluster(t *testing.T, cfg *cluster.Config, rsv *cluster.Reservation) []clusterResult {
 	t.Helper()
 	hosts := map[string]graph.NodeID{} // one Start per address
 	var order []string
@@ -78,7 +81,7 @@ func runCluster(t *testing.T, cfg *cluster.Config) []clusterResult {
 		wg.Add(1)
 		go func(i int, lead graph.NodeID) {
 			defer wg.Done()
-			n, err := cluster.Start(cfg, lead, cluster.Options{BootTimeout: 30 * time.Second})
+			n, err := cluster.Start(cfg, lead, cluster.Options{BootTimeout: 30 * time.Second, Reservation: rsv})
 			if err != nil {
 				results[i] = clusterResult{err: err}
 				return
@@ -173,9 +176,9 @@ func checkAgainstLockstep(t *testing.T, cfg *cluster.Config, results []clusterRe
 // real TCP, fault-free, byte-identical to lockstep.
 func TestClusterHonestK4(t *testing.T) {
 	g := topo.CompleteBi(4, 1)
-	cfg := mkConfig(t, g, 1, 1, 4, 3, nil)
+	cfg, rsv := mkConfig(t, g, 1, 1, 4, 3, nil)
 	want, wantDisputes := lockstepRun(t, cfg)
-	results := runCluster(t, cfg)
+	results := runCluster(t, cfg, rsv)
 	checkAgainstLockstep(t, cfg, results, want, wantDisputes)
 }
 
@@ -185,9 +188,9 @@ func TestClusterHonestK4(t *testing.T) {
 // instances (K7, f=2, so phases keep running after the exclusion).
 func TestClusterFalseAlarmExclusion(t *testing.T) {
 	g := topo.CompleteBi(7, 2)
-	cfg := mkConfig(t, g, 1, 2, 7, 4, map[graph.NodeID]string{4: "alarm"})
+	cfg, rsv := mkConfig(t, g, 1, 2, 7, 4, map[graph.NodeID]string{4: "alarm"})
 	want, wantDisputes := lockstepRun(t, cfg)
-	results := runCluster(t, cfg)
+	results := runCluster(t, cfg, rsv)
 	checkAgainstLockstep(t, cfg, results, want, wantDisputes)
 	if !want.Instances[0].Phase3 {
 		t.Fatal("scenario did not exercise dispute control")
@@ -201,16 +204,16 @@ func TestClusterColocatedHosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := mkConfig(t, g, 1, 1, 3, 3, map[graph.NodeID]string{4: "flip"})
+	cfg, rsv := mkConfig(t, g, 1, 1, 3, 3, map[graph.NodeID]string{4: "flip"})
 	want, wantDisputes := lockstepRun(t, cfg)
-	results := runCluster(t, cfg)
+	results := runCluster(t, cfg, rsv)
 	checkAgainstLockstep(t, cfg, results, want, wantDisputes)
 }
 
 // TestConfigRoundTrip checks Save/Load fidelity.
 func TestConfigRoundTrip(t *testing.T) {
 	g := topo.CompleteBi(4, 1)
-	cfg := mkConfig(t, g, 1, 1, 4, 2, map[graph.NodeID]string{3: "crash"})
+	cfg, _ := mkConfig(t, g, 1, 1, 4, 2, map[graph.NodeID]string{3: "crash"})
 	path := t.TempDir() + "/cluster.json"
 	if err := cfg.Save(path); err != nil {
 		t.Fatal(err)

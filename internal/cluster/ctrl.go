@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -200,13 +201,17 @@ func (p *ctrlPlane) Execution(k, gen int) runtime.ExecutionView {
 	return v
 }
 
-// newCoordinator opens the control-plane listener and starts serving
-// decision streams to followers. expect is the number of processes the
-// shutdown barrier waits for (the coordinator included).
-func newCoordinator(addr string, expect int) (*ctrlPlane, error) {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: control listen %s: %w", addr, err)
+// newCoordinator opens the control-plane listener (or adopts a held one
+// from a reservation) and starts serving decision streams to followers.
+// expect is the number of processes the shutdown barrier waits for (the
+// coordinator included).
+func newCoordinator(addr string, expect int, l net.Listener) (*ctrlPlane, error) {
+	if l == nil {
+		var err error
+		l, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: control listen %s: %w", addr, err)
+		}
 	}
 	p := &ctrlPlane{d: newDecisions(), listener: l, expect: expect, allDone: make(chan struct{})}
 	go p.acceptLoop()
@@ -298,12 +303,13 @@ func (p *ctrlPlane) broadcast(m ctrlMsg) error {
 }
 
 // newFollower dials the coordinator (retrying while the cluster boots)
-// and starts buffering its decision stream.
-func newFollower(addr string, timeout time.Duration) (*ctrlPlane, error) {
+// and starts buffering its decision stream. Canceling ctx aborts the
+// boot-time retry loop.
+func newFollower(ctx context.Context, addr string, timeout time.Duration) (*ctrlPlane, error) {
 	if timeout <= 0 {
 		timeout = 20 * time.Second
 	}
-	conn, err := transport.DialRetry(addr, timeout, nil)
+	conn, err := transport.DialRetry(addr, timeout, ctx.Done())
 	if err != nil {
 		return nil, fmt.Errorf("cluster: control dial %s: %w", addr, err)
 	}
@@ -331,9 +337,9 @@ func (p *ctrlPlane) readLoop() {
 
 // barrier announces this process done and waits (bounded) for the rest of
 // the cluster, so sockets stay open while stragglers flush their last
-// frames. Best effort: on timeout or a dead control link it returns
-// anyway — the local results are already committed.
-func (p *ctrlPlane) barrier(timeout time.Duration) {
+// frames. Best effort: on timeout, context cancellation or a dead control
+// link it returns anyway — the local results are already committed.
+func (p *ctrlPlane) barrier(ctx context.Context, timeout time.Duration) {
 	if p.listener != nil {
 		p.countDone() // the coordinator counts itself
 	} else {
@@ -347,6 +353,7 @@ func (p *ctrlPlane) barrier(timeout time.Duration) {
 	select {
 	case <-p.allDone:
 	case <-time.After(timeout):
+	case <-ctx.Done():
 	}
 }
 

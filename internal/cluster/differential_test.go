@@ -99,7 +99,7 @@ func TestDifferentialScenarioMatrix(t *testing.T) {
 				if sc.spec != "" {
 					advs[tp.victim] = sc.spec
 				}
-				cfg := mkConfig(t, tp.g, tp.source, tp.f, tp.procs, 4, advs)
+				cfg, rsv := mkConfig(t, tp.g, tp.source, tp.f, tp.procs, 4, advs)
 
 				want, wantDisputes := lockstepRun(t, cfg)
 
@@ -109,7 +109,7 @@ func TestDifferentialScenarioMatrix(t *testing.T) {
 					t.Errorf("pipelined dispute set %q, want %q", pipeDisputes, wantDisputes)
 				}
 
-				results := runCluster(t, cfg)
+				results := runCluster(t, cfg, rsv)
 				checkAgainstLockstep(t, cfg, results, want, wantDisputes)
 			})
 		}
@@ -156,7 +156,7 @@ func comparePipelined(t *testing.T, want, got *core.RunResult) {
 // findings from the coordinator (NeedAudit), then fold identically.
 func TestDifferentialAlarmThenFlip(t *testing.T) {
 	g := topo.CompleteBi(7, 2)
-	cfg := mkConfig(t, g, 1, 2, 7, 5, map[graph.NodeID]string{3: "alarm", 5: "flip"})
+	cfg, rsv := mkConfig(t, g, 1, 2, 7, 5, map[graph.NodeID]string{3: "alarm", 5: "flip"})
 	want, wantDisputes := lockstepRun(t, cfg)
 
 	phase3AfterExclusion := false
@@ -177,6 +177,6 @@ func TestDifferentialAlarmThenFlip(t *testing.T) {
 		t.Errorf("pipelined dispute set %q, want %q", pipeDisputes, wantDisputes)
 	}
 
-	results := runCluster(t, cfg)
+	results := runCluster(t, cfg, rsv)
 	checkAgainstLockstep(t, cfg, results, want, wantDisputes)
 }

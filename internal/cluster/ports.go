@@ -3,28 +3,126 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"os"
+	"sync"
 )
 
-// FreeAddrs reserves n distinct loopback TCP addresses by briefly
-// listening on ephemeral ports. The usual caveat applies — the ports are
-// released before the cluster binds them — but loopback clusters built
-// immediately afterwards (tests, -spawn-local) make collisions
-// practically impossible.
-func FreeAddrs(n int) ([]string, error) {
-	out := make([]string, 0, n)
-	listeners := make([]net.Listener, 0, n)
-	defer func() {
-		for _, l := range listeners {
-			l.Close()
-		}
-	}()
+// Reservation holds bound listeners for a set of addresses, to be handed
+// off to the endpoints that will serve them. Reserving addresses this way
+// — instead of listening, reading the port, and closing (FreeAddrs) —
+// closes the TOCTOU window in which another process could bind a released
+// port before the cluster rebinds it.
+//
+// A Reservation is safe for concurrent use: in-process cluster tests
+// share one across all their Start calls, each taking its own endpoints.
+type Reservation struct {
+	mu    sync.Mutex
+	held  map[string]net.Listener
+	order []string
+}
+
+// NewReservation returns an empty reservation; Add listeners bound
+// elsewhere (e.g. inherited from a parent process) to it.
+func NewReservation() *Reservation {
+	return &Reservation{held: map[string]net.Listener{}}
+}
+
+// ReserveAddrs binds n distinct loopback TCP listeners on ephemeral ports
+// and keeps them open. Hand them to the node bootstrap via
+// Options.Reservation (in-process) or Reservation.File + net.FileListener
+// (across a fork/exec boundary); Close whatever remains.
+func ReserveAddrs(n int) (*Reservation, error) {
+	r := NewReservation()
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			r.Close()
 			return nil, fmt.Errorf("cluster: reserve port: %w", err)
 		}
-		listeners = append(listeners, l)
-		out = append(out, l.Addr().String())
+		r.Add(l.Addr().String(), l)
 	}
-	return out, nil
+	return r, nil
+}
+
+// Add registers a bound listener under addr. The reservation takes
+// ownership until the listener is taken.
+func (r *Reservation) Add(addr string, l net.Listener) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.held[addr]; !ok {
+		r.order = append(r.order, addr)
+	}
+	r.held[addr] = l
+}
+
+// Addrs lists the reserved addresses in reservation order.
+func (r *Reservation) Addrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.order))
+	for _, a := range r.order {
+		if _, ok := r.held[a]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Take removes and returns the held listener for addr; nil when addr is
+// not (or no longer) reserved. The caller assumes ownership.
+func (r *Reservation) Take(addr string) net.Listener {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.held[addr]
+	delete(r.held, addr)
+	return l
+}
+
+// File removes the listener for addr and returns it as a dup'ed *os.File
+// for handing to a child process (exec.Cmd.ExtraFiles); the child rebuilds
+// it with net.FileListener. The reservation-side listener is closed — the
+// dup keeps the socket bound, so the address stays held across the
+// handoff.
+func (r *Reservation) File(addr string) (*os.File, error) {
+	l := r.Take(addr)
+	if l == nil {
+		return nil, fmt.Errorf("cluster: address %s is not reserved", addr)
+	}
+	tl, ok := l.(*net.TCPListener)
+	if !ok {
+		return nil, fmt.Errorf("cluster: listener for %s is not TCP", addr)
+	}
+	f, err := tl.File()
+	tl.Close()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dup listener %s: %w", addr, err)
+	}
+	return f, nil
+}
+
+// Close releases every listener still held. Taken listeners are the new
+// owners' responsibility.
+func (r *Reservation) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for addr, l := range r.held {
+		l.Close()
+		delete(r.held, addr)
+	}
+	return nil
+}
+
+// FreeAddrs reserves n distinct loopback TCP addresses by briefly
+// listening on ephemeral ports and releasing them.
+//
+// Deprecated: the released ports can be rebound by another process before
+// the cluster binds them. Use ReserveAddrs, which keeps the listeners
+// held and hands them off to the node bootstrap.
+func FreeAddrs(n int) ([]string, error) {
+	r, err := ReserveAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Addrs(), nil
 }

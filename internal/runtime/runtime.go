@@ -20,6 +20,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -193,6 +194,9 @@ func New(cfg Config) (*Runtime, error) {
 // Protocol returns the validated protocol the runtime drives.
 func (rt *Runtime) Protocol() *core.Protocol { return rt.proto }
 
+// Window returns the in-flight limit (after defaulting).
+func (rt *Runtime) Window() int { return rt.cfg.Window }
+
 // InstanceGraph returns the current G_k.
 func (rt *Runtime) InstanceGraph() *graph.Directed {
 	rt.runMu.Lock()
@@ -362,10 +366,63 @@ func (res *Result) InstancesPerSec() float64 {
 }
 
 // Run executes one pipelined instance per input and returns once all have
-// committed, in order. Committed outputs are identical to running the same
-// configuration on the lockstep core.Runner. With LocalNodes set, the
+// committed, in order.
+//
+// Deprecated: Run is the one-shot batch form kept for compatibility; it
+// delegates to RunStream, which takes an unbounded submission stream and
+// a context (see also nab.Session, the facade over it).
+func (rt *Runtime) Run(inputs [][]byte) (*Result, error) {
+	return rt.RunFunc(inputs, nil)
+}
+
+// RunFunc is Run with a per-commit hook invoked synchronously as each
+// instance commits, in order.
+//
+// Deprecated: RunFunc is the one-shot batch form kept for compatibility;
+// it delegates to RunStream.
+func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) error) (*Result, error) {
+	// Preserve the batch contract: a malformed input rejects the whole
+	// batch up front, before any instance executes or commits.
+	if err := rt.ValidateInputs(inputs); err != nil {
+		return nil, err
+	}
+	subs := make(chan []byte, len(inputs))
+	for _, in := range inputs {
+		subs <- in
+	}
+	close(subs)
+	return rt.RunStream(context.Background(), subs, commit)
+}
+
+// ValidateInputs checks a batch against the configured input size,
+// numbering errors by the instances the batch would run next.
+func (rt *Runtime) ValidateInputs(inputs [][]byte) error {
+	rt.runMu.Lock()
+	base := rt.k
+	rt.runMu.Unlock()
+	for i, in := range inputs {
+		if len(in) != rt.cfg.LenBytes {
+			return fmt.Errorf("core: instance %d: input is %d bytes, want %d", base+i+1, len(in), rt.cfg.LenBytes)
+		}
+	}
+	return nil
+}
+
+// RunStream executes one pipelined instance per submission pulled from
+// subs until the channel closes, and returns once every pulled submission
+// has committed, in order. Committed outputs are identical to running the
+// same inputs on the lockstep core.Runner. With LocalNodes set, the
 // result carries only the local nodes' outputs; every process of the
-// cluster must call Run with the same inputs.
+// cluster must feed its stream the same submission sequence.
+//
+// The scheduler pulls a submission only when the pipeline has a free
+// window slot, so a bounded subs channel gives end-to-end backpressure: a
+// producer blocks once W instances are in flight and the channel buffer is
+// full. commit (when non-nil) is invoked synchronously as each instance
+// commits, in order — a commit error aborts the run. Canceling ctx aborts
+// every in-flight execution (mid-dispute included), returns ctx.Err(), and
+// leaves the runtime closeable; the transport stays open, so a later
+// RunStream may resume from the folded dispute state.
 //
 // Determinism caveat: an Adversary whose hooks consume hidden shared
 // state sees hook interleavings that depend on the window; its behaviour
@@ -374,28 +431,18 @@ func (res *Result) InstancesPerSec() float64 {
 // nil RNG) draw per-instance state instead and are deterministic under
 // any window, as are stateless adversaries (Crash, BlockFlipper,
 // CodedCorruptor, FalseAlarm, flag liars).
-func (rt *Runtime) Run(inputs [][]byte) (*Result, error) {
-	return rt.RunFunc(inputs, nil)
-}
-
-// RunFunc is Run with a per-commit hook: commit (when non-nil) is invoked
-// synchronously as each instance commits, in order — the streaming
-// daemon's handle for replying before the whole batch finishes. A commit
-// error aborts the run.
-func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) error) (*Result, error) {
+func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit func(*core.InstanceResult) error) (*Result, error) {
 	rt.runMu.Lock()
 	defer rt.runMu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	startBits := rt.tr.LinkBits()
 
 	res := &Result{
 		RunResult: core.RunResult{LenBits: rt.proto.LenBits()},
 		Window:    rt.cfg.Window,
-	}
-	for i, in := range inputs {
-		if len(in) != rt.cfg.LenBytes {
-			return nil, fmt.Errorf("core: instance %d: input is %d bytes, want %d", rt.k+i+1, len(in), rt.cfg.LenBytes)
-		}
 	}
 
 	entryFor := func(gen int) *planEntry {
@@ -407,7 +454,10 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 		return e
 	}
 
-	base := rt.k
+	// inputs retains every pulled-but-uncommitted submission keyed by its
+	// instance number: a dispute barrier aborts speculative executions,
+	// which relaunch later from this map on the fresh snapshot.
+	inputs := map[int][]byte{}
 	inflight := map[int]*flight{}
 	launch := func(k int) {
 		rt.nextLaunch++
@@ -427,6 +477,7 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 		}
 		inflight[k] = f
 		rt.register(f.eng)
+		in := inputs[k] // read under the scheduler, not in the goroutine
 		go func() {
 			defer close(f.done)
 			plan, err := rt.resolve(f.plans, f.k)
@@ -434,7 +485,7 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 				f.err = err
 				return
 			}
-			f.ir, f.err = plan.ExecuteLocal(f.eng, f.k, inputs[f.k-base-1], lv)
+			f.ir, f.err = plan.ExecuteLocal(f.eng, f.k, in, lv)
 		}()
 	}
 	finish := func(f *flight) {
@@ -460,18 +511,47 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 		return nil, err
 	}
 
-	first, last := rt.k+1, rt.k+len(inputs)
-	for next := first; rt.k < last; {
+	// tail is the newest instance number assigned a submission; open means
+	// subs may still yield more.
+	tail, open := rt.k, true
+	for next := rt.k + 1; ; {
 		// Fill the window with speculative launches on the live snapshot.
-		for next <= last && next-rt.k <= rt.cfg.Window {
+		for next <= tail && next-rt.k <= rt.cfg.Window {
 			if _, ok := inflight[next]; !ok {
 				launch(next)
 			}
 			next++
 		}
-		// Commit strictly in order: wait for the oldest in-flight.
+		if !open && tail == rt.k {
+			break // stream closed and every pulled submission committed
+		}
+		// Wait for the oldest in-flight instance (commits are strictly in
+		// order) while pulling submissions whenever a window slot is free.
+		var doneCh chan struct{}
+		if f := inflight[rt.k+1]; f != nil {
+			doneCh = f.done
+		}
+		var subCh <-chan []byte
+		if open && tail-rt.k < rt.cfg.Window {
+			subCh = subs
+		}
+		select {
+		case <-ctx.Done():
+			return fail(ctx.Err())
+		case in, ok := <-subCh:
+			if !ok {
+				open = false
+				continue
+			}
+			if len(in) != rt.cfg.LenBytes {
+				return fail(fmt.Errorf("core: instance %d: input is %d bytes, want %d", tail+1, len(in), rt.cfg.LenBytes))
+			}
+			tail++
+			inputs[tail] = in
+			continue
+		case <-doneCh:
+		}
 		f := inflight[rt.k+1]
-		<-f.done
 		finish(f)
 		if f.gen != rt.ds.Gen() {
 			// Cannot happen: every gen bump is followed by the barrier
@@ -486,6 +566,7 @@ func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) er
 		}
 		res.Instances = append(res.Instances, f.ir)
 		rt.k++
+		delete(inputs, f.k)
 		if commit != nil {
 			if err := commit(f.ir); err != nil {
 				return fail(err)

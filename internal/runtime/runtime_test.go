@@ -2,6 +2,8 @@ package runtime_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -410,5 +412,156 @@ func TestAggregateReport(t *testing.T) {
 	}
 	if rep.String() == "" {
 		t.Error("empty report rendering")
+	}
+}
+
+// TestRunStreamIncremental drives the streaming scheduler the way a live
+// session does — submissions trickle in while earlier instances are still
+// in flight, across a dispute-heavy scenario — and requires the committed
+// sequence to byte-match the lockstep oracle, with per-commit hooks fired
+// strictly in order.
+func TestRunStreamIncremental(t *testing.T) {
+	g := topo.CompleteBi(7, 2)
+	mkCfg := func() core.Config {
+		return core.Config{
+			Graph: g, Source: 1, F: 2, LenBytes: 16, Seed: 5,
+			Adversaries: map[graph.NodeID]core.Adversary{
+				3: adversary.FalseAlarm{}, // dispute barriers mid-stream
+			},
+		}
+	}
+	const q = 6
+	inputs := mkInputs(q, 16)
+
+	lock, err := core.NewRunner(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lock.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := runtime.New(runtime.Config{Config: mkCfg(), Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	subs := make(chan []byte) // unbuffered: the scheduler pulls one by one
+	go func() {
+		defer close(subs)
+		for _, in := range inputs {
+			subs <- in
+			time.Sleep(time.Millisecond) // arrivals straggle behind the pipeline
+		}
+	}()
+	var commits []int
+	got, err := rt.RunStream(context.Background(), subs, func(ir *core.InstanceResult) error {
+		commits = append(commits, ir.K)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Instances) != q || len(commits) != q {
+		t.Fatalf("committed %d instances (%d hooks), want %d", len(got.Instances), len(commits), q)
+	}
+	for i, w := range want.Instances {
+		if commits[i] != i+1 {
+			t.Errorf("commit hook %d fired for instance %d", i+1, commits[i])
+		}
+		gi := got.Instances[i]
+		if gi.Mismatch != w.Mismatch || gi.Phase3 != w.Phase3 {
+			t.Errorf("instance %d: mismatch/phase3 = %v/%v, want %v/%v", i+1, gi.Mismatch, gi.Phase3, w.Mismatch, w.Phase3)
+		}
+		for v, out := range w.Outputs {
+			if !bytes.Equal(gi.Outputs[v], out) {
+				t.Errorf("instance %d: node %d output %x, want %x", i+1, v, gi.Outputs[v], out)
+			}
+		}
+	}
+	if lock.Disputes().String() != rt.Disputes().String() {
+		t.Errorf("final dispute sets differ: %v vs %v", lock.Disputes(), rt.Disputes())
+	}
+}
+
+// TestRunStreamCancel cancels a stream mid-flight: RunStream must return
+// ctx.Err(), reap its speculative executions, and leave the runtime
+// usable for a follow-up run on the same dispute state.
+func TestRunStreamCancel(t *testing.T) {
+	g := topo.CompleteBi(7, 2)
+	cfg := core.Config{
+		Graph: g, Source: 1, F: 2, LenBytes: 16, Seed: 5,
+		Adversaries: map[graph.NodeID]core.Adversary{
+			3: adversary.FalseAlarm{}, // cancellation lands mid-dispute
+		},
+	}
+	rt, err := runtime.New(runtime.Config{Config: cfg, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := mkInputs(1, 16)[0]
+	subs := make(chan []byte, 8) // never closed: an open-ended stream
+	for i := 0; i < 8; i++ {
+		subs <- in
+	}
+	committed := 0
+	_, err = rt.RunStream(ctx, subs, func(ir *core.InstanceResult) error {
+		committed++
+		if committed == 2 {
+			cancel() // later instances are speculative in flight right now
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunStream = %v, want context.Canceled", err)
+	}
+	if committed < 2 {
+		t.Fatalf("canceled after %d commits, want >= 2", committed)
+	}
+
+	// The runtime survives: a fresh bounded stream commits more instances
+	// on the dispute state the canceled run left behind.
+	subs2 := make(chan []byte, 2)
+	subs2 <- in
+	subs2 <- in
+	close(subs2)
+	res, err := rt.RunStream(context.Background(), subs2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 2 {
+		t.Fatalf("follow-up run committed %d instances, want 2", len(res.Instances))
+	}
+	if res.Instances[0].K != committed+1 {
+		t.Errorf("follow-up resumed at instance %d, want %d", res.Instances[0].K, committed+1)
+	}
+}
+
+// TestRunBatchRejectsMalformedUpFront pins the deprecated batch
+// contract: a bad input anywhere in the batch fails the whole call
+// before any instance executes, commits or advances the schedule.
+func TestRunBatchRejectsMalformedUpFront(t *testing.T) {
+	cfg := core.Config{Graph: topo.CompleteBi(4, 1), Source: 1, F: 1, LenBytes: 16, Seed: 2}
+	rt, err := runtime.New(runtime.Config{Config: cfg, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	good := mkInputs(2, 16)
+	if _, err := rt.Run([][]byte{good[0], good[1], []byte("short")}); err == nil {
+		t.Fatal("batch with a malformed input accepted")
+	}
+	// Nothing committed: the next batch still starts at instance 1.
+	res, err := rt.Run(good[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances[0].K != 1 {
+		t.Errorf("failed batch advanced the schedule: next instance %d, want 1", res.Instances[0].K)
 	}
 }

@@ -27,6 +27,11 @@ type PeerOptions struct {
 	DialTimeout time.Duration
 	// Buffer is the per-node inbox depth; 0 defaults to 4096 frames.
 	Buffer int
+	// Listener supplies an already-bound listener for the mesh endpoint
+	// instead of listening on the configured address — the held-reservation
+	// handoff (cluster.ReserveAddrs) that closes the release-then-rebind
+	// race of address pre-allocation. The peer takes ownership.
+	Listener net.Listener
 }
 
 // Handshake layout: every mesh connection opens with a fixed 21-byte
@@ -114,9 +119,13 @@ func NewPeer(g *graph.Directed, localNodes []graph.NodeID, addrs map[graph.NodeI
 		}
 		p.addrs[v] = a
 	}
-	l, err := net.Listen("tcp", listenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: peer listen %s: %w", listenAddr, err)
+	l := opt.Listener
+	if l == nil {
+		var err error
+		l, err = net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: peer listen %s: %w", listenAddr, err)
+		}
 	}
 	p.listener = l
 	go p.acceptLoop()

@@ -24,6 +24,34 @@
 // capacity upper bound and the Theorem 3 throughput guarantee for a
 // topology.
 //
+// # Streaming sessions
+//
+// Session is the primary execution API: one streaming, context-aware
+// facade over every engine. Clients submit payloads continuously and
+// consume commits as they land; the pipelined engine keeps W instances in
+// flight underneath (Appendix D's pipelining), with backpressure from a
+// slow consumer all the way to Submit:
+//
+//	sess, err := nab.Open(ctx, nab.Config{Graph: g, Source: 1, F: 1, LenBytes: 64},
+//		nab.WithWindow(4))
+//	if err != nil { ... }
+//	defer sess.Close()
+//	go func() {
+//		for _, p := range payloads {
+//			seq, err := sess.Submit(ctx, p) // blocks when saturated
+//			...
+//		}
+//		sess.Drain(ctx)
+//	}()
+//	for c := range sess.Commits() {
+//		// c.Result.Outputs, committed in c.Seq order
+//	}
+//	err = sess.Err()
+//
+// WithLockstep selects the synchronous reference simulator, WithCluster
+// the multi-process partial engine; identical payload sequences commit
+// byte-identical outputs on every engine.
+//
 // # Concurrent pipelined runtime
 //
 // Runner executes instances one at a time on the lockstep simulator. The
@@ -171,8 +199,22 @@ func StartClusterNode(cfg *ClusterConfig, id NodeID, opt ClusterOptions) (*Clust
 	return cluster.Start(cfg, id, opt)
 }
 
+// ClusterReservation holds bound listeners for cluster endpoints until
+// the node bootstrap takes them over (see ReserveClusterAddrs).
+type ClusterReservation = cluster.Reservation
+
+// ReserveClusterAddrs binds n loopback listeners on ephemeral ports and
+// keeps them held for building local cluster configs: hand the
+// reservation to StartClusterNode via ClusterOptions.Reservation so the
+// ports cannot be lost to another process between reservation and boot.
+func ReserveClusterAddrs(n int) (*ClusterReservation, error) { return cluster.ReserveAddrs(n) }
+
 // FreeClusterAddrs reserves n loopback addresses for building local
 // cluster configs (tests, demos).
+//
+// Deprecated: the released ports can be rebound by another process before
+// the cluster binds them. Use ReserveClusterAddrs, which keeps the
+// listeners held until the node bootstrap adopts them.
 func FreeClusterAddrs(n int) ([]string, error) { return cluster.FreeAddrs(n) }
 
 // AnalyzeCapacity computes the paper's throughput quantities for source in
@@ -243,8 +285,12 @@ func CodedCorruptorAdversary() Adversary { return &adversary.CodedCorruptor{} }
 func FalseAlarmAdversary() Adversary { return adversary.FalseAlarm{} }
 
 // RandomAdversary flips coins at every protocol decision point from one
-// shared stream; replayed deterministically only at Window=1. Prefer
-// SeededRandomAdversary for pipelined or clustered runs.
+// shared stream; replayed deterministically only at Window=1.
+//
+// Deprecated: the shared stream makes runs irreproducible under any
+// pipeline window > 1 and across cluster processes. Use
+// SeededRandomAdversary, whose per-instance streams are deterministic
+// everywhere.
 func RandomAdversary(seed int64) Adversary {
 	return &adversary.Random{RNG: rand.New(rand.NewSource(seed))}
 }

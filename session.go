@@ -1,0 +1,492 @@
+package nab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nab/internal/cluster"
+	"nab/internal/core"
+	"nab/internal/dispute"
+	"nab/internal/runtime"
+)
+
+// Seq is the broadcast sequence number a Session assigns at submission:
+// the NAB instance number (1-based) the payload will commit as. Commits
+// are delivered strictly in Seq order.
+type Seq int
+
+// Commit is one committed broadcast instance, delivered on
+// Session.Commits in submission order.
+type Commit struct {
+	// Seq echoes the sequence number Submit returned for this payload.
+	Seq Seq
+	// Result is the full instance report: per-node outputs (local nodes
+	// only under WithLocalNodes or WithCluster), the mismatch/phase3
+	// schedule and dispute-control findings.
+	Result *InstanceResult
+}
+
+// ErrSessionDraining is returned by Submit while the session drains:
+// Drain closed the submission stream but accepted payloads are still
+// committing.
+var ErrSessionDraining = errors.New("nab: session draining: submit after drain")
+
+// ErrSessionClosed is returned by Submit once the session has ended —
+// after Close, after a completed Drain, or once the engine failed.
+var ErrSessionClosed = errors.New("nab: session closed")
+
+// DisputeSet is the accumulated dispute relation (pairs and proven-faulty
+// nodes) an engine carries across instances.
+type DisputeSet = dispute.Set
+
+// sessionOptions collects the functional options of Open.
+type sessionOptions struct {
+	lockstep     bool
+	window       int
+	transport    Transport
+	chanOpts     TransportOptions
+	localNodes   []NodeID
+	adversaries  map[NodeID]Adversary
+	commitBuffer int
+
+	cluster     *ClusterConfig
+	clusterID   NodeID
+	clusterOpts ClusterOptions
+}
+
+// SessionOption customizes Open.
+type SessionOption func(*sessionOptions)
+
+// WithLockstep runs the session on the lockstep synchronous simulator
+// (core.Runner) — one instance at a time, the paper's reference model and
+// the oracle the concurrent engines are verified against.
+func WithLockstep() SessionOption {
+	return func(o *sessionOptions) { o.lockstep = true }
+}
+
+// WithWindow sets the pipelined engine's in-flight window W (default 4).
+// W=1 degenerates to sequential execution on the concurrent engine.
+func WithWindow(w int) SessionOption {
+	return func(o *sessionOptions) { o.window = w }
+}
+
+// WithTransport runs the pipelined engine's node links over tr (e.g.
+// NewTCPTransport) instead of the default in-process bus. The session
+// takes ownership and closes it.
+func WithTransport(tr Transport) SessionOption {
+	return func(o *sessionOptions) { o.transport = tr }
+}
+
+// WithTransportOptions tunes the default in-process bus (token-bucket
+// pacing, inbox depth) when no WithTransport is given.
+func WithTransportOptions(opt TransportOptions) SessionOption {
+	return func(o *sessionOptions) { o.chanOpts = opt }
+}
+
+// WithLocalNodes restricts the pipelined engine to hosting the given
+// nodes' actors — the multi-process deployment where the transport
+// carries the rest of the topology's traffic (see PipelineConfig's
+// LocalNodes; prefer WithCluster, which also wires the control plane).
+func WithLocalNodes(nodes ...NodeID) SessionOption {
+	return func(o *sessionOptions) { o.localNodes = append(o.localNodes, nodes...) }
+}
+
+// WithAdversary scripts node v's Byzantine behaviour, merging over the
+// Config's Adversaries map. Prefer SeededRandomAdversary for randomized
+// strategies — it stays deterministic under any window.
+func WithAdversary(v NodeID, a Adversary) SessionOption {
+	return func(o *sessionOptions) {
+		if o.adversaries == nil {
+			o.adversaries = map[NodeID]Adversary{}
+		}
+		o.adversaries[v] = a
+	}
+}
+
+// WithCommitBuffer sets the capacity of the Commits channel (default 16).
+// A consumer that falls more than this many commits behind exerts
+// backpressure: the pipeline stalls, and once the submission queue fills,
+// Submit blocks — end-to-end flow control from consumer to producer.
+func WithCommitBuffer(n int) SessionOption {
+	return func(o *sessionOptions) { o.commitBuffer = n }
+}
+
+// WithCluster joins a multi-process cluster as the host of node id and
+// runs the session on the partial engine driving this process's nodes
+// (full-mesh TCP links, coordinator control plane). The engine
+// configuration — topology, window, scripted adversaries — comes from the
+// shared cluster config, so the Config passed to Open must be zero.
+// Every process of the cluster must feed its session identical payload
+// sequences.
+func WithCluster(cfg *ClusterConfig, id NodeID, opt ClusterOptions) SessionOption {
+	return func(o *sessionOptions) {
+		o.cluster = cfg
+		o.clusterID = id
+		o.clusterOpts = opt
+	}
+}
+
+// Session is the unified streaming interface over every NAB execution
+// engine: clients Submit payloads continuously and consume Commits as
+// they land, with the engine keeping its pipeline full in between — the
+// session-oriented shape of a long-lived coded-broadcast service, in
+// contrast to the one-shot batch calls it replaces (Runner.Run,
+// PipelinedRunner.Run, ClusterNode.Run).
+//
+//	sess, err := nab.Open(ctx, cfg, nab.WithWindow(4))
+//	...
+//	go func() {
+//		for _, p := range payloads {
+//			if _, err := sess.Submit(ctx, p); err != nil { ... }
+//		}
+//		sess.Drain(ctx)
+//	}()
+//	for c := range sess.Commits() {
+//		// c.Result.Outputs — committed in Seq order
+//	}
+//	err = sess.Err()
+//
+// All engines commit byte-identical outputs for identical payload
+// sequences; the differential session tests assert it continuously.
+type Session struct {
+	lenBytes int
+	node     *ClusterNode // non-nil for WithCluster sessions
+	closer   func() error
+	disputes func() *DisputeSet
+	cancel   context.CancelFunc
+
+	// submitMu serializes producers and guards the submission stream's
+	// lifecycle, so Drain never closes subs under a blocked send.
+	submitMu sync.Mutex
+	subs     chan []byte
+	next     Seq
+	drained  bool
+
+	commits chan Commit
+	done    chan struct{}
+	err     error           // terminal error; written before done closes
+	res     *PipelineResult // aggregate accounting; written before done closes
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open validates cfg, starts the selected engine and returns a live
+// Session. The default engine is the concurrent pipelined runtime;
+// WithLockstep selects the synchronous simulator and WithCluster the
+// multi-process partial engine. Canceling ctx aborts the session: every
+// in-flight instance execution is torn down (mid-dispute included),
+// Commits closes, and Err reports the cancellation.
+//
+// Close the session when done — it owns the engine and its transport.
+func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := sessionOptions{commitBuffer: 16}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.commitBuffer < 1 {
+		return nil, fmt.Errorf("nab: commit buffer %d must be >= 1", o.commitBuffer)
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{
+		cancel:  cancel,
+		commits: make(chan Commit, o.commitBuffer),
+		done:    make(chan struct{}),
+	}
+	fail := func(err error) (*Session, error) {
+		cancel()
+		return nil, err
+	}
+
+	switch {
+	case o.cluster != nil:
+		if o.lockstep || o.transport != nil || o.localNodes != nil || o.adversaries != nil || o.window != 0 {
+			return fail(errors.New("nab: WithCluster derives engine, window, transport and adversaries from the cluster config; drop the conflicting options"))
+		}
+		if cfg.Graph != nil {
+			return fail(errors.New("nab: WithCluster derives the configuration from the cluster config; pass a zero Config"))
+		}
+		node, err := cluster.StartContext(sctx, o.cluster, o.clusterID, o.clusterOpts)
+		if err != nil {
+			return fail(err)
+		}
+		s.lenBytes = o.cluster.LenBytes
+		s.node = node
+		s.closer = node.Close
+		s.disputes = node.Runtime().Disputes
+		s.subs = make(chan []byte, max(1, o.cluster.Window))
+		go func() {
+			res, err := node.Stream(sctx, s.subs, s.emitFunc(sctx))
+			s.finish(res, err)
+		}()
+
+	case o.lockstep:
+		if o.transport != nil || o.localNodes != nil {
+			return fail(errors.New("nab: the lockstep engine runs on the synchronous simulator; WithTransport/WithLocalNodes need the pipelined engine"))
+		}
+		if o.window > 1 {
+			return fail(fmt.Errorf("nab: the lockstep engine is sequential; window %d needs the pipelined engine", o.window))
+		}
+		mergeAdversaries(&cfg, o.adversaries)
+		runner, err := core.NewRunner(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		s.lenBytes = cfg.LenBytes
+		s.disputes = runner.Disputes
+		s.subs = make(chan []byte, 1)
+		go s.runLockstep(sctx, runner)
+
+	default:
+		mergeAdversaries(&cfg, o.adversaries)
+		rt, err := runtime.New(runtime.Config{
+			Config:      cfg,
+			Window:      o.window,
+			Transport:   o.transport,
+			ChanOptions: o.chanOpts,
+			LocalNodes:  o.localNodes,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.lenBytes = cfg.LenBytes
+		s.closer = rt.Close
+		s.disputes = rt.Disputes
+		s.subs = make(chan []byte, rt.Window())
+		go func() {
+			res, err := rt.RunStream(sctx, s.subs, s.emitFunc(sctx))
+			s.finish(res, err)
+		}()
+	}
+	return s, nil
+}
+
+// mergeAdversaries overlays opts adversaries onto the config's map
+// without mutating the caller's.
+func mergeAdversaries(cfg *Config, extra map[NodeID]Adversary) {
+	if len(extra) == 0 {
+		return
+	}
+	merged := make(map[NodeID]Adversary, len(cfg.Adversaries)+len(extra))
+	for v, a := range cfg.Adversaries {
+		merged[v] = a
+	}
+	for v, a := range extra {
+		merged[v] = a
+	}
+	cfg.Adversaries = merged
+}
+
+// emitFunc is the engine's per-commit hook: push onto the Commits channel
+// with backpressure, aborting if the session context ends first.
+func (s *Session) emitFunc(ctx context.Context) func(*core.InstanceResult) error {
+	return func(ir *core.InstanceResult) error {
+		select {
+		case s.commits <- Commit{Seq: Seq(ir.K), Result: ir}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// runLockstep adapts the synchronous simulator to the streaming shape:
+// one instance at a time, pulled from the submission queue.
+func (s *Session) runLockstep(ctx context.Context, runner *core.Runner) {
+	res := &runtime.Result{
+		RunResult: core.RunResult{LenBits: runner.Protocol().LenBits()},
+		Window:    1,
+	}
+	emit := s.emitFunc(ctx)
+	start := time.Now()
+	var err error
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break loop
+		case in, ok := <-s.subs:
+			if !ok {
+				break loop
+			}
+			var ir *core.InstanceResult
+			if ir, err = runner.RunInstance(in); err != nil {
+				break loop
+			}
+			res.Instances = append(res.Instances, ir)
+			if err = emit(ir); err != nil {
+				break loop
+			}
+		}
+	}
+	res.Wall = time.Since(start)
+	if err != nil {
+		s.finish(nil, err)
+		return
+	}
+	s.finish(res, nil)
+}
+
+// finish records the session's terminal state. done closes before commits
+// so a consumer that sees Commits end always observes the final Err.
+func (s *Session) finish(res *runtime.Result, err error) {
+	s.res = res
+	s.err = err
+	close(s.done)
+	close(s.commits)
+}
+
+// Submit enqueues one broadcast payload and returns the sequence number
+// it will commit as. Submit blocks while the pipeline is saturated (W
+// instances in flight, submission queue full) — the session's
+// backpressure — until ctx is canceled, the payload is accepted, or the
+// session ends. Concurrent Submits are serialized; the returned Seq
+// promises ordering, not commitment — a session that fails or is canceled
+// ends its commit stream early (see Err).
+func (s *Session) Submit(ctx context.Context, payload []byte) (Seq, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(payload) != s.lenBytes {
+		return 0, fmt.Errorf("nab: payload is %d bytes, session broadcasts %d", len(payload), s.lenBytes)
+	}
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	// An ended session reports ErrSessionClosed even though Close also
+	// marks it drained: closed is the stronger, terminal state.
+	if err := s.endedErr(); err != nil {
+		return 0, err
+	}
+	if s.drained {
+		return 0, ErrSessionDraining
+	}
+	p := append([]byte(nil), payload...) // the caller may reuse its buffer
+	select {
+	case s.subs <- p:
+		s.next++
+		return s.next, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-s.done:
+		return 0, s.endedErr()
+	}
+}
+
+// endedErr reports the session's terminal state as a Submit error, nil
+// while it is still live.
+func (s *Session) endedErr() error {
+	select {
+	case <-s.done:
+		if s.err != nil {
+			return fmt.Errorf("%w: %w", ErrSessionClosed, s.err)
+		}
+		return ErrSessionClosed
+	default:
+		return nil
+	}
+}
+
+// Commits returns the stream of committed instances, strictly in Seq
+// order. The channel closes when the session ends — after Drain completes
+// the stream cleanly, or early on failure or cancellation; check Err once
+// it closes.
+func (s *Session) Commits() <-chan Commit { return s.commits }
+
+// Drain closes the submission stream (subsequent Submits fail:
+// ErrSessionDraining while accepted payloads still commit,
+// ErrSessionClosed once the session has ended) and waits until every
+// accepted payload has committed, the session fails, or ctx is
+// canceled. It returns the session's terminal error, nil for a clean
+// drain.
+//
+// A Submit blocked on backpressure holds the stream open; Drain waits
+// behind it (bounded by ctx) and completes the close once it yields.
+func (s *Session) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	closed := make(chan struct{})
+	go func() {
+		s.closeSubs()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-s.done:
+		return s.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeSubs ends the submission stream exactly once.
+func (s *Session) closeSubs() {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	if !s.drained {
+		s.drained = true
+		close(s.subs)
+	}
+}
+
+// Err returns the session's terminal error: nil while the session is
+// live or after a clean drain, the cause otherwise (context.Canceled
+// after cancellation). It is the value to check when Commits closes.
+func (s *Session) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// Result returns the session's aggregate accounting (wall clock, replays,
+// per-link bits) once it has ended; nil while live or when the session
+// failed before producing a result.
+func (s *Session) Result() *PipelineResult {
+	select {
+	case <-s.done:
+		return s.res
+	default:
+		return nil
+	}
+}
+
+// Disputes snapshots the engine's accumulated dispute set.
+func (s *Session) Disputes() *DisputeSet { return s.disputes() }
+
+// Cluster returns the underlying cluster membership for WithCluster
+// sessions (transport drop accounting, local node set), nil otherwise.
+func (s *Session) Cluster() *ClusterNode { return s.node }
+
+// Close ends the session: the submission stream closes, any in-flight
+// executions are aborted (prefer Drain first for a clean shutdown), and
+// the engine with its transport is torn down. Close is idempotent and
+// safe to call concurrently; it blocks until teardown completes.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		// Cancel first: it ends the engine loop, which releases any
+		// Submit blocked on backpressure — that Submit holds submitMu,
+		// which closeSubs needs.
+		s.cancel()
+		<-s.done
+		s.closeSubs()
+		if s.closer != nil {
+			s.closeErr = s.closer()
+		}
+	})
+	return s.closeErr
+}

@@ -1,0 +1,537 @@
+package nab_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"nab"
+)
+
+// mkPayloads builds q deterministic distinct payloads.
+func mkPayloads(q, lenBytes int) [][]byte {
+	out := make([][]byte, q)
+	for i := range out {
+		out[i] = make([]byte, lenBytes)
+		for j := range out[i] {
+			out[i][j] = byte(i*31 + j*7 + 1)
+		}
+	}
+	return out
+}
+
+// feedAndCollect drives one session over payloads: a producer goroutine
+// submits them all and drains, while the caller's side collects every
+// commit, asserting Seq-ordered delivery. Returns the committed results
+// and the final dispute set.
+func feedAndCollect(t *testing.T, sess *nab.Session, payloads [][]byte) ([]*nab.InstanceResult, string) {
+	t.Helper()
+	ctx := context.Background()
+	go func() {
+		for _, p := range payloads {
+			if _, err := sess.Submit(ctx, p); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+		sess.Drain(ctx)
+	}()
+	var results []*nab.InstanceResult
+	for c := range sess.Commits() {
+		if int(c.Seq) != len(results)+1 {
+			t.Errorf("commit out of order: seq %d at position %d", c.Seq, len(results)+1)
+		}
+		if c.Result.K != int(c.Seq) {
+			t.Errorf("commit seq %d carries instance %d", c.Seq, c.Result.K)
+		}
+		results = append(results, c.Result)
+	}
+	if err := sess.Err(); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	if res := sess.Result(); res == nil || len(res.Instances) != len(payloads) {
+		t.Errorf("session result missing or incomplete")
+	}
+	return results, sess.Disputes().String()
+}
+
+// sessionDiffConfig is one differential cell: a shared cluster config
+// whose core configuration drives the lockstep and pipelined engines too.
+func sessionDiffConfig(t *testing.T, g *nab.Graph, source nab.NodeID, f, procs int, advs map[nab.NodeID]string) (*nab.ClusterConfig, *nab.ClusterReservation) {
+	t.Helper()
+	nodes := g.Nodes()
+	rsv, err := nab.ReserveClusterAddrs(procs + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsv.Close() })
+	addrs := rsv.Addrs()
+	cfg := &nab.ClusterConfig{
+		Topology: g.Marshal(), Source: source, F: f,
+		LenBytes: 24, Seed: 7, Window: 4,
+		CtrlAddr: addrs[procs],
+	}
+	for i, v := range nodes {
+		cfg.Nodes = append(cfg.Nodes, nab.ClusterNodeSpec{ID: v, Addr: addrs[i%procs], Adversary: advs[v]})
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, rsv
+}
+
+// TestSessionDifferentialEngines is the redesign's acceptance invariant:
+// one Session API, three engines, identical payload sequences — the
+// lockstep adapter, the pipelined runtime at W=4 and a 3-process TCP
+// cluster must commit byte-identical outputs with identical mismatch
+// schedules and identical final dispute sets.
+func TestSessionDifferentialEngines(t *testing.T) {
+	circ, err := nab.CirculantGraph(9, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		name   string
+		g      *nab.Graph
+		source nab.NodeID
+		f      int
+		advs   map[nab.NodeID]string
+	}{
+		// Alarm + flip on K7 forces dispute control to keep running after
+		// a node is proven faulty — the deepest control-plane path.
+		{"K7/AlarmThenFlip", nab.CompleteGraph(7, 2), 1, 2, map[nab.NodeID]string{3: "alarm", 5: "flip"}},
+		// The seeded (instance-scoped) random adversary is the only
+		// randomized form the matrix uses: deterministic at any window.
+		{"Circulant9/SeededRandom", circ, 1, 1, map[nab.NodeID]string{4: "random:99"}},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			const procs = 3
+			ccfg, rsv := sessionDiffConfig(t, cell.g, cell.source, cell.f, procs, cell.advs)
+			payloads := mkPayloads(5, ccfg.LenBytes)
+			ctx := context.Background()
+
+			coreCfg, err := ccfg.CoreConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			lockSess, err := nab.Open(ctx, coreCfg, nab.WithLockstep())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lockSess.Close()
+			want, wantDisputes := feedAndCollect(t, lockSess, payloads)
+
+			coreCfg2, err := ccfg.CoreConfig() // fresh adversary state
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipeSess, err := nab.Open(ctx, coreCfg2, nab.WithWindow(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pipeSess.Close()
+			pipe, pipeDisputes := feedAndCollect(t, pipeSess, payloads)
+			if pipeDisputes != wantDisputes {
+				t.Errorf("pipelined dispute set %q, want %q", pipeDisputes, wantDisputes)
+			}
+			for i, w := range want {
+				g := pipe[i]
+				if g.Mismatch != w.Mismatch || g.Phase3 != w.Phase3 {
+					t.Errorf("pipelined instance %d: mismatch/phase3 = %v/%v, want %v/%v",
+						i+1, g.Mismatch, g.Phase3, w.Mismatch, w.Phase3)
+				}
+				for v, out := range w.Outputs {
+					if !bytes.Equal(g.Outputs[v], out) {
+						t.Errorf("pipelined instance %d: node %d output %x, want %x", i+1, v, g.Outputs[v], out)
+					}
+				}
+			}
+
+			// One cluster session per hosting process, all fed the same
+			// payload stream; local views merge into the full output map.
+			leads := map[string]nab.NodeID{}
+			var order []string
+			for _, ns := range ccfg.Nodes {
+				if _, ok := leads[ns.Addr]; !ok {
+					leads[ns.Addr] = ns.ID
+					order = append(order, ns.Addr)
+				}
+			}
+			type procView struct {
+				results  []*nab.InstanceResult
+				disputes string
+			}
+			views := make([]procView, len(order))
+			var wg sync.WaitGroup
+			for i, addr := range order {
+				wg.Add(1)
+				go func(i int, lead nab.NodeID) {
+					defer wg.Done()
+					sess, err := nab.Open(ctx, nab.Config{}, nab.WithCluster(ccfg, lead, nab.ClusterOptions{
+						BootTimeout: 30 * time.Second, Reservation: rsv,
+					}))
+					if err != nil {
+						t.Errorf("process %d: %v", i, err)
+						return
+					}
+					defer sess.Close()
+					rs, ds := feedAndCollect(t, sess, payloads)
+					views[i] = procView{results: rs, disputes: ds}
+				}(i, leads[addr])
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			for pi, view := range views {
+				if len(view.results) != len(want) {
+					t.Fatalf("process %d committed %d instances, want %d", pi, len(view.results), len(want))
+				}
+				if view.disputes != wantDisputes {
+					t.Errorf("process %d dispute set %q, want %q", pi, view.disputes, wantDisputes)
+				}
+			}
+			for i, w := range want {
+				merged := map[nab.NodeID][]byte{}
+				for pi, view := range views {
+					g := view.results[i]
+					if g.Mismatch != w.Mismatch || g.Phase3 != w.Phase3 {
+						t.Errorf("process %d instance %d: mismatch/phase3 = %v/%v, want %v/%v",
+							pi, i+1, g.Mismatch, g.Phase3, w.Mismatch, w.Phase3)
+					}
+					for v, out := range g.Outputs {
+						if prev, dup := merged[v]; dup && !bytes.Equal(prev, out) {
+							t.Errorf("instance %d: node %d output reported twice with different values", i+1, v)
+						}
+						merged[v] = out
+					}
+				}
+				if len(merged) != len(w.Outputs) {
+					t.Errorf("instance %d: cluster committed %d outputs, lockstep %d", i+1, len(merged), len(w.Outputs))
+				}
+				for v, out := range w.Outputs {
+					if !bytes.Equal(merged[v], out) {
+						t.Errorf("instance %d: node %d output %x, want %x", i+1, v, merged[v], out)
+					}
+				}
+			}
+		})
+	}
+}
+
+// settleGoroutines fails the test if the goroutine count does not return
+// to (near) base within the deadline — the no-leak check for canceled and
+// closed sessions.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 { // tolerate runtime housekeeping goroutines
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, base %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSessionCancelMidDispute cancels a session while dispute control is
+// in flight (alarm + flip keep Phase 3 busy on K7): the session must end
+// with context.Canceled, close its commit stream, tear down without
+// leaking goroutines, and refuse later submissions.
+func TestSessionCancelMidDispute(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := nab.Config{
+		Graph: nab.CompleteGraph(7, 2), Source: 1, F: 2, LenBytes: 24, Seed: 7,
+		Adversaries: map[nab.NodeID]nab.Adversary{
+			3: nab.FalseAlarmAdversary(),
+			5: nab.BlockFlipperAdversary(),
+		},
+	}
+	sess, err := nab.Open(ctx, cfg, nab.WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := mkPayloads(1, cfg.LenBytes)[0]
+	go func() {
+		for {
+			if _, err := sess.Submit(ctx, payload); err != nil {
+				return // cancellation surfaced to the producer
+			}
+		}
+	}()
+	// The first commit of this scenario already ran dispute control; with
+	// W=4 more speculative executions are mid-flight when we cancel.
+	sawDispute := false
+	for i := 0; i < 2; i++ {
+		c, ok := <-sess.Commits()
+		if !ok {
+			t.Fatal("commit stream ended before cancellation")
+		}
+		sawDispute = sawDispute || c.Result.Phase3
+	}
+	if !sawDispute {
+		t.Fatal("scenario did not exercise dispute control; adjust adversaries")
+	}
+	cancel()
+	for range sess.Commits() {
+		// drain whatever committed before the cancel landed
+	}
+	if err := sess.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("session error = %v, want context.Canceled", err)
+	}
+	if _, err := sess.Submit(context.Background(), payload); !errors.Is(err, nab.ErrSessionClosed) {
+		t.Errorf("submit after cancel = %v, want ErrSessionClosed", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("close after cancel: %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestSessionBackpressure checks the consumer-to-producer stall chain: a
+// consumer that stops reading Commits() fills the commit buffer, the
+// pipeline, and the submission queue, until Submit blocks. Consuming
+// again releases it.
+func TestSessionBackpressure(t *testing.T) {
+	ctx := context.Background()
+	cfg := nab.Config{Graph: nab.CompleteGraph(4, 1), Source: 1, F: 1, LenBytes: 8, Seed: 7}
+	sess, err := nab.Open(ctx, cfg, nab.WithWindow(1), nab.WithCommitBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	payload := mkPayloads(1, cfg.LenBytes)[0]
+
+	// Nobody consumes: submission must stall within a few accepted
+	// payloads (commit buffer + window + submission queue).
+	accepted, blocked := 0, false
+	for i := 0; i < 16 && !blocked; i++ {
+		sctx, scancel := context.WithTimeout(ctx, 200*time.Millisecond)
+		_, err := sess.Submit(sctx, payload)
+		scancel()
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, context.DeadlineExceeded):
+			blocked = true
+		default:
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if !blocked {
+		t.Fatalf("submit never blocked after %d accepted payloads", accepted)
+	}
+
+	// A consumer appears: the stalled pipeline moves again and one more
+	// submission goes through.
+	got := make(chan int)
+	go func() {
+		n := 0
+		for range sess.Commits() {
+			n++
+		}
+		got <- n
+	}()
+	sctx, scancel := context.WithTimeout(ctx, 30*time.Second)
+	defer scancel()
+	if _, err := sess.Submit(sctx, payload); err != nil {
+		t.Fatalf("submit after consumer resumed: %v", err)
+	}
+	accepted++
+	if err := sess.Drain(sctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := <-got; n != accepted {
+		t.Errorf("consumed %d commits, want %d", n, accepted)
+	}
+}
+
+// TestSessionLifecycleErrors covers the API edges: submit after drain,
+// double close, submit after close, payload validation and option
+// conflicts.
+func TestSessionLifecycleErrors(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := context.Background()
+	cfg := nab.Config{Graph: nab.CompleteGraph(4, 1), Source: 1, F: 1, LenBytes: 8, Seed: 7}
+
+	sess, err := nab.Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Submit(ctx, []byte("nope")); err == nil {
+		t.Error("submit accepted a wrong-length payload")
+	}
+	seq, err := sess.Submit(ctx, mkPayloads(1, cfg.LenBytes)[0])
+	if err != nil || seq != 1 {
+		t.Fatalf("submit = (%d, %v), want (1, nil)", seq, err)
+	}
+	if err := sess.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Drain has completed, so the session has ended: terminal error.
+	if _, err := sess.Submit(ctx, mkPayloads(1, cfg.LenBytes)[0]); !errors.Is(err, nab.ErrSessionClosed) {
+		t.Errorf("submit after completed drain = %v, want ErrSessionClosed", err)
+	}
+	if n := len(sess.Commits()); n != 1 {
+		t.Errorf("drained session holds %d commits, want 1", n)
+	}
+	if err := sess.Err(); err != nil {
+		t.Errorf("clean drain left error %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := sess.Err(); err != nil {
+		t.Errorf("close after clean drain left error %v", err)
+	}
+	settleGoroutines(t, base)
+
+	// Abortive close (no drain): the engine is torn down mid-stream.
+	sess2, err := nab.Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Close(); err != nil {
+		t.Errorf("abortive close: %v", err)
+	}
+	if _, err := sess2.Submit(ctx, mkPayloads(1, cfg.LenBytes)[0]); !errors.Is(err, nab.ErrSessionClosed) {
+		t.Errorf("submit after close = %v, want ErrSessionClosed", err)
+	}
+	settleGoroutines(t, base)
+
+	// Option conflicts fail fast.
+	for name, open := range map[string]func() (*nab.Session, error){
+		"lockstep+window": func() (*nab.Session, error) {
+			return nab.Open(ctx, cfg, nab.WithLockstep(), nab.WithWindow(4))
+		},
+		"cluster+adversary": func() (*nab.Session, error) {
+			return nab.Open(ctx, nab.Config{}, nab.WithCluster(&nab.ClusterConfig{}, 1, nab.ClusterOptions{}),
+				nab.WithAdversary(3, nab.CrashAdversary()))
+		},
+		"bad commit buffer": func() (*nab.Session, error) {
+			return nab.Open(ctx, cfg, nab.WithCommitBuffer(-1))
+		},
+	} {
+		if s, err := open(); err == nil {
+			s.Close()
+			t.Errorf("%s: conflicting options accepted", name)
+		}
+	}
+}
+
+// TestSessionLockstepMatchesRunner pins the lockstep adapter to the
+// original Runner: same seeds, same payloads, same outputs.
+func TestSessionLockstepMatchesRunner(t *testing.T) {
+	cfg := nab.Config{Graph: nab.CompleteGraph(4, 2), Source: 1, F: 1, LenBytes: 16, Seed: 3,
+		Adversaries: map[nab.NodeID]nab.Adversary{4: nab.SeededRandomAdversary(99)}}
+	payloads := mkPayloads(4, cfg.LenBytes)
+
+	runner, err := nab.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runner.Run(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Adversaries = map[nab.NodeID]nab.Adversary{4: nab.SeededRandomAdversary(99)}
+	sess, err := nab.Open(context.Background(), cfg, nab.WithLockstep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, _ := feedAndCollect(t, sess, payloads)
+	for i, w := range want.Instances {
+		for v, out := range w.Outputs {
+			if !bytes.Equal(got[i].Outputs[v], out) {
+				t.Errorf("instance %d: node %d output %x, want %x", i+1, v, got[i].Outputs[v], out)
+			}
+		}
+	}
+}
+
+func ExampleOpen() {
+	g := nab.CompleteGraph(4, 1)
+	ctx := context.Background()
+	sess, err := nab.Open(ctx, nab.Config{Graph: g, Source: 1, F: 1, LenBytes: 8, Seed: 1},
+		nab.WithWindow(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sess.Close()
+	go func() {
+		for _, p := range [][]byte{[]byte("payload1"), []byte("payload2")} {
+			if _, err := sess.Submit(ctx, p); err != nil {
+				return
+			}
+		}
+		sess.Drain(ctx)
+	}()
+	for c := range sess.Commits() {
+		fmt.Printf("instance %d: %s\n", c.Seq, c.Result.Outputs[2])
+	}
+	// Output:
+	// instance 1: payload1
+	// instance 2: payload2
+}
+
+// TestSessionCloseReleasesBlockedSubmit pins the teardown ordering:
+// Close must cancel the engine *before* waiting for the submission
+// stream, so a producer blocked on backpressure (holding the submit
+// lock) is released rather than deadlocking Close.
+func TestSessionCloseReleasesBlockedSubmit(t *testing.T) {
+	ctx := context.Background()
+	cfg := nab.Config{Graph: nab.CompleteGraph(4, 1), Source: 1, F: 1, LenBytes: 8, Seed: 7}
+	sess, err := nab.Open(ctx, cfg, nab.WithWindow(1), nab.WithCommitBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := mkPayloads(1, cfg.LenBytes)[0]
+	producerErr := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := sess.Submit(ctx, payload); err != nil {
+				producerErr <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond) // nobody consumes: the producer is now blocked
+
+	closed := make(chan error, 1)
+	go func() { closed <- sess.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Errorf("close: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Close deadlocked behind a blocked Submit")
+	}
+	select {
+	case err := <-producerErr:
+		if err == nil {
+			t.Error("blocked Submit returned nil after Close")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("blocked Submit never released")
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +43,12 @@ type Row struct {
 	// ClusterIPS is the multi-process rate (one OS process per node over
 	// real TCP), present only with -cluster.
 	ClusterIPS float64 `json:"cluster_instances_per_sec,omitempty"`
+	// StreamSubmitIPS / StreamCommitIPS measure a sustained Session fed
+	// open-loop (submit as fast as backpressure admits, commits consumed
+	// concurrently): the accepted-submission rate and the end-to-end
+	// commit rate. Present only with -stream.
+	StreamSubmitIPS float64 `json:"stream_submit_per_sec,omitempty"`
+	StreamCommitIPS float64 `json:"stream_commit_per_sec,omitempty"`
 }
 
 // Output is the file's top-level shape.
@@ -66,6 +73,7 @@ func run(args []string, w io.Writer) error {
 	window := fs.Int("window", 4, "pipeline window")
 	seed := fs.Int64("seed", 2012, "coding-matrix seed")
 	withCluster := fs.Bool("cluster", false, "also measure a multi-process cluster (builds cmd/nabnode)")
+	withStream := fs.Bool("stream", false, "also measure sustained streaming-session throughput (open-loop submit vs commit rate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,11 +152,20 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("%s: cluster: %w", tp.name, err)
 			}
 		}
+		if *withStream {
+			row.StreamSubmitIPS, row.StreamCommitIPS, err = streamIPS(cfg, *window, inputs)
+			if err != nil {
+				return fmt.Errorf("%s: stream: %w", tp.name, err)
+			}
+		}
 		res.Rows = append(res.Rows, row)
 		fmt.Fprintf(w, "%-22s lockstep %7.1f/s  pipelined %7.1f/s  speedup %.2fx",
 			row.Topology, row.LockstepIPS, row.PipelinedIPS, row.Speedup)
 		if nabnode != "" {
 			fmt.Fprintf(w, "  multiprocess %7.1f/s", row.ClusterIPS)
+		}
+		if *withStream {
+			fmt.Fprintf(w, "  stream submit %7.1f/s commit %7.1f/s", row.StreamSubmitIPS, row.StreamCommitIPS)
 		}
 		fmt.Fprintln(w)
 	}
@@ -167,6 +184,47 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "wrote %s\n", *out)
 	return nil
+}
+
+// streamIPS drives a Session open-loop over the workload: a producer
+// submits as fast as backpressure admits while the consumer drains
+// commits concurrently. Returns the accepted-submission rate and the
+// end-to-end commit rate (both wall-clock).
+func streamIPS(cfg nab.Config, window int, inputs [][]byte) (submitPerSec, commitPerSec float64, err error) {
+	sess, err := nab.Open(context.Background(), cfg, nab.WithWindow(window))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	start := time.Now()
+	var submitWall time.Duration
+	submitErr := make(chan error, 1)
+	go func() {
+		for _, in := range inputs {
+			if _, err := sess.Submit(ctx, in); err != nil {
+				submitErr <- err
+				return
+			}
+		}
+		submitWall = time.Since(start)
+		submitErr <- sess.Drain(ctx)
+	}()
+	got := 0
+	for range sess.Commits() {
+		got++
+	}
+	commitWall := time.Since(start)
+	if err := <-submitErr; err != nil {
+		return 0, 0, err
+	}
+	if err := sess.Err(); err != nil {
+		return 0, 0, err
+	}
+	if got != len(inputs) {
+		return 0, 0, fmt.Errorf("streamed %d commits, want %d", got, len(inputs))
+	}
+	return float64(len(inputs)) / submitWall.Seconds(), float64(got) / commitWall.Seconds(), nil
 }
 
 // buildNabnode compiles cmd/nabnode into a temp dir.
