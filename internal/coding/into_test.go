@@ -1,0 +1,159 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+
+	"nab/internal/gf"
+	"nab/internal/graph"
+)
+
+// schemeForInto draws a verified scheme on Figure 1(a) for the Into tests.
+func schemeForInto(t testing.TB, deg uint) (*Scheme, *graph.Directed) {
+	t.Helper()
+	g := fig1a()
+	field := gf.MustNew(deg)
+	s, _, err := GenerateVerified(g, 2, field, omega1(g, 1), rand.New(rand.NewSource(2012)), 16)
+	if err != nil {
+		t.Fatalf("GenerateVerified: %v", err)
+	}
+	return s, g
+}
+
+// TestEncodeIntoMatchesEncode checks the in-place encode against the
+// allocating form on every edge, and its error cases.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	s, g := schemeForInto(t, 16)
+	rng := rand.New(rand.NewSource(5))
+	x := []gf.Elem{s.Field().Rand(rng), s.Field().Rand(rng)}
+	for _, e := range g.Edges() {
+		want, err := s.Encode(e.From, e.To, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]gf.Elem, len(want))
+		for i := range dst {
+			dst[i] = ^gf.Elem(0)
+		}
+		if err := s.EncodeInto(e.From, e.To, x, dst); err != nil {
+			t.Fatalf("EncodeInto(%d,%d): %v", e.From, e.To, err)
+		}
+		if !ValuesEqual(dst, want) {
+			t.Fatalf("EncodeInto(%d,%d) != Encode", e.From, e.To)
+		}
+	}
+	if err := s.EncodeInto(1, 99, x, nil); err == nil {
+		t.Error("EncodeInto on missing edge: expected error")
+	}
+	if err := s.EncodeInto(1, 2, x[:1], make([]gf.Elem, 1)); err == nil {
+		t.Error("EncodeInto with short value: expected error")
+	}
+}
+
+// TestCheckIntoMatchesCheck checks the scratch form against Check for both
+// verdicts, plus the scratch-size guard.
+func TestCheckIntoMatchesCheck(t *testing.T) {
+	s, g := schemeForInto(t, 16)
+	rng := rand.New(rand.NewSource(6))
+	x := []gf.Elem{s.Field().Rand(rng), s.Field().Rand(rng)}
+	scratch := make([]gf.Elem, s.MaxCap())
+	for _, e := range g.Edges() {
+		y, err := s.Encode(e.From, e.To, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, corrupt := range []bool{false, true} {
+			probe := append([]gf.Elem(nil), y...)
+			if corrupt {
+				probe[0] ^= 1
+			}
+			want, err := s.Check(e.From, e.To, x, probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != corrupt {
+				t.Fatalf("Check(%d,%d) corrupt=%v: mismatch=%v", e.From, e.To, corrupt, want)
+			}
+			got, err := s.CheckInto(e.From, e.To, x, probe, scratch)
+			if err != nil {
+				t.Fatalf("CheckInto(%d,%d): %v", e.From, e.To, err)
+			}
+			if got != want {
+				t.Fatalf("CheckInto(%d,%d) = %v, Check = %v", e.From, e.To, got, want)
+			}
+		}
+	}
+	if _, err := s.CheckInto(1, 2, x, nil, make([]gf.Elem, 0)); err == nil {
+		t.Error("CheckInto with short scratch: expected error")
+	}
+}
+
+// TestEncodeCheckZeroAlloc pins the steady-state coding hot path — the
+// per-edge EncodeInto and the receiver-side Check of every instance — at
+// zero allocations per operation.
+func TestEncodeCheckZeroAlloc(t *testing.T) {
+	for _, deg := range []uint{16, 64} {
+		s, g := schemeForInto(t, deg)
+		rng := rand.New(rand.NewSource(9))
+		x := []gf.Elem{s.Field().Rand(rng), s.Field().Rand(rng)}
+		e := g.Edges()[0]
+		dst := make([]gf.Elem, s.EdgeMatrix(e.From, e.To).Cols())
+		if err := s.EncodeInto(e.From, e.To, x, dst); err != nil {
+			t.Fatal(err)
+		}
+		y := append([]gf.Elem(nil), dst...)
+		scratch := make([]gf.Elem, s.MaxCap())
+
+		if avg := testing.AllocsPerRun(200, func() {
+			if err := s.EncodeInto(e.From, e.To, x, dst); err != nil {
+				t.Fatal(err)
+			}
+			mm, err := s.CheckInto(e.From, e.To, x, y, scratch)
+			if err != nil || mm {
+				t.Fatalf("CheckInto: mismatch=%v err=%v", mm, err)
+			}
+		}); avg != 0 {
+			t.Errorf("GF(2^%d): Encode+Check steady state allocates %.1f times per op, want 0", deg, avg)
+		}
+
+		// The pooled Check form must also settle at zero steady-state
+		// allocations (the pool is warm after the first call).
+		if avg := testing.AllocsPerRun(200, func() {
+			mm, err := s.Check(e.From, e.To, x, y)
+			if err != nil || mm {
+				t.Fatalf("Check: mismatch=%v err=%v", mm, err)
+			}
+		}); avg != 0 {
+			t.Errorf("GF(2^%d): pooled Check allocates %.1f times per op, want 0", deg, avg)
+		}
+	}
+}
+
+// BenchmarkSchemeEncode measures the per-edge coded-symbol computation on
+// both field regimes.
+func BenchmarkSchemeEncode(b *testing.B) {
+	for _, deg := range []uint{16, 64} {
+		s, g := schemeForInto(b, deg)
+		rng := rand.New(rand.NewSource(2012))
+		x := []gf.Elem{s.Field().Rand(rng), s.Field().Rand(rng)}
+		e := g.Edges()[0]
+		dst := make([]gf.Elem, s.EdgeMatrix(e.From, e.To).Cols())
+		name := map[uint]string{16: "GF16", 64: "GF64"}[deg]
+		b.Run(name+"/into", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.EncodeInto(e.From, e.To, x, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/alloc", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Encode(e.From, e.To, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

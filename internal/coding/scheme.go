@@ -17,6 +17,7 @@ package coding
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nab/internal/gf"
 	"nab/internal/graph"
@@ -28,9 +29,15 @@ type EdgeKey [2]graph.NodeID
 
 // Scheme holds the per-edge coding matrices for one instance graph.
 type Scheme struct {
-	field *gf.Field
-	rho   int
-	mats  map[EdgeKey]*linalg.Matrix
+	field  *gf.Field
+	rho    int
+	mats   map[EdgeKey]*linalg.Matrix
+	maxCap int // widest edge matrix, sizes pooled Check scratch
+
+	// scratch pools maxCap-symbol buffers so the steady-state equality
+	// check (Check on every incoming edge, every instance) allocates
+	// nothing. Buffers never escape a call.
+	scratch sync.Pool
 }
 
 // NewScheme draws a fresh random scheme for graph g with parameter rho over
@@ -50,6 +57,14 @@ func NewScheme(g *graph.Directed, rho int, field *gf.Field, src interface{ Uint6
 			return nil, fmt.Errorf("coding: edge (%d,%d): %w", e.From, e.To, err)
 		}
 		s.mats[EdgeKey{e.From, e.To}] = m
+		if int(e.Cap) > s.maxCap {
+			s.maxCap = int(e.Cap)
+		}
+	}
+	maxCap := s.maxCap
+	s.scratch.New = func() any {
+		buf := make([]gf.Elem, maxCap)
+		return &buf
 	}
 	return s, nil
 }
@@ -66,6 +81,11 @@ func (s *Scheme) EdgeMatrix(from, to graph.NodeID) *linalg.Matrix {
 	return s.mats[EdgeKey{from, to}]
 }
 
+// MaxCap returns the widest edge capacity z_e of the scheme — the largest
+// symbol count Encode can produce, which sizes reusable Check/Encode
+// scratch buffers.
+func (s *Scheme) MaxCap() int { return s.maxCap }
+
 // Encode computes the coded symbols Y_e = X * C_e a node sends on edge
 // (from, to). X must have exactly rho symbols.
 func (s *Scheme) Encode(from, to graph.NodeID, x []gf.Elem) ([]gf.Elem, error) {
@@ -79,13 +99,45 @@ func (s *Scheme) Encode(from, to graph.NodeID, x []gf.Elem) ([]gf.Elem, error) {
 	return m.MulVec(x)
 }
 
+// EncodeInto is Encode writing into dst, which must hold exactly the
+// edge's z_e symbols; dst is overwritten. The allocation-free form for hot
+// paths that place coded symbols directly into a larger frame buffer.
+func (s *Scheme) EncodeInto(from, to graph.NodeID, x, dst []gf.Elem) error {
+	m := s.EdgeMatrix(from, to)
+	if m == nil {
+		return fmt.Errorf("coding: no matrix for edge (%d,%d)", from, to)
+	}
+	if len(x) != s.rho {
+		return fmt.Errorf("coding: value has %d symbols, want rho = %d", len(x), s.rho)
+	}
+	return m.MulVecInto(x, dst)
+}
+
 // Check performs the receiver-side comparison of Algorithm 1 step 2: node i
 // holding value x checks the symbols y received on incoming edge
 // (from, to=i) against x * C_d. It reports mismatch = true when the check
-// fails (the node would set its flag to MISMATCH).
+// fails (the node would set its flag to MISMATCH). Steady-state calls are
+// allocation-free: the expected symbols are computed into a pooled buffer.
 func (s *Scheme) Check(from, to graph.NodeID, x []gf.Elem, y []gf.Elem) (bool, error) {
-	want, err := s.Encode(from, to, x)
-	if err != nil {
+	bp := s.scratch.Get().(*[]gf.Elem)
+	mm, err := s.CheckInto(from, to, x, y, *bp)
+	s.scratch.Put(bp)
+	return mm, err
+}
+
+// CheckInto is Check computing the expected symbols into the caller's
+// scratch buffer, which must hold at least the edge's z_e symbols (MaxCap
+// suffices for every edge) and is clobbered.
+func (s *Scheme) CheckInto(from, to graph.NodeID, x, y, scratch []gf.Elem) (bool, error) {
+	m := s.EdgeMatrix(from, to)
+	if m == nil {
+		return false, fmt.Errorf("coding: no matrix for edge (%d,%d)", from, to)
+	}
+	if len(scratch) < m.Cols() {
+		return false, fmt.Errorf("coding: scratch of %d symbols, edge (%d,%d) needs %d", len(scratch), from, to, m.Cols())
+	}
+	want := scratch[:m.Cols()]
+	if err := s.EncodeInto(from, to, x, want); err != nil {
 		return false, err
 	}
 	if len(y) != len(want) {

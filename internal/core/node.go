@@ -183,15 +183,20 @@ func packStriped(data []byte, rho int, symBits uint, stripes int) ([][]gf.Elem, 
 }
 
 // encodeStriped computes the concatenated coded symbols for one edge:
-// stripe s contributes X_s * C_e (z_e symbols each).
+// stripe s contributes X_s * C_e (z_e symbols each). The result is one
+// exactly-sized allocation (it escapes into the outgoing message and the
+// node's sent-claims record) filled in place by EncodeInto.
 func encodeStriped(scheme *coding.Scheme, from, to graph.NodeID, x [][]gf.Elem) ([]gf.Elem, error) {
-	var flat []gf.Elem
-	for _, stripe := range x {
-		y, err := scheme.Encode(from, to, stripe)
-		if err != nil {
+	m := scheme.EdgeMatrix(from, to)
+	if m == nil {
+		return nil, fmt.Errorf("core: no coding matrix for edge (%d,%d)", from, to)
+	}
+	cols := m.Cols()
+	flat := make([]gf.Elem, len(x)*cols)
+	for s, stripe := range x {
+		if err := scheme.EncodeInto(from, to, stripe, flat[s*cols:(s+1)*cols]); err != nil {
 			return nil, err
 		}
-		flat = append(flat, y...)
 	}
 	return flat, nil
 }

@@ -4,9 +4,13 @@
 // Field elements are represented as uint64 bit vectors: bit i holds the
 // coefficient of x^i of the residue polynomial. Multiplication is carry-less
 // (polynomial) multiplication followed by reduction modulo a fixed
-// irreducible polynomial of degree m. Irreducible polynomials are found by
-// deterministic search using Rabin's irreducibility test, so no hard-coded
-// table is required; the search result is cached per m.
+// irreducible polynomial of degree m: degrees up to 16 resolve products
+// through shared log/antilog tables, larger degrees through a 4-bit-window
+// carry-less multiply with sparse reduction, and the bulk kernels MulSlice
+// and AXPY amortize the per-scalar setup over whole rows. Irreducible
+// polynomials are found by deterministic search using Rabin's
+// irreducibility test, so no hard-coded table is required; the search
+// result is cached per m.
 //
 // The package is the symbol substrate for the local linear coding equality
 // check of NAB: values received in Phase 1 are interpreted as vectors of
@@ -15,6 +19,7 @@ package gf
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync"
 )
@@ -26,21 +31,28 @@ type Elem = uint64
 // Field is an arithmetic context for GF(2^m). It is immutable after
 // construction and safe for concurrent use.
 type Field struct {
-	m   uint   // extension degree, 1..64
-	mod uint64 // irreducible polynomial without the x^m term (low m bits)
-	max uint64 // mask of m low bits; also the maximum element value
+	m   uint    // extension degree, 1..64
+	mod uint64  // irreducible polynomial without the x^m term (low m bits)
+	max uint64  // mask of m low bits; also the maximum element value
+	tab *tables // discrete-log tables, non-nil iff m <= tableMaxDegree
 }
 
 const maxDegree = 64
 
 // New returns the field GF(2^m) using the lexicographically smallest
 // irreducible polynomial of degree m. It returns an error if m is outside
-// [1, 64].
+// [1, 64]. Degrees up to 16 get precomputed log/antilog tables (built once
+// per degree and shared), so their Mul/Inv are single lookups; larger
+// degrees use carry-less window multiplication.
 func New(m uint) (*Field, error) {
 	if m < 1 || m > maxDegree {
 		return nil, fmt.Errorf("gf: degree %d out of range [1,%d]", m, maxDegree)
 	}
-	return &Field{m: m, mod: irreducibleTail(m), max: maskBits(m)}, nil
+	f := &Field{m: m, mod: irreducibleTail(m), max: maskBits(m)}
+	if m <= tableMaxDegree {
+		f.tab = tablesFor(m, f)
+	}
+	return f, nil
 }
 
 // MustNew is New, panicking on invalid m. Intended for package-level setup
@@ -56,9 +68,11 @@ func MustNew(m uint) *Field {
 // Degree returns m, the extension degree.
 func (f *Field) Degree() uint { return f.m }
 
-// Order returns the number of elements 2^m as a float64 (exact for m <= 53,
-// otherwise the nearest representable value). Use Mask for exact bit math.
-func (f *Field) Order() float64 { return float64(1) * pow2(f.m) }
+// Order returns the number of elements 2^m as a float64. The count itself
+// is a power of two and therefore exactly representable for every supported
+// m, but note that for m > 53 neighbouring integers are not — use Mask for
+// exact bit math.
+func (f *Field) Order() float64 { return math.Ldexp(1, int(f.m)) }
 
 // Mask returns the bit mask covering valid element bits (2^m - 1).
 func (f *Field) Mask() uint64 { return f.max }
@@ -77,15 +91,34 @@ func (f *Field) Add(a, b Elem) Elem { return (a ^ b) & f.max }
 // Sub returns a - b (identical to Add in characteristic 2).
 func (f *Field) Sub(a, b Elem) Elem { return (a ^ b) & f.max }
 
-// Mul returns the product a*b in the field.
+// Mul returns the product a*b in the field. Tabled degrees resolve it as
+// exp[log a + log b]; larger degrees take a carry-less window multiply
+// followed by sparse modular reduction. Both agree with the bit-serial
+// reference loop mulRef (asserted exhaustively in tests).
 func (f *Field) Mul(a, b Elem) Elem {
 	a &= f.max
 	b &= f.max
 	if a == 0 || b == 0 {
 		return 0
 	}
-	// Interleave carry-less multiplication with modular reduction so the
-	// accumulator never exceeds m bits: classic Russian-peasant loop.
+	if t := f.tab; t != nil {
+		return Elem(t.exp[uint32(t.log[a])+uint32(t.log[b])])
+	}
+	hi, lo := clMul64(a, b)
+	return f.reduceWide(hi, lo)
+}
+
+// mulRef is the bit-serial reference multiply: carry-less multiplication
+// interleaved with modular reduction so the accumulator never exceeds m
+// bits (classic Russian-peasant loop). It is the correctness oracle for the
+// table-driven and windowed kernels and the substrate table construction
+// itself runs on.
+func (f *Field) mulRef(a, b Elem) Elem {
+	a &= f.max
+	b &= f.max
+	if a == 0 || b == 0 {
+		return 0
+	}
 	var acc uint64
 	hi := uint64(1) << (f.m - 1)
 	for b != 0 {
@@ -128,6 +161,10 @@ func (f *Field) Inv(a Elem) (Elem, error) {
 	if a == 0 {
 		return 0, fmt.Errorf("gf: zero has no inverse in GF(2^%d)", f.m)
 	}
+	if t := f.tab; t != nil {
+		order := uint32(f.max) // 2^m - 1, the multiplicative group order
+		return Elem(t.exp[order-uint32(t.log[a])]), nil
+	}
 	return f.Pow(a, f.max-1), nil
 }
 
@@ -156,14 +193,6 @@ func maskBits(m uint) uint64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << m) - 1
-}
-
-func pow2(m uint) float64 {
-	p := 1.0
-	for i := uint(0); i < m; i++ {
-		p *= 2
-	}
-	return p
 }
 
 // --- irreducible polynomial search -----------------------------------------

@@ -1,0 +1,150 @@
+package gf
+
+import "math/bits"
+
+// Bulk kernels for the coding hot path. Matrix products, encodes and
+// Gaussian elimination all reduce to rows scaled by one scalar, so the
+// kernels amortize the per-scalar setup (a table lookup for m <= 16, a
+// carry-less window for larger m) over a whole row.
+
+// MulSlice sets dst[i] = a * src[i] for every i. dst and src must have the
+// same length; dst may alias src (in-place row normalization).
+func (f *Field) MulSlice(a Elem, dst, src []Elem) {
+	a &= f.max
+	switch {
+	case a == 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case a == 1:
+		copy(dst, src)
+	case f.tab != nil:
+		t := f.tab
+		la := uint32(t.log[a])
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+				continue
+			}
+			dst[i] = Elem(t.exp[la+uint32(t.log[s])])
+		}
+	default:
+		var w window
+		w.init(a)
+		for i, s := range src {
+			hi, lo := w.mul(s)
+			dst[i] = f.reduceWide(hi, lo)
+		}
+	}
+}
+
+// AXPY accumulates dst[i] ^= a * src[i] for every i — the row update of
+// Gaussian elimination and the inner step of matrix products (XOR is
+// addition in characteristic 2). dst and src must have the same length and
+// must not overlap unless identical.
+func (f *Field) AXPY(a Elem, dst, src []Elem) {
+	a &= f.max
+	switch {
+	case a == 0:
+		return
+	case a == 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+	case f.tab != nil:
+		t := f.tab
+		la := uint32(t.log[a])
+		for i, s := range src {
+			if s == 0 {
+				continue
+			}
+			dst[i] ^= Elem(t.exp[la+uint32(t.log[s])])
+		}
+	default:
+		var w window
+		w.init(a)
+		for i, s := range src {
+			if s == 0 {
+				continue
+			}
+			hi, lo := w.mul(s)
+			dst[i] ^= f.reduceWide(hi, lo)
+		}
+	}
+}
+
+// window is the 4-bit carry-less multiplication table of one fixed scalar:
+// entry v holds the unreduced polynomial product a*v, split into low and
+// high words (degree can reach 63+3 = 66). Building it costs a handful of
+// shifts and xors, after which each 64-bit product takes 16 table steps
+// instead of up to 64 shift-reduce iterations.
+type window struct {
+	lo [16]uint64
+	hi [16]uint64
+}
+
+func (w *window) init(a Elem) {
+	w.lo[1] = a
+	for v := 2; v < 16; v++ {
+		if v&1 == 0 {
+			h := v >> 1
+			w.lo[v] = w.lo[h] << 1
+			w.hi[v] = w.hi[h]<<1 | w.lo[h]>>63
+		} else {
+			w.lo[v] = w.lo[v^1] ^ a
+			w.hi[v] = w.hi[v^1]
+		}
+	}
+}
+
+// mul returns the unreduced 128-bit carry-less product a*b, processing b
+// one nibble at a time.
+func (w *window) mul(b Elem) (hi, lo uint64) {
+	for k := uint(0); b != 0; k += 4 {
+		nib := b & 15
+		b >>= 4
+		if nib == 0 {
+			continue
+		}
+		lo ^= w.lo[nib] << k
+		hi ^= w.hi[nib]<<k | w.lo[nib]>>(64-k)
+	}
+	return hi, lo
+}
+
+// clMul64 is the one-shot carry-less 64x64 -> 128 multiply used by scalar
+// Mul on table-less fields.
+func clMul64(a, b uint64) (hi, lo uint64) {
+	var w window
+	w.init(a)
+	return w.mul(b)
+}
+
+// reduceWide reduces a 128-bit polynomial value modulo x^m + mod. Each
+// fold replaces the bits at degree >= m with their residue top*mod,
+// iterating the (sparse) set bits of mod; the degree drops by at least
+// m - deg(mod) per fold, so two or three folds suffice for every supported
+// polynomial.
+func (f *Field) reduceWide(hi, lo uint64) Elem {
+	m := f.m
+	for {
+		var top uint64
+		if m == 64 {
+			top = hi
+		} else {
+			top = hi<<(64-m) | lo>>m
+		}
+		if top == 0 {
+			return lo & f.max
+		}
+		lo &= f.max
+		hi = 0
+		for t := f.mod; t != 0; t &= t - 1 {
+			i := uint(bits.TrailingZeros64(t))
+			lo ^= top << i
+			if i > 0 {
+				hi ^= top >> (64 - i)
+			}
+		}
+	}
+}

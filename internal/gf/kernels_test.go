@@ -1,0 +1,201 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMulMatchesReferenceExhaustive proves the table-driven product equals
+// the bit-serial reference loop on every pair of elements for m <= 8
+// (at most 65536 pairs per degree).
+func TestMulMatchesReferenceExhaustive(t *testing.T) {
+	for m := uint(1); m <= 8; m++ {
+		f := MustNew(m)
+		for a := Elem(0); a <= f.max; a++ {
+			for b := Elem(0); b <= f.max; b++ {
+				if got, want := f.Mul(a, b), f.mulRef(a, b); got != want {
+					t.Fatalf("GF(2^%d): Mul(%#x,%#x) = %#x, reference %#x", m, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMulMatchesReferenceRandom cross-checks the fast paths (tables for
+// m <= 16, carry-less window beyond) against the reference loop on random
+// pairs for every supported degree.
+func TestMulMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2012))
+	for m := uint(1); m <= 64; m++ {
+		f := MustNew(m)
+		for trial := 0; trial < 2000; trial++ {
+			a, b := f.Rand(rng), f.Rand(rng)
+			if got, want := f.Mul(a, b), f.mulRef(a, b); got != want {
+				t.Fatalf("GF(2^%d): Mul(%#x,%#x) = %#x, reference %#x", m, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestInvMatchesReference checks the table-driven inverse against the
+// Fermat exponentiation it replaced.
+func TestInvMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for m := uint(1); m <= tableMaxDegree; m++ {
+		f := MustNew(m)
+		for trial := 0; trial < 500; trial++ {
+			a := f.Rand(rng)
+			if a == 0 {
+				continue
+			}
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("GF(2^%d): Inv(%#x): %v", m, a, err)
+			}
+			if want := f.powRef(a, f.max-1); inv != want {
+				t.Fatalf("GF(2^%d): Inv(%#x) = %#x, reference %#x", m, a, inv, want)
+			}
+		}
+	}
+}
+
+// TestMulSliceAXPYMatchScalar checks the bulk kernels element-by-element
+// against scalar Mul on representative degrees from both regimes.
+func TestMulSliceAXPYMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, m := range []uint{1, 2, 7, 8, 15, 16, 17, 24, 32, 33, 48, 63, 64} {
+		f := MustNew(m)
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(40)
+			src := make([]Elem, n)
+			for i := range src {
+				src[i] = f.Rand(rng)
+			}
+			a := f.Rand(rng)
+			if trial%5 == 0 {
+				a = Elem(trial / 5 % 2) // exercise the 0 and 1 fast paths
+			}
+
+			got := make([]Elem, n)
+			f.MulSlice(a, got, src)
+			for i := range src {
+				if want := f.Mul(a, src[i]); got[i] != want {
+					t.Fatalf("GF(2^%d): MulSlice a=%#x src[%d]=%#x: got %#x want %#x", m, a, i, src[i], got[i], want)
+				}
+			}
+
+			acc := make([]Elem, n)
+			for i := range acc {
+				acc[i] = f.Rand(rng)
+			}
+			want := make([]Elem, n)
+			for i := range want {
+				want[i] = acc[i] ^ f.Mul(a, src[i])
+			}
+			f.AXPY(a, acc, src)
+			for i := range acc {
+				if acc[i] != want[i] {
+					t.Fatalf("GF(2^%d): AXPY a=%#x src[%d]=%#x: got %#x want %#x", m, a, i, src[i], acc[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulSliceInPlace checks dst == src aliasing (row normalization).
+func TestMulSliceInPlace(t *testing.T) {
+	f := MustNew(16)
+	rng := rand.New(rand.NewSource(3))
+	row := make([]Elem, 20)
+	for i := range row {
+		row[i] = f.Rand(rng)
+	}
+	a := f.Rand(rng)
+	want := make([]Elem, len(row))
+	for i := range row {
+		want[i] = f.Mul(a, row[i])
+	}
+	f.MulSlice(a, row, row)
+	for i := range row {
+		if row[i] != want[i] {
+			t.Fatalf("in-place MulSlice: row[%d] = %#x, want %#x", i, row[i], want[i])
+		}
+	}
+}
+
+// TestOrderExact pins Order to the exact power of two for every degree.
+func TestOrderExact(t *testing.T) {
+	for m := uint(1); m <= 53; m++ {
+		if got, want := MustNew(m).Order(), float64(uint64(1)<<m); got != want {
+			t.Fatalf("GF(2^%d): Order = %v, want %v", m, got, want)
+		}
+	}
+	// 2^64 is itself exactly representable even though 2^64-1 is not.
+	if got := MustNew(64).Order(); got != 18446744073709551616.0 {
+		t.Fatalf("GF(2^64): Order = %v, want 2^64", got)
+	}
+}
+
+// BenchmarkGFMul measures the scalar product on a tabled field, a windowed
+// field, and the bit-serial reference loop.
+func BenchmarkGFMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeedGF))
+	for _, bc := range []struct {
+		name string
+		m    uint
+		ref  bool
+	}{
+		{"m16/table", 16, false},
+		{"m64/clmul", 64, false},
+		{"m16/reference", 16, true},
+		{"m64/reference", 64, true},
+	} {
+		f := MustNew(bc.m)
+		xs := make([]Elem, 1024)
+		for i := range xs {
+			for xs[i] == 0 {
+				xs[i] = f.Rand(rng)
+			}
+		}
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var acc Elem
+			for i := 0; i < b.N; i++ {
+				x, y := xs[i&1023], xs[(i+7)&1023]
+				if bc.ref {
+					acc ^= f.mulRef(x, y)
+				} else {
+					acc ^= f.Mul(x, y)
+				}
+			}
+			sinkElem = acc
+		})
+	}
+}
+
+// BenchmarkGFAXPY measures the bulk row kernel on both regimes.
+func BenchmarkGFAXPY(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeedGF))
+	for _, m := range []uint{16, 64} {
+		f := MustNew(m)
+		src := make([]Elem, 256)
+		dst := make([]Elem, 256)
+		for i := range src {
+			src[i] = f.Rand(rng)
+		}
+		a := f.Rand(rng) | 2
+		b.Run(map[uint]string{16: "m16", 64: "m64"}[m], func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src) * 8))
+			for i := 0; i < b.N; i++ {
+				f.AXPY(a, dst, src)
+			}
+			sinkElem = dst[0]
+		})
+	}
+}
+
+const benchSeedGF = 2012
+
+// sinkElem defeats dead-code elimination in benchmarks.
+var sinkElem Elem

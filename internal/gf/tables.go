@@ -1,0 +1,114 @@
+package gf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// tableMaxDegree is the largest extension degree that gets log/antilog
+// tables. At m = 16 the two tables cost ~384 KiB and cover every practical
+// NAB symbol width below a machine word; larger degrees fall back to the
+// carry-less kernels (see kernels.go).
+const tableMaxDegree = 16
+
+// tables holds one degree's discrete-log representation: exp[i] = g^i for a
+// primitive g, log[a] the inverse map. exp is doubled so Mul can index
+// log[a]+log[b] without reducing modulo 2^m-1. Entries fit uint16 because
+// m <= 16.
+type tables struct {
+	log []uint16 // indexed by element, log[0] unused
+	exp []uint16 // length 2*(2^m-1), exp[i] = g^(i mod 2^m-1)
+}
+
+var (
+	tableMu    sync.Mutex
+	tableCache = map[uint]*tables{}
+)
+
+// tablesFor returns the (cached) tables for degree m <= tableMaxDegree.
+// Construction is deterministic: the field polynomial is fixed per m and
+// the smallest primitive element is used.
+func tablesFor(m uint, f *Field) *tables {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if t, ok := tableCache[m]; ok {
+		return t
+	}
+	t := buildTables(m, f)
+	tableCache[m] = t
+	return t
+}
+
+func buildTables(m uint, f *Field) *tables {
+	order := (uint64(1) << m) - 1 // multiplicative group order
+	g := findPrimitive(f, order)
+	t := &tables{
+		log: make([]uint16, order+1),
+		exp: make([]uint16, 2*order),
+	}
+	e := Elem(1)
+	for i := uint64(0); i < order; i++ {
+		t.exp[i] = uint16(e)
+		t.exp[i+order] = uint16(e)
+		t.log[e] = uint16(i)
+		e = f.mulRef(e, g)
+	}
+	if e != 1 {
+		panic(fmt.Sprintf("gf: element %#x is not primitive in GF(2^%d) (bug)", g, m))
+	}
+	return t
+}
+
+// findPrimitive returns the smallest generator of the multiplicative group:
+// g is primitive iff g^(order/p) != 1 for every prime divisor p of order.
+func findPrimitive(f *Field, order uint64) Elem {
+	primes := primeFactors64(order)
+	for g := Elem(2); ; g++ {
+		if g > f.max {
+			// order == 1 (m == 1): the only nonzero element generates.
+			return 1
+		}
+		primitive := true
+		for _, p := range primes {
+			if f.powRef(g, order/p) == 1 {
+				primitive = false
+				break
+			}
+		}
+		if primitive {
+			return g
+		}
+	}
+}
+
+// powRef is binary exponentiation on the reference multiply, used before
+// tables exist.
+func (f *Field) powRef(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a & f.max
+	for e > 0 {
+		if e&1 != 0 {
+			result = f.mulRef(result, base)
+		}
+		base = f.mulRef(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// primeFactors64 factors n (<= 2^16-1 in practice) by trial division.
+func primeFactors64(n uint64) []uint64 {
+	var out []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}

@@ -130,28 +130,41 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // Mul returns the matrix product m*o.
 func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
-	if m.cols != o.rows {
-		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols)
-	}
 	out, err := New(m.field, m.rows, o.cols)
 	if err != nil {
 		return nil, err
 	}
+	if err := m.MulInto(o, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulInto computes the matrix product m*o into out, which must be
+// m.Rows() x o.Cols() over the same field; out is overwritten. out must not
+// alias m or o. The inner loop is one AXPY row kernel per nonzero entry of
+// m, so repeated products over a reused out matrix do not allocate.
+func (m *Matrix) MulInto(o, out *Matrix) error {
+	if m.cols != o.rows {
+		return fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	if out.rows != m.rows || out.cols != o.cols || out.field != m.field {
+		return fmt.Errorf("linalg: MulInto destination is %dx%d over %v, want %dx%d over %v",
+			out.rows, out.cols, out.field, m.rows, o.cols, m.field)
+	}
 	f := m.field
+	for i := range out.data {
+		out.data[i] = 0
+	}
 	for i := 0; i < m.rows; i++ {
+		dst := out.data[i*o.cols : (i+1)*o.cols]
 		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
-			orow := o.data[k*o.cols:]
-			dst := out.data[i*o.cols:]
-			for j := 0; j < o.cols; j++ {
-				dst[j] ^= f.Mul(a, orow[j])
+			if a := m.data[i*m.cols+k]; a != 0 {
+				f.AXPY(a, dst, o.data[k*o.cols:(k+1)*o.cols])
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Add returns the entrywise sum m+o (XOR in characteristic 2).
@@ -169,21 +182,33 @@ func (m *Matrix) Add(o *Matrix) (*Matrix, error) {
 // MulVec returns the row-vector product x*m, where x has length m.Rows().
 // This is the coded-symbol computation Y_e = X_i * C_e of the equality check.
 func (m *Matrix) MulVec(x []gf.Elem) ([]gf.Elem, error) {
-	if len(x) != m.rows {
-		return nil, fmt.Errorf("linalg: vector length %d, want %d", len(x), m.rows)
-	}
-	f := m.field
 	out := make([]gf.Elem, m.cols)
-	for i, a := range x {
-		if a == 0 {
-			continue
-		}
-		row := m.data[i*m.cols:]
-		for j := 0; j < m.cols; j++ {
-			out[j] ^= f.Mul(a, row[j])
-		}
+	if err := m.MulVecInto(x, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto computes the row-vector product x*m into dst, which must have
+// length m.Cols(); dst is overwritten. The allocation-free form of MulVec
+// for hot paths that reuse a destination buffer (coding.Scheme.EncodeInto).
+func (m *Matrix) MulVecInto(x, dst []gf.Elem) error {
+	if len(x) != m.rows {
+		return fmt.Errorf("linalg: vector length %d, want %d", len(x), m.rows)
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("linalg: destination length %d, want %d", len(dst), m.cols)
+	}
+	f := m.field
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, a := range x {
+		if a != 0 {
+			f.AXPY(a, dst, m.data[i*m.cols:(i+1)*m.cols])
+		}
+	}
+	return nil
 }
 
 // Transpose returns the transpose of m.
@@ -330,16 +355,15 @@ func (m *Matrix) eliminate(det *gf.Elem) (int, []int) {
 		if det != nil {
 			*det = f.Mul(*det, pv)
 		}
-		// eliminate below
+		// eliminate below: one AXPY row kernel per row
 		pinv, _ := f.Inv(pv)
+		prow := m.data[rank*m.cols+col : (rank+1)*m.cols]
 		for r := rank + 1; r < m.rows; r++ {
 			factor := f.Mul(m.data[r*m.cols+col], pinv)
 			if factor == 0 {
 				continue
 			}
-			for c := col; c < m.cols; c++ {
-				m.data[r*m.cols+c] ^= f.Mul(factor, m.data[rank*m.cols+c])
-			}
+			f.AXPY(factor, m.data[r*m.cols+col:(r+1)*m.cols], prow)
 		}
 		pivots = append(pivots, col)
 		rank++
@@ -356,17 +380,14 @@ func (m *Matrix) eliminateReduced() (int, []int) {
 	for idx := len(pivots) - 1; idx >= 0; idx-- {
 		row, col := idx, pivots[idx]
 		pinv, _ := f.Inv(m.data[row*m.cols+col])
-		for c := col; c < m.cols; c++ {
-			m.data[row*m.cols+c] = f.Mul(m.data[row*m.cols+c], pinv)
-		}
+		prow := m.data[row*m.cols+col : (row+1)*m.cols]
+		f.MulSlice(pinv, prow, prow)
 		for r := 0; r < row; r++ {
 			factor := m.data[r*m.cols+col]
 			if factor == 0 {
 				continue
 			}
-			for c := col; c < m.cols; c++ {
-				m.data[r*m.cols+c] ^= f.Mul(factor, m.data[row*m.cols+c])
-			}
+			f.AXPY(factor, m.data[r*m.cols+col:(r+1)*m.cols], prow)
 		}
 	}
 	return rank, pivots

@@ -94,7 +94,7 @@ type Runtime struct {
 	tr     transport.Transport
 	locals map[graph.NodeID]bool // nil = all nodes local
 
-	linkMu sync.Mutex
+	linkMu sync.RWMutex
 	links  map[[2]graph.NodeID]transport.Link
 
 	engMu   sync.RWMutex
@@ -257,21 +257,29 @@ func (rt *Runtime) recvLoop(v graph.NodeID) {
 	}
 }
 
-// sendFrame routes one frame onto its (lazily dialed, shared) link.
+// sendFrame routes one frame onto its (lazily dialed, shared) link. The
+// steady state is a read-locked map hit, so concurrent actors across every
+// in-flight instance do not serialize on the link cache; the write lock is
+// taken only to dial a link the first time it carries traffic.
 func (rt *Runtime) sendFrame(m *transport.Message) error {
 	key := [2]graph.NodeID{m.From, m.To}
-	rt.linkMu.Lock()
+	rt.linkMu.RLock()
 	l, ok := rt.links[key]
+	rt.linkMu.RUnlock()
 	if !ok {
-		var err error
-		l, err = rt.tr.Dial(m.From, m.To)
-		if err != nil {
-			rt.linkMu.Unlock()
-			return err
+		rt.linkMu.Lock()
+		l, ok = rt.links[key]
+		if !ok {
+			var err error
+			l, err = rt.tr.Dial(m.From, m.To)
+			if err != nil {
+				rt.linkMu.Unlock()
+				return err
+			}
+			rt.links[key] = l
 		}
-		rt.links[key] = l
+		rt.linkMu.Unlock()
 	}
-	rt.linkMu.Unlock()
 	return l.Send(m)
 }
 

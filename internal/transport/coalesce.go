@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"bufio"
+	"sync"
+	"time"
+)
+
+// frameWriter owns the write half of one connection: Send enqueues frames
+// and a single writer goroutine drains the queue into a bufio.Writer,
+// flushing only when the queue momentarily empties. Bursts — a node's data
+// frames plus the end-of-step markers behind them, across every instance
+// sharing the link — coalesce into one syscall instead of one per frame,
+// and no frame waits on a timer: the flush happens the instant there is
+// nothing left to batch.
+//
+// Write errors are sticky: the first failure is reported by every later
+// Send, and queued frames are discarded so senders never block behind a
+// dead connection. A failure on a link's very last frame is therefore
+// observable only by the remote side — acceptable here because every
+// engine round ends with markers on every out-link (a broken link
+// surfaces within one round) and a loss at the true end of a run is
+// indistinguishable from a remote crash, which the protocol tolerates by
+// design. The goroutine exits when stop (the owning transport's close
+// signal) fires, after a final drain and flush; the owning transport must
+// join() its writers after signaling stop and before closing
+// connections, so every frame accepted before the close signal reaches
+// the socket.
+type frameWriter struct {
+	ch   chan *Message
+	stop <-chan struct{}
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// frameQueueDepth bounds per-link enqueued frames; a full queue blocks
+// Send, which is the same backpressure a blocking socket write applies.
+const frameQueueDepth = 256
+
+func newFrameWriter(bw *bufio.Writer, stop <-chan struct{}) *frameWriter {
+	fw := &frameWriter{
+		ch:   make(chan *Message, frameQueueDepth),
+		stop: stop,
+		done: make(chan struct{}),
+	}
+	go fw.run(bw)
+	return fw
+}
+
+// enqueue hands one frame to the writer goroutine.
+func (fw *frameWriter) enqueue(m *Message) error {
+	if err := fw.Err(); err != nil {
+		return err
+	}
+	// Refuse once the transport is closing, even if queue space is free:
+	// the writer's final drain may already have run, and a frame accepted
+	// after it would be silently dropped.
+	select {
+	case <-fw.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case fw.ch <- m:
+		return nil
+	case <-fw.stop:
+		return ErrClosed
+	}
+}
+
+// join blocks until the writer goroutine has drained and flushed after
+// stop fired, or until grace expires (a writer stuck in a socket write on
+// a dead peer is unblocked by the connection close that follows join).
+func (fw *frameWriter) join(grace time.Duration) {
+	select {
+	case <-fw.done:
+	case <-time.After(grace):
+	}
+}
+
+// Err returns the sticky write error, if any.
+func (fw *frameWriter) Err() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.err
+}
+
+func (fw *frameWriter) setErr(err error) {
+	fw.mu.Lock()
+	if fw.err == nil {
+		fw.err = err
+	}
+	fw.mu.Unlock()
+}
+
+func (fw *frameWriter) run(bw *bufio.Writer) {
+	defer close(fw.done)
+	broken := false
+	write := func(m *Message) {
+		if broken {
+			return
+		}
+		if err := WriteFrame(bw, m); err != nil {
+			fw.setErr(err)
+			broken = true
+		}
+	}
+	flush := func() {
+		if broken {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			fw.setErr(err)
+			broken = true
+		}
+	}
+	for {
+		select {
+		case m := <-fw.ch:
+			write(m)
+		drain:
+			for {
+				select {
+				case m = <-fw.ch:
+					write(m)
+				default:
+					break drain
+				}
+			}
+			flush()
+		case <-fw.stop:
+			for {
+				select {
+				case m := <-fw.ch:
+					write(m)
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package transport_test
+
+import (
+	"testing"
+
+	"nab/internal/transport"
+)
+
+// TestPeerCloseFlushesQueuedFrames pins the close-drain contract of the
+// coalescing writer: every frame Send accepted before Close must reach
+// the remote socket — the sender's Close joins its writers' final drain
+// and flush before tearing connections down.
+func TestPeerCloseFlushesQueuedFrames(t *testing.T) {
+	a, b := twoPeers(t, transport.PeerOptions{})
+
+	l, err := a.Dial(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := l.Send(&transport.Message{Instance: 1, Step: uint32(i), From: 1, To: 3, Bits: 8, Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close immediately: frames may still sit in the writer queue.
+	a.Close()
+
+	for i := 0; i < n; i++ {
+		m, err := b.Recv(3)
+		if err != nil {
+			t.Fatalf("frame %d lost at sender close: %v", i, err)
+		}
+		if m.Step != uint32(i) {
+			t.Fatalf("frame %d arrived as step %d", i, m.Step)
+		}
+	}
+
+	// After Close, Send must refuse rather than silently drop.
+	if err := l.Send(&transport.Message{From: 1, To: 3, Bits: 8}); err == nil {
+		t.Error("Send after transport Close: expected error")
+	}
+}

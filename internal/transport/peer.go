@@ -76,6 +76,7 @@ type Peer struct {
 	pacers  map[[2]graph.NodeID]*pacer
 	recvd   map[[2]graph.NodeID]int64 // receive-side charges from remote peers
 	conns   []net.Conn
+	writers []*frameWriter
 	dropped int64
 
 	closed    chan struct{}
@@ -262,8 +263,12 @@ func (p *Peer) Dial(from, to graph.NodeID) (Link, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake link (%d,%d): %w", from, to, err)
 	}
-	p.track(conn)
-	return &peerLink{key: key, conn: conn, bw: bufio.NewWriter(conn), pace: p.pacerFor(key)}, nil
+	fw := newFrameWriter(bufio.NewWriter(conn), p.closed)
+	p.mu.Lock()
+	p.conns = append(p.conns, conn)
+	p.writers = append(p.writers, fw)
+	p.mu.Unlock()
+	return &peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key)}, nil
 }
 
 // DialRetry connects to addr with exponential backoff (25ms doubling to
@@ -335,10 +340,20 @@ func (p *Peer) Dropped() int64 {
 	return p.dropped
 }
 
-// Close implements Transport: closes the listener and every connection.
+// Close implements Transport: signals every outbound link's coalescing
+// writer, waits for their final drain and flush (bounded per writer — a
+// writer wedged on a dead peer is unblocked by the connection close
+// below), then closes the listener and every connection. Frames accepted
+// by Send before Close reach the socket.
 func (p *Peer) Close() error {
 	p.closeOnce.Do(func() {
 		close(p.closed)
+		p.mu.Lock()
+		writers := append([]*frameWriter(nil), p.writers...)
+		p.mu.Unlock()
+		for _, fw := range writers {
+			fw.join(time.Second)
+		}
 		p.listener.Close()
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -353,13 +368,12 @@ func (p *Peer) Close() error {
 type peerLink struct {
 	key  [2]graph.NodeID
 	conn net.Conn
+	fw   *frameWriter
 	pace *pacer
-
-	mu sync.Mutex
-	bw *bufio.Writer
 }
 
-// Send implements Link: pace, then write and flush in order.
+// Send implements Link: pace, then queue onto the link's coalescing
+// writer, which batches bursts into single syscalls.
 func (l *peerLink) Send(m *Message) error {
 	if m.From != l.key[0] || m.To != l.key[1] {
 		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.key[0], l.key[1])
@@ -370,12 +384,7 @@ func (l *peerLink) Send(m *Message) error {
 	if !m.Marker && m.Bits > 0 {
 		l.pace.charge(m.Bits)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := WriteFrame(l.bw, m); err != nil {
-		return err
-	}
-	return l.bw.Flush()
+	return l.fw.enqueue(m)
 }
 
 // Close implements Link.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"nab/internal/graph"
 )
@@ -26,6 +27,7 @@ type TCP struct {
 	addrs     map[graph.NodeID]string
 	inboxes   map[graph.NodeID]chan *Message
 	conns     []net.Conn
+	writers   []*frameWriter
 	bits      map[[2]graph.NodeID]int64
 	dropped   int64
 
@@ -110,10 +112,12 @@ func (t *TCP) Dial(from, to graph.NodeID) (Link, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial (%d,%d): %w", from, to, err)
 	}
+	fw := newFrameWriter(bufio.NewWriter(conn), t.closed)
 	t.mu.Lock()
 	t.conns = append(t.conns, conn)
+	t.writers = append(t.writers, fw)
 	t.mu.Unlock()
-	return &tcpLink{from: from, to: to, conn: conn, bw: bufio.NewWriter(conn)}, nil
+	return &tcpLink{from: from, to: to, conn: conn, fw: fw}, nil
 }
 
 // Recv implements Transport.
@@ -153,10 +157,20 @@ func (t *TCP) Dropped() int64 {
 	return t.dropped
 }
 
-// Close implements Transport: closes every listener and connection.
+// Close implements Transport: signals every link's coalescing writer,
+// waits for their final drain and flush (bounded per writer — a writer
+// wedged on a dead peer is unblocked by the connection close below), then
+// closes every listener and connection. Frames accepted by Send before
+// Close reach the socket.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.closed)
+		t.mu.Lock()
+		writers := append([]*frameWriter(nil), t.writers...)
+		t.mu.Unlock()
+		for _, fw := range writers {
+			fw.join(time.Second)
+		}
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		for _, l := range t.listeners {
@@ -173,22 +187,16 @@ func (t *TCP) Close() error {
 type tcpLink struct {
 	from, to graph.NodeID
 	conn     net.Conn
-
-	mu sync.Mutex
-	bw *bufio.Writer
+	fw       *frameWriter
 }
 
-// Send implements Link: frames are written and flushed in order.
+// Send implements Link: frames are queued in order onto the link's
+// coalescing writer, which batches bursts into single syscalls.
 func (l *tcpLink) Send(m *Message) error {
 	if m.From != l.from || m.To != l.to {
 		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.from, l.to)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := WriteFrame(l.bw, m); err != nil {
-		return err
-	}
-	return l.bw.Flush()
+	return l.fw.enqueue(m)
 }
 
 // Close implements Link.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"nab/internal/core"
 	"nab/internal/gf"
@@ -40,28 +41,48 @@ const (
 	MaxFrameBytes = 1 << 26
 )
 
-// Encode serializes m (without the length prefix).
+// headerBytes is the fixed frame header plus the kind tag.
+const headerBytes = 8 + 4 + 8 + 8 + 1 + 8 + 1
+
+// encodedSize returns the exact encoded byte count of m (without the
+// length prefix), so encode buffers never reallocate mid-encode. Unknown
+// body types size as a bare header; Encode rejects them before writing.
+func encodedSize(m *Message) int {
+	n := headerBytes
+	switch body := m.Body.(type) {
+	case nil:
+	case []byte:
+		n += len(body)
+	case core.Phase1Msg:
+		n += 12 + len(body.Block.Bytes)
+	case core.EqMsg:
+		n += 4 + 8*len(body.Symbols)
+	case relay.Packet:
+		n += 8 + 8 + 4 + 4 + 4 + len(body.MsgID) + 4 + len(body.Payload)
+	}
+	return n
+}
+
+// Encode serializes m (without the length prefix). The buffer is sized
+// exactly from the payload kind, so even the largest Phase-1 tree blocks
+// encode with a single allocation.
 func Encode(m *Message) ([]byte, error) {
-	buf := make([]byte, 0, 64)
-	var tmp [8]byte
-	put64 := func(v uint64) {
-		binary.BigEndian.PutUint64(tmp[:], v)
-		buf = append(buf, tmp[:8]...)
-	}
-	put32 := func(v uint32) {
-		binary.BigEndian.PutUint32(tmp[:4], v)
-		buf = append(buf, tmp[:4]...)
-	}
-	put64(m.Instance)
-	put32(m.Step)
-	put64(uint64(int64(m.From)))
-	put64(uint64(int64(m.To)))
+	return appendMessage(make([]byte, 0, encodedSize(m)), m)
+}
+
+// appendMessage appends m's encoding to buf and returns the extended
+// slice.
+func appendMessage(buf []byte, m *Message) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint64(buf, m.Instance)
+	buf = binary.BigEndian.AppendUint32(buf, m.Step)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.From)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.To)))
 	var flags byte
 	if m.Marker {
 		flags |= flagMarker
 	}
 	buf = append(buf, flags)
-	put64(uint64(m.Bits))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Bits))
 
 	switch body := m.Body.(type) {
 	case nil:
@@ -71,25 +92,25 @@ func Encode(m *Message) ([]byte, error) {
 		buf = append(buf, body...)
 	case core.Phase1Msg:
 		buf = append(buf, kindPhase1)
-		put32(uint32(body.Tree))
-		put32(uint32(body.Block.BitLen))
-		put32(uint32(len(body.Block.Bytes)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(body.Tree))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(body.Block.BitLen))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body.Block.Bytes)))
 		buf = append(buf, body.Block.Bytes...)
 	case core.EqMsg:
 		buf = append(buf, kindEq)
-		put32(uint32(len(body.Symbols)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body.Symbols)))
 		for _, s := range body.Symbols {
-			put64(uint64(s))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(s))
 		}
 	case relay.Packet:
 		buf = append(buf, kindRelay)
-		put64(uint64(int64(body.Origin)))
-		put64(uint64(int64(body.Dest)))
-		put32(uint32(int32(body.PathIdx)))
-		put32(uint32(int32(body.Hop)))
-		put32(uint32(len(body.MsgID)))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(body.Origin)))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(body.Dest)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(body.PathIdx)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(body.Hop)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body.MsgID)))
 		buf = append(buf, body.MsgID...)
-		put32(uint32(len(body.Payload)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(body.Payload)))
 		buf = append(buf, body.Payload...)
 	default:
 		return nil, fmt.Errorf("transport: cannot encode body type %T", m.Body)
@@ -99,8 +120,7 @@ func Encode(m *Message) ([]byte, error) {
 
 // Decode parses a frame produced by Encode.
 func Decode(raw []byte) (*Message, error) {
-	const header = 8 + 4 + 8 + 8 + 1 + 8 + 1
-	if len(raw) < header {
+	if len(raw) < headerBytes {
 		return nil, fmt.Errorf("transport: frame too short (%d bytes)", len(raw))
 	}
 	pos := 0
@@ -197,25 +217,57 @@ func Decode(raw []byte) (*Message, error) {
 	return m, nil
 }
 
-// WriteFrame writes the length-prefixed encoding of m to w.
-func WriteFrame(w io.Writer, m *Message) error {
-	raw, err := Encode(m)
+// AppendFrame appends the length-prefixed encoding of m to dst and returns
+// the extended slice; on error dst is returned unchanged.
+func AppendFrame(dst []byte, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	out, err := appendMessage(dst, m)
 	if err != nil {
-		return err
+		return dst[:start], err
 	}
-	if len(raw) > MaxFrameBytes {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(raw))
+	n := len(out) - start - 4
+	if n > MaxFrameBytes {
+		return dst[:start], fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	binary.BigEndian.PutUint32(out[start:], uint32(n))
+	return out, nil
+}
+
+// frameBufPool recycles encode and read scratch across frames; steady-state
+// framing allocates only the decoded Message and its body. Oversized
+// buffers are dropped rather than pooled so one giant frame does not pin
+// its memory forever.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, 0, 512)
+		return &buf
+	},
+}
+
+const maxPooledBuf = 1 << 16
+
+func putFrameBuf(bp *[]byte, buf []byte) {
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		frameBufPool.Put(bp)
 	}
-	_, err = w.Write(raw)
+}
+
+// WriteFrame writes the length-prefixed encoding of m to w as a single
+// Write from a pooled buffer.
+func WriteFrame(w io.Writer, m *Message) error {
+	bp := frameBufPool.Get().(*[]byte)
+	buf, err := AppendFrame((*bp)[:0], m)
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	putFrameBuf(bp, buf)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// ReadFrame reads one length-prefixed frame from r through a pooled
+// scratch buffer (Decode copies every retained byte out of it).
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -225,9 +277,18 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	if n > MaxFrameBytes {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	raw := make([]byte, n)
-	if _, err := io.ReadFull(r, raw); err != nil {
-		return nil, err
+	bp := frameBufPool.Get().(*[]byte)
+	raw := *bp
+	if cap(raw) < int(n) {
+		raw = make([]byte, n)
+	} else {
+		raw = raw[:n]
 	}
-	return Decode(raw)
+	var m *Message
+	_, err := io.ReadFull(r, raw)
+	if err == nil {
+		m, err = Decode(raw)
+	}
+	putFrameBuf(bp, raw)
+	return m, err
 }

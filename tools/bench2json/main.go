@@ -9,6 +9,11 @@
 // measures a true multi-process cluster — one OS process per node over
 // real TCP — on the same workloads, recording loopback-vs-multi-process
 // throughput side by side.
+//
+// Every run also records the coding hot-path kernel rows (ns_per_op and
+// allocs_per_op for the GF products, the coded-symbol vector product and
+// the Encode+Check round trip), so the kernel trajectory is tracked in the
+// same file as the engine rows.
 package main
 
 import (
@@ -19,13 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"nab"
+	"nab/internal/coding"
+	"nab/internal/gf"
+	"nab/internal/graph"
+	"nab/internal/linalg"
 )
 
 // Row is one topology's lockstep-vs-pipelined measurement.
@@ -51,11 +62,22 @@ type Row struct {
 	StreamCommitIPS float64 `json:"stream_commit_per_sec,omitempty"`
 }
 
+// KernelRow is one arithmetic/coding kernel measurement, recorded so the
+// hot-path performance trajectory is machine-readable alongside the
+// engine throughput rows.
+type KernelRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
 // Output is the file's top-level shape.
 type Output struct {
-	Bench string `json:"bench"`
-	Seed  int64  `json:"seed"`
-	Rows  []Row  `json:"rows"`
+	Bench   string      `json:"bench"`
+	Seed    int64       `json:"seed"`
+	Rows    []Row       `json:"rows"`
+	Kernels []KernelRow `json:"kernels,omitempty"`
 }
 
 func main() {
@@ -170,6 +192,14 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 
+	res.Kernels, err = kernelRows(*seed)
+	if err != nil {
+		return err
+	}
+	for _, kr := range res.Kernels {
+		fmt.Fprintf(w, "%-34s %10.1f ns/op  %3d allocs/op\n", kr.Name, kr.NsPerOp, kr.AllocsPerOp)
+	}
+
 	raw, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -184,6 +214,105 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "wrote %s\n", *out)
 	return nil
+}
+
+// kernelRows measures the coding hot-path kernels in-process via
+// testing.Benchmark: the scalar field product in both regimes (tables for
+// GF(2^16), carry-less windows for GF(2^64)), the coded-symbol vector
+// product at OneThinLink dimensions, and the per-edge Encode+Check round
+// trip — the operations every NAB equality check reduces to. allocs_per_op
+// of the steady-state rows is pinned at 0 by TestEncodeCheckZeroAlloc.
+func kernelRows(seed int64) ([]KernelRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	f16 := gf.MustNew(16)
+	f64 := gf.MustNew(64)
+	elems := func(f *gf.Field, n int) []gf.Elem {
+		out := make([]gf.Elem, n)
+		for i := range out {
+			for out[i] == 0 {
+				out[i] = f.Rand(rng)
+			}
+		}
+		return out
+	}
+
+	// A rho x z_e matrix at the OneThinLink(7) shape: 33 symbols encoded
+	// onto a capacity-8 edge over GF(2^16).
+	mat, err := linalg.Random(f16, 33, 8, rng)
+	if err != nil {
+		return nil, err
+	}
+	vec := elems(f16, 33)
+	vecDst := make([]gf.Elem, 8)
+
+	// A verified scheme on a small complete graph for the Encode+Check
+	// round trip (rho = 2, unit capacities).
+	g := graph.NewDirected()
+	for _, pair := range [][2]graph.NodeID{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}} {
+		if err := g.AddBiEdge(pair[0], pair[1], 2); err != nil {
+			return nil, err
+		}
+	}
+	scheme, _, err := coding.GenerateVerified(g, 2, f16, []*graph.Directed{g}, rng, 16)
+	if err != nil {
+		return nil, err
+	}
+	x := elems(f16, 2)
+	enc := make([]gf.Elem, 2)
+	if err := scheme.EncodeInto(1, 2, x, enc); err != nil {
+		return nil, err
+	}
+	y := append([]gf.Elem(nil), enc...)
+	scratch := make([]gf.Elem, scheme.MaxCap())
+
+	xs16, xs64 := elems(f16, 1024), elems(f64, 1024)
+	var sink gf.Elem
+	bench := func(name string, fn func(b *testing.B)) KernelRow {
+		r := testing.Benchmark(fn)
+		return KernelRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	rows := []KernelRow{
+		bench("gf.Mul/GF16-table", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink ^= f16.Mul(xs16[i&1023], xs16[(i+7)&1023])
+			}
+		}),
+		bench("gf.Mul/GF64-clmul", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink ^= f64.Mul(xs64[i&1023], xs64[(i+7)&1023])
+			}
+		}),
+		bench("linalg.MulVecInto/GF16-33x8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := mat.MulVecInto(vec, vecDst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("coding.EncodeInto+Check/GF16", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := scheme.EncodeInto(1, 2, x, enc); err != nil {
+					b.Fatal(err)
+				}
+				mm, err := scheme.CheckInto(1, 2, x, y, scratch)
+				if err != nil || mm {
+					b.Fatalf("check: mismatch=%v err=%v", mm, err)
+				}
+			}
+		}),
+	}
+	_ = sink
+	return rows, nil
 }
 
 // streamIPS drives a Session open-loop over the workload: a producer

@@ -33,6 +33,17 @@ func TestRunWritesJSON(t *testing.T) {
 	if !strings.Contains(log.String(), "speedup") {
 		t.Errorf("missing summary output:\n%s", log.String())
 	}
+	if len(res.Kernels) < 4 {
+		t.Fatalf("got %d kernel rows, want >= 4", len(res.Kernels))
+	}
+	for _, kr := range res.Kernels {
+		if kr.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op: %+v", kr.Name, kr)
+		}
+		if kr.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op in steady state, want 0", kr.Name, kr.AllocsPerOp)
+		}
+	}
 }
 
 func TestRunBadFlags(t *testing.T) {
