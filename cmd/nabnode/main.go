@@ -25,9 +25,16 @@
 // Liveness: NAB is a synchronous-model protocol — crash faults are part
 // of the fault model only as scripted in-protocol adversaries ("crash"),
 // whose processes keep pacing the rounds. A node PROCESS that dies
-// outside the model (kill -9, host loss) stalls the remaining peers,
-// which wait for its frames indefinitely; supervise processes externally
-// and restart the run.
+// outside the model (kill -9, host loss) stalls the remaining peers.
+// With -wal DIR the stall is recoverable: each process appends its
+// accepted submissions and commits to a write-ahead log, and a killed
+// process restarted with the same flags replays its log, re-pins its
+// mesh links, and rejoins mid-stream — the cluster rolls back to its
+// common committed watermark, re-drives the lost frames, and the merged
+// commit sequence stays byte-identical to the uninterrupted run (commits
+// replayed from the log are re-emitted, so the restarted process's
+// output stream is complete). Without -wal, supervise processes
+// externally and restart the run.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -113,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	window := fs.Int("window", 4, "spawn mode: pipeline window")
 	seed := fs.Int64("seed", 7, "spawn mode: seed for coding matrices and workload")
 	out := fs.String("out", "", "spawn mode: write the generated cluster.json here (default: temp file)")
+	walDir := fs.String("wal", "", "durable WAL directory: node mode appends this process's log there and recovers from it on restart; spawn mode gives each child <dir>/node-<id>")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "spawn mode, node=strategy (repeatable): crash, flip, coded, alarm, suppress, random:<seed>")
 	if err := fs.Parse(args); err != nil {
@@ -120,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *spawn {
-		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, advs)
+		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, advs)
 	}
 	if *cfgPath == "" {
 		return fmt.Errorf("either -cluster with -id (node mode) or -spawn-local is required")
@@ -133,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return runNode(cfg, graph.NodeID(*id), stdout, rsv)
+	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir)
 }
 
 // inheritedListeners rebuilds the listeners a -spawn-local parent handed
@@ -179,17 +188,32 @@ func inheritedListeners(cfg *cluster.Config, id graph.NodeID) (*cluster.Reservat
 
 // runNode is node mode: open a streaming session as the cluster host of
 // node id, feed it the configured workload, relay commits as JSON lines,
-// print the summary.
-func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation) error {
+// print the summary. A non-empty walDir makes the session durable: a
+// restarted process recovers its log (already-committed instances are
+// re-emitted) and rejoins the cluster mid-stream.
+func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir string) error {
 	ctx := context.Background()
-	sess, err := nab.Open(ctx, nab.Config{},
-		nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv}))
+	opts := []nab.SessionOption{nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv})}
+	if walDir != "" {
+		opts = append(opts, nab.Recover(walDir))
+	}
+	sess, err := nab.Open(ctx, nab.Config{}, opts...)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
 	go func() {
-		for _, in := range cfg.Inputs() {
+		inputs := cfg.Inputs()
+		// A recovered session has already accounted for a prefix of the
+		// deterministic workload — committed instances replay from the
+		// log, uncommitted accepted ones re-enter the stream directly.
+		if skip := int(sess.RecoveredSeq()); skip > 0 {
+			if skip > len(inputs) {
+				skip = len(inputs)
+			}
+			inputs = inputs[skip:]
+		}
+		for _, in := range inputs {
 			if _, err := sess.Submit(ctx, in); err != nil {
 				return // the terminal error surfaces via sess.Err
 			}
@@ -249,7 +273,7 @@ func childExtras(rsv *cluster.Reservation, cfg *cluster.Config, v graph.NodeID) 
 // endpoint as a held listener and hands the sockets to the children as
 // inherited descriptors, so no port can be lost between reservation and
 // boot.
-func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out string, advs adversaryFlags) error {
+func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, advs adversaryFlags) error {
 	g, err := loadGraph(file, topoName)
 	if err != nil {
 		return err
@@ -300,7 +324,11 @@ func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenB
 		if err != nil {
 			return err
 		}
-		cmd := exec.Command(self, "-cluster", out, "-id", fmt.Sprint(v))
+		args := []string{"-cluster", out, "-id", fmt.Sprint(v)}
+		if walDir != "" {
+			args = append(args, "-wal", filepath.Join(walDir, fmt.Sprintf("node-%d", v)))
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)
 		cmd.ExtraFiles = files
 		cmd.Stderr = childErr

@@ -1,0 +1,338 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nab/internal/cluster"
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/topo"
+)
+
+// nodeProc is one supervised nabnode child with live stdout capture.
+type nodeProc struct {
+	id  graph.NodeID
+	cmd *exec.Cmd
+
+	mu    sync.Mutex
+	lines []string
+	inst  int // instance lines seen so far
+
+	exited chan struct{}
+	err    error
+}
+
+// startNode spawns one nabnode child. files/env carry inherited listener
+// descriptors (nil on a restart, which rebinds its configured addresses).
+func startNode(t *testing.T, self, cfgPath string, id graph.NodeID, walDir string, files []*os.File, env []string) *nodeProc {
+	t.Helper()
+	np := &nodeProc{id: id, exited: make(chan struct{})}
+	args := []string{"-cluster", cfgPath, "-id", fmt.Sprint(id), "-wal", walDir}
+	np.cmd = exec.Command(self, args...)
+	np.cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)
+	np.cmd.ExtraFiles = files
+	np.cmd.Stderr = os.Stderr
+	pipe, err := np.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.cmd.Start(); err != nil {
+		t.Fatalf("spawn node %d: %v", id, err)
+	}
+	for _, f := range files {
+		f.Close() // the child owns the sockets now
+	}
+	t.Cleanup(func() {
+		np.cmd.Process.Kill() // no orphans when the test dies mid-scenario
+	})
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			np.mu.Lock()
+			np.lines = append(np.lines, sc.Text())
+			if !bytes.Contains([]byte(sc.Text()), []byte(`"done":true`)) {
+				np.inst++
+			}
+			np.mu.Unlock()
+		}
+		np.err = np.cmd.Wait()
+		close(np.exited)
+	}()
+	return np
+}
+
+func (np *nodeProc) instLines() int {
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	return np.inst
+}
+
+func (np *nodeProc) output() string {
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	var sb bytes.Buffer
+	for _, l := range np.lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// restartConfig builds a per-node-process cluster config over g with WAL
+// directories under a fresh temp root.
+func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, window int, advs map[graph.NodeID]string) (*cluster.Config, string, *cluster.Reservation, string) {
+	t.Helper()
+	nodes := g.Nodes()
+	rsv, err := cluster.ReserveAddrs(len(nodes) + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsv.Close() })
+	addrs := rsv.Addrs()
+	cfg := &cluster.Config{
+		Topology: g.Marshal(), Source: source, F: f,
+		LenBytes: 24, Seed: 13, Window: window, Instances: q,
+		CtrlAddr: addrs[len(nodes)],
+	}
+	for i, v := range nodes {
+		cfg.Nodes = append(cfg.Nodes, cluster.NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, path, rsv, dir
+}
+
+// mergeInstanceLines folds one node's (possibly multi-incarnation)
+// output into instance-keyed lines, verifying that replayed duplicates
+// are byte-identical to the original emission.
+func mergeInstanceLines(t *testing.T, id graph.NodeID, outs []string) (map[int]instanceLine, *summaryLine) {
+	t.Helper()
+	merged := map[int]instanceLine{}
+	var sum *summaryLine
+	for _, out := range outs {
+		sc := bufio.NewScanner(bytes.NewReader([]byte(out)))
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			raw := sc.Text()
+			if bytes.Contains([]byte(raw), []byte(`"done":true`)) {
+				s := summaryLine{}
+				if err := json.Unmarshal([]byte(raw), &s); err != nil {
+					t.Fatalf("node %d summary %q: %v", id, raw, err)
+				}
+				sum = &s
+				continue
+			}
+			var il instanceLine
+			if err := json.Unmarshal([]byte(raw), &il); err != nil {
+				t.Fatalf("node %d line %q: %v", id, raw, err)
+			}
+			if prev, dup := merged[il.Instance]; dup {
+				if prev.Mismatch != il.Mismatch || prev.Phase3 != il.Phase3 || len(prev.Outputs) != len(il.Outputs) {
+					t.Errorf("node %d instance %d re-emitted with different schedule", id, il.Instance)
+				}
+				for v, out := range il.Outputs {
+					if !bytes.Equal(prev.Outputs[v], out) {
+						t.Errorf("node %d instance %d re-emitted with different output for %d", id, il.Instance, v)
+					}
+				}
+				continue
+			}
+			merged[il.Instance] = il
+		}
+	}
+	return merged, sum
+}
+
+// runKillRestart drives the scenario: spawn every node durably, SIGKILL
+// the victim once it has emitted killAfter commits, restart it on the
+// same WAL, and assert the cluster completes with the merged commit
+// sequence (and dispute set) byte-identical to the lockstep oracle.
+func runKillRestart(t *testing.T, g *graph.Directed, source graph.NodeID, f, q int, advs map[graph.NodeID]string, victim graph.NodeID, killAfter int) {
+	t.Helper()
+	cfg, path, rsv, dir := restartConfig(t, g, source, f, q, 2, advs)
+
+	coreCfg, err := cfg.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := core.NewRunner(coreCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lock.Run(cfg.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := map[graph.NodeID]*nodeProc{}
+	for _, ns := range cfg.Nodes {
+		files, env, err := childExtras(rsv, cfg, ns.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[ns.ID] = startNode(t, self, path, ns.ID,
+			filepath.Join(dir, fmt.Sprintf("wal-%d", ns.ID)), files, env)
+	}
+
+	// Kill the victim once it has committed (and logged) killAfter
+	// instances mid-stream.
+	vp := procs[victim]
+	deadline := time.Now().Add(90 * time.Second)
+	for vp.instLines() < killAfter {
+		select {
+		case <-vp.exited:
+			t.Fatalf("victim %d exited before the kill point:\n%s", victim, vp.output())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim %d never reached %d commits (at %d)", victim, killAfter, vp.instLines())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := vp.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-vp.exited
+	firstOut := vp.output()
+	if bytes.Contains([]byte(firstOut), []byte(`"done":true`)) || vp.instLines() >= q {
+		t.Fatalf("victim %d finished its workload before the kill landed; the scenario needs a mid-stream crash (raise q)", victim)
+	}
+	t.Logf("killed node %d after %d of %d commits", victim, vp.instLines(), q)
+
+	// Restart on the same WAL; the fresh process rebinds the victim's
+	// configured addresses itself (the killed incarnation's sockets died
+	// with it) and rejoins mid-stream.
+	vp2 := startNode(t, self, path, victim, filepath.Join(dir, fmt.Sprintf("wal-%d", victim)), nil, nil)
+	procs[victim] = vp2
+
+	for id, np := range procs {
+		select {
+		case <-np.exited:
+		case <-time.After(3 * time.Minute):
+			t.Fatalf("node %d did not finish after the restart", id)
+		}
+		if np.err != nil {
+			t.Fatalf("node %d process failed: %v\n%s", id, np.err, np.output())
+		}
+	}
+
+	// Merge and verify every node's commit stream.
+	agreedOutputs := make([]map[graph.NodeID][]byte, q)
+	for i := range agreedOutputs {
+		agreedOutputs[i] = map[graph.NodeID][]byte{}
+	}
+	for id, np := range procs {
+		outs := []string{np.output()}
+		if id == victim {
+			outs = []string{firstOut, np.output()}
+		}
+		merged, sum := mergeInstanceLines(t, id, outs)
+		if sum == nil {
+			t.Fatalf("node %d emitted no summary", id)
+		}
+		if sum.Instances != q {
+			t.Errorf("node %d summary reports %d instances, want %d", id, sum.Instances, q)
+		}
+		if sum.Disputes != lock.Disputes().String() {
+			t.Errorf("node %d dispute set %q, want %q", id, sum.Disputes, lock.Disputes())
+		}
+		if len(merged) != q {
+			t.Errorf("node %d committed %d distinct instances, want %d (duplicated or skipped)", id, len(merged), q)
+		}
+		for k := 1; k <= q; k++ {
+			il, ok := merged[k]
+			if !ok {
+				t.Errorf("node %d skipped instance %d", id, k)
+				continue
+			}
+			w := want.Instances[k-1]
+			if il.Mismatch != w.Mismatch || il.Phase3 != w.Phase3 {
+				t.Errorf("node %d instance %d: mismatch/phase3 %v/%v, want %v/%v",
+					id, k, il.Mismatch, il.Phase3, w.Mismatch, w.Phase3)
+			}
+			for v, out := range il.Outputs {
+				if prev, dup := agreedOutputs[k-1][v]; dup && !bytes.Equal(prev, out) {
+					t.Errorf("instance %d: node %d output reported twice with different values", k, v)
+				}
+				agreedOutputs[k-1][v] = out
+			}
+		}
+	}
+	for i, w := range want.Instances {
+		if len(agreedOutputs[i]) != len(w.Outputs) {
+			t.Errorf("instance %d: cluster committed %d outputs, lockstep %d", i+1, len(agreedOutputs[i]), len(w.Outputs))
+		}
+		for v, out := range w.Outputs {
+			if !bytes.Equal(agreedOutputs[i][v], out) {
+				t.Errorf("instance %d: node %d output %x, want %x", i+1, v, agreedOutputs[i][v], out)
+			}
+		}
+	}
+}
+
+// TestClusterKillRestartByteIdentical is the PR's acceptance check: a
+// 4-process TCP cluster survives kill -9 + restart of a node mid-stream,
+// and the full commit sequence and dispute set are byte-identical to the
+// lockstep oracle — no duplicated or skipped instance.
+func TestClusterKillRestartByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	runKillRestart(t, topo.CompleteBi(4, 1), 1, 1, 32,
+		map[graph.NodeID]string{3: "flip"}, 2, 3)
+}
+
+// TestClusterKillRestartRoles kills and restarts each deployment role —
+// the source's host (the rejoin coordinator itself), a relay-only honest
+// host, and the host of a silent (crash-scripted) node — on K7 and
+// OneThinLink7.
+func TestClusterKillRestartRoles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	thin7 := func() *graph.Directed {
+		g, err := topo.OneThinLink(7, 2, 3, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	advs := map[graph.NodeID]string{5: "crash", 6: "alarm"}
+	cases := []struct {
+		name   string
+		g      *graph.Directed
+		victim graph.NodeID
+	}{
+		{"K7/SourceHost", topo.CompleteBi(7, 2), 1},
+		{"K7/RelayHost", topo.CompleteBi(7, 2), 2},
+		{"K7/SilentHost", topo.CompleteBi(7, 2), 5},
+		{"OneThinLink7/SourceHost", thin7(), 1},
+		{"OneThinLink7/RelayHost", thin7(), 4},
+		{"OneThinLink7/SilentHost", thin7(), 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runKillRestart(t, tc.g, 1, 2, 16, advs, tc.victim, 2)
+		})
+	}
+}

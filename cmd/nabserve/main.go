@@ -12,6 +12,10 @@
 // Add -net-transport to run node-to-node traffic over loopback TCP links
 // (wire-framed) instead of the in-process bus, and -adversary n=strategy
 // (repeatable: flip, coded, alarm, crash, random) to host faulty nodes.
+// Add -wal DIR to make the daemon durable: accepted requests and commits
+// are write-ahead logged, and a daemon killed mid-stream resumes on
+// restart — dispute state, instance numbering and uncommitted requests
+// included — instead of starting the broadcast sequence over.
 //
 // Client (sends -q framed requests, prints the replies):
 //
@@ -106,6 +110,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for coding matrices (server) / inputs (client)")
 	q := fs.Int("q", 8, "client mode: number of requests to stream")
 	netTransport := fs.Bool("net-transport", false, "run node links over loopback TCP instead of the in-process bus")
+	walDir := fs.String("wal", "", "durable WAL directory: accepted requests and commits are logged there, and a restarted daemon resumes the stream (dispute state included) instead of starting over")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "node=strategy (repeatable): flip, coded, alarm, crash, random")
 	if err := fs.Parse(args); err != nil {
@@ -125,6 +130,9 @@ func run(args []string, w io.Writer) error {
 		LenBytes: *lenBytes, Seed: *seed, Adversaries: advs,
 	}
 	opts := []nab.SessionOption{nab.WithWindow(*window)}
+	if *walDir != "" {
+		opts = append(opts, nab.Recover(*walDir))
+	}
 	if *netTransport {
 		tr, err := nab.NewTCPTransport(g)
 		if err != nil {
@@ -232,6 +240,14 @@ func session(conn net.Conn, sess *nab.Session, lenBytes int) error {
 					firstErr = sess.Err()
 				}
 				return firstErr
+			}
+			if c.Replayed || c.Seq <= sess.RecoveredSeq() {
+				// A -wal recovery re-delivers pre-restart commits, and
+				// the recovered-but-uncommitted backlog re-executes with
+				// fresh commits at or below the recovered sequence; both
+				// answer a previous incarnation's requests, not this
+				// connection's.
+				continue
 			}
 			outstanding--
 			if firstErr != nil {

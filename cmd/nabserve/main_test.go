@@ -200,3 +200,71 @@ func TestServeHalfCloseFlushesReplies(t *testing.T) {
 		}
 	}
 }
+
+// TestServeDurableRestart restarts the daemon on its WAL: the broadcast
+// sequence — dispute state and instance numbering — must resume where
+// the killed incarnation left it, and replayed commits must not leak
+// into the new connection's reply stream.
+func TestServeDurableRestart(t *testing.T) {
+	const lenBytes = 8
+	dir := t.TempDir()
+	open := func() (*nab.Session, string, func()) {
+		sess, err := nab.Open(context.Background(), nab.Config{
+			Graph: topo.CompleteBi(4, 1), Source: 1, F: 1,
+			LenBytes: lenBytes, Seed: 7,
+			Adversaries: map[graph.NodeID]core.Adversary{4: adversary.FalseAlarm{}},
+		}, nab.WithWindow(2), nab.Recover(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			serve(l, sess, lenBytes, io.Discard)
+		}()
+		return sess, l.Addr().String(), func() {
+			l.Close()
+			<-done
+			sess.Close()
+		}
+	}
+
+	sess1, addr1, shutdown1 := open()
+	var out strings.Builder
+	if err := client(&out, addr1, 3, lenBytes, 42); err != nil {
+		t.Fatal(err)
+	}
+	if sess1.RecoveredSeq() != 0 {
+		t.Errorf("fresh daemon recovered seq %d", sess1.RecoveredSeq())
+	}
+	shutdown1()
+
+	sess2, addr2, shutdown2 := open()
+	defer shutdown2()
+	if got := int(sess2.RecoveredSeq()); got != 3 {
+		t.Errorf("restarted daemon recovered seq %d, want 3", got)
+	}
+	conn, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	in := bytes.Repeat([]byte{0xbb}, lenBytes)
+	if err := writeFrame(conn, in); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReply(conn, lenBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instance != 4 {
+		t.Errorf("post-restart reply is instance %d, want 4 (sequence must resume, replayed commits must not leak)", rep.Instance)
+	}
+	if !bytes.Equal(rep.Output, in) {
+		t.Errorf("post-restart output %x, want %x", rep.Output, in)
+	}
+}

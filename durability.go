@@ -1,0 +1,420 @@
+package nab
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/dispute"
+	"nab/internal/graph"
+	"nab/internal/wal"
+)
+
+// durabilityOptions configures the session WAL.
+type durabilityOptions struct {
+	dir       string
+	resume    bool
+	ckptEvery int
+	// segmentBytes overrides the WAL segment size — internal tests use a
+	// tiny value to force rotation and cross-segment compaction.
+	segmentBytes int64
+}
+
+// WithDurability persists the session to a write-ahead log in dir: every
+// accepted submission is fsynced (group-committed) before Submit
+// returns, and every commit is appended before it is delivered. A
+// process killed mid-stream restarts with Recover(dir) and resumes
+// exactly where the log ends. Opening a fresh session over a non-empty
+// log is refused — that is what Recover is for.
+func WithDurability(dir string) SessionOption {
+	return func(o *sessionOptions) {
+		if o.durability == nil {
+			o.durability = &durabilityOptions{}
+		}
+		o.durability.dir = dir
+		o.durability.resume = false
+	}
+}
+
+// Recover opens the session over an existing WAL in dir (or a fresh one,
+// making Recover a restart-safe default): the engine is restored to the
+// logged committed prefix, logged-but-uncommitted submissions re-enter
+// the stream automatically, and every logged commit is re-delivered on
+// Commits with Replayed set before live traffic starts. For WithCluster
+// sessions the restart additionally runs the rejoin protocol: the
+// process re-pins its mesh links, the cluster rolls back to its common
+// committed watermark, and the stream resumes mid-flight — byte-identical
+// to the uninterrupted run.
+func Recover(dir string) SessionOption {
+	return func(o *sessionOptions) {
+		if o.durability == nil {
+			o.durability = &durabilityOptions{}
+		}
+		o.durability.dir = dir
+		o.durability.resume = true
+	}
+}
+
+// WithCheckpointInterval makes a durable single-process session write a
+// dispute-state checkpoint every n commits and compact the log's
+// segments behind it, bounding recovery replay to the live suffix.
+// Default 256; cluster sessions ignore checkpoints (a rejoin rollback
+// may need any instance above the cluster-wide watermark, so their logs
+// keep the full committed history).
+func WithCheckpointInterval(n int) SessionOption {
+	return func(o *sessionOptions) {
+		if o.durability == nil {
+			o.durability = &durabilityOptions{}
+		}
+		o.durability.ckptEvery = n
+	}
+}
+
+const defaultCheckpointEvery = 256
+
+// sessionLog couples the WAL with the session's append state: the
+// encoding scratch, the submit/commit ordering handshake, and the
+// dispute-state mirror checkpoints snapshot.
+type sessionLog struct {
+	log     *wal.Log
+	cluster bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []byte
+	maxSubmit int
+	closed    bool
+	failed    error // first WAL failure; releases logCommit's submit wait
+
+	// meta is the session's identity record, re-appended ahead of every
+	// checkpoint so compaction can never drop the log's last copy.
+	meta wal.Meta
+
+	// Checkpoint mirror of the engine's dispute folds (single-process).
+	ckptEvery int
+	g         *graph.Directed
+	disputes  *dispute.Set
+	faulty    []graph.NodeID
+	faultyIn  map[graph.NodeID]bool
+	sinceCkpt int
+	// subSeg tracks the segment of each not-yet-committed submission:
+	// compaction must never drop a segment holding a submission the
+	// engine still has to execute.
+	subSeg map[int]uint64
+}
+
+func newSessionLog(log *wal.Log, g *graph.Directed, cluster bool, ckptEvery int) *sessionLog {
+	sl := &sessionLog{
+		log: log, cluster: cluster, ckptEvery: ckptEvery,
+		g: g, disputes: dispute.NewSet(), faultyIn: map[graph.NodeID]bool{},
+		subSeg: map[int]uint64{},
+	}
+	if cluster {
+		sl.ckptEvery = 0 // rejoin rollbacks need the full history
+	} else if sl.ckptEvery == 0 {
+		sl.ckptEvery = defaultCheckpointEvery
+	}
+	sl.cond = sync.NewCond(&sl.mu)
+	return sl
+}
+
+// appendSubmit frames one accepted submission into the log buffer —
+// called under the session's submit lock so record order matches
+// sequence order. Durability follows via syncSubmits, OUTSIDE that lock,
+// so concurrent submitters share fsyncs (group commit).
+func (sl *sessionLog) appendSubmit(k int, payload []byte) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.buf = wal.AppendSubmit(sl.buf[:0], k, payload)
+	pos, err := sl.log.Append(wal.TypeSubmit, sl.buf)
+	if err != nil {
+		sl.fail(err)
+		return err
+	}
+	if k > sl.maxSubmit {
+		sl.maxSubmit = k
+		sl.subSeg[k] = pos.Seg
+		sl.cond.Broadcast()
+	}
+	return nil
+}
+
+// syncSubmits makes every appended record durable (group-committed).
+func (sl *sessionLog) syncSubmits() error {
+	if err := sl.log.Sync(); err != nil {
+		sl.mu.Lock()
+		sl.fail(err)
+		sl.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// fail latches the first WAL failure and wakes logCommit's submit-order
+// wait — the engine may already hold a payload whose submit record never
+// landed, and that commit must error out instead of waiting forever.
+// Callers hold sl.mu.
+func (sl *sessionLog) fail(err error) {
+	if sl.failed == nil {
+		sl.failed = err
+	}
+	sl.cond.Broadcast()
+}
+
+// logCommit appends one committed instance ahead of its delivery.
+// Durability rides the log's background sync — a crash between delivery
+// and fsync re-executes the instance on recovery, which is idempotent by
+// determinism. The append waits (briefly) for the instance's submit
+// record: a commit record preceding its own submission would leave a
+// recovered cluster log unable to re-feed the instance after a rollback.
+func (sl *sessionLog) logCommit(ir *core.InstanceResult) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	for sl.maxSubmit < ir.K && !sl.closed && sl.failed == nil {
+		sl.cond.Wait()
+	}
+	if sl.failed != nil {
+		return sl.failed
+	}
+	sl.buf = wal.AppendCommit(sl.buf[:0], ir)
+	if _, err := sl.log.Append(wal.TypeCommit, sl.buf); err != nil {
+		return err
+	}
+	delete(sl.subSeg, ir.K)
+	if sl.ckptEvery <= 0 {
+		return nil
+	}
+	// Mirror the engine's fold so a checkpoint can snapshot the dispute
+	// state without reaching into the (busy) engine.
+	if ir.Phase3 {
+		for _, p := range ir.NewDisputes {
+			sl.disputes.Add(p[0], p[1])
+		}
+		for _, v := range ir.NewFaulty {
+			if !sl.faultyIn[v] {
+				sl.faultyIn[v] = true
+				sl.faulty = append(sl.faulty, v)
+			}
+			sl.disputes.MarkFaulty(sl.g, v)
+		}
+	}
+	sl.sinceCkpt++
+	if sl.sinceCkpt < sl.ckptEvery {
+		return nil
+	}
+	sl.sinceCkpt = 0
+	// Re-assert the session identity ahead of the checkpoint: the kept
+	// tail must still carry a meta record once older segments (including
+	// the original one) are compacted away.
+	sl.buf = wal.AppendMeta(sl.buf[:0], sl.meta)
+	pos, err := sl.log.Append(wal.TypeMeta, sl.buf)
+	if err != nil {
+		return err
+	}
+	cp := wal.Checkpoint{K: ir.K, Disputes: sl.disputes.Pairs(), Faulty: append([]graph.NodeID(nil), sl.faulty...)}
+	sl.buf = wal.AppendCheckpoint(sl.buf[:0], cp)
+	if _, err := sl.log.Append(wal.TypeCheckpoint, sl.buf); err != nil {
+		return err
+	}
+	if err := sl.log.Sync(); err != nil {
+		return err
+	}
+	// Never compact past a submission the engine has yet to execute —
+	// recovery must be able to re-feed every uncommitted instance.
+	keep := pos
+	for _, seg := range sl.subSeg {
+		if seg < keep.Seg {
+			keep.Seg = seg
+		}
+	}
+	return sl.log.Compact(keep)
+}
+
+func (sl *sessionLog) close() error {
+	sl.mu.Lock()
+	sl.closed = true
+	sl.cond.Broadcast()
+	sl.mu.Unlock()
+	return sl.log.Close()
+}
+
+// recovery is the state replayed out of a WAL at Open.
+type recovery struct {
+	k        int                    // committed watermark
+	tail     int                    // highest logged submission
+	foldList []*core.InstanceResult // restore history (synthetic checkpoint + live commits)
+	replayed []*core.InstanceResult // commits present in the log, for re-delivery
+	inputs   map[int][]byte         // logged submissions by instance
+	// resumed reports a non-empty log: a previous incarnation existed,
+	// even if nothing it did survived the crash window. A cluster session
+	// must announce a rejoin in that case — its peers may be stalled.
+	resumed bool
+}
+
+// uncommitted lists the logged-but-uncommitted submissions in order.
+func (rec *recovery) uncommitted() ([][]byte, error) {
+	var out [][]byte
+	for k := rec.k + 1; k <= rec.tail; k++ {
+		in, ok := rec.inputs[k]
+		if !ok {
+			return nil, fmt.Errorf("nab: recover: submission %d missing from the log", k)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// openSessionLog opens (or resumes) the session WAL and replays it.
+func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Directed, cluster bool) (*sessionLog, *recovery, error) {
+	// Submissions sync on the accept path; commit records ride the
+	// background group-committed syncer (a commit lost in the batching
+	// window re-executes identically on recovery).
+	log, err := wal.Open(o.dir, wal.Options{SyncInterval: 5 * time.Millisecond, SegmentBytes: o.segmentBytes})
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*sessionLog, *recovery, error) {
+		log.Close()
+		return nil, nil, err
+	}
+	rec := &recovery{inputs: map[int][]byte{}}
+	subSegs := map[int]uint64{} // submission K -> segment, for the compaction floor
+	sawMeta, sawCkpt := false, false
+	firstCommit := 0
+	empty := true
+	err = log.Replay(func(typ byte, payload []byte, pos wal.Pos) error {
+		empty = false
+		switch typ {
+		case wal.TypeMeta:
+			// Meta opens a fresh log and is re-asserted at every
+			// checkpoint, so a compacted tail still carries one (not
+			// necessarily first).
+			m, err := wal.DecodeMeta(payload)
+			if err != nil {
+				return err
+			}
+			if m.Fingerprint != fp {
+				return fmt.Errorf("nab: recover: log belongs to a different configuration (fingerprint %x, want %x)", m.Fingerprint, fp)
+			}
+			if m.Node != node {
+				return fmt.Errorf("nab: recover: log belongs to cluster node %d, not %d", m.Node, node)
+			}
+			sawMeta = true
+			return nil
+		}
+		switch typ {
+		case wal.TypeSubmit:
+			s, err := wal.DecodeSubmit(payload)
+			if err != nil {
+				return err
+			}
+			rec.inputs[s.K] = append([]byte(nil), s.Payload...)
+			subSegs[s.K] = pos.Seg
+			if s.K > rec.tail {
+				rec.tail = s.K
+			}
+		case wal.TypeCommit:
+			ir, err := wal.DecodeCommit(payload)
+			if err != nil {
+				return err
+			}
+			if firstCommit == 0 {
+				// A compacted log's surviving tail starts mid-history;
+				// the checkpoint record that follows carries the folded
+				// state of everything dropped before it.
+				firstCommit = ir.K
+				rec.k = ir.K - 1
+			}
+			if ir.K != rec.k+1 {
+				return fmt.Errorf("nab: recover: commit %d out of order (want %d)", ir.K, rec.k+1)
+			}
+			rec.k = ir.K
+			rec.foldList = append(rec.foldList, ir)
+			rec.replayed = append(rec.replayed, ir)
+		case wal.TypeCheckpoint:
+			if cluster {
+				return fmt.Errorf("nab: recover: checkpoint record in a cluster log")
+			}
+			cp, err := wal.DecodeCheckpoint(payload)
+			if err != nil {
+				return err
+			}
+			if firstCommit == 0 && rec.k == 0 {
+				rec.k = cp.K // tail starts at the checkpoint itself
+			} else if cp.K != rec.k {
+				return fmt.Errorf("nab: recover: checkpoint at %d does not match committed prefix %d", cp.K, rec.k)
+			}
+			synth := &core.InstanceResult{
+				K: cp.K, Phase3: len(cp.Disputes) > 0 || len(cp.Faulty) > 0,
+				NewDisputes: cp.Disputes, NewFaulty: cp.Faulty,
+			}
+			rec.foldList = []*core.InstanceResult{synth}
+			sawCkpt = true
+		default:
+			return fmt.Errorf("nab: recover: unknown record type %#x", typ)
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if !empty && !o.resume {
+		return fail(fmt.Errorf("nab: WithDurability(%q): log is not empty; use Recover to resume it", o.dir))
+	}
+	if empty {
+		sl := newSessionLog(log, g, cluster, o.ckptEvery)
+		sl.meta = wal.Meta{Fingerprint: fp, Node: node}
+		sl.buf = wal.AppendMeta(sl.buf[:0], sl.meta)
+		if _, err := log.AppendSync(wal.TypeMeta, sl.buf); err != nil {
+			return fail(err)
+		}
+		return sl, &recovery{inputs: map[int][]byte{}}, nil
+	}
+	rec.resumed = true
+	if !sawMeta {
+		return fail(fmt.Errorf("nab: recover: log carries no meta record"))
+	}
+	if firstCommit > 1 && !sawCkpt {
+		return fail(fmt.Errorf("nab: recover: commits start at %d with no checkpoint carrying the prefix", firstCommit))
+	}
+	// Submissions of committed instances may have been compacted away
+	// with their segments; only the uncommitted range must survive
+	// (validated by uncommitted()), and sequence numbering continues from
+	// the committed watermark regardless.
+	if rec.tail < rec.k {
+		rec.tail = rec.k
+	}
+	// The first commit after a compacted prefix continues from the
+	// checkpoint; older replay entries were dropped with their segments.
+	sl := newSessionLog(log, g, cluster, o.ckptEvery)
+	sl.meta = wal.Meta{Fingerprint: fp, Node: node}
+	sl.maxSubmit = rec.tail
+	// Seed the compaction floor with the recovered-but-uncommitted
+	// backlog: a checkpoint fired before those instances commit must not
+	// compact away the segments holding their submissions.
+	for k := rec.k + 1; k <= rec.tail; k++ {
+		if seg, ok := subSegs[k]; ok {
+			sl.subSeg[k] = seg
+		}
+	}
+	// Seed the checkpoint mirror from the recovered history.
+	if sl.ckptEvery > 0 {
+		for _, ir := range rec.foldList {
+			if !ir.Phase3 {
+				continue
+			}
+			for _, p := range ir.NewDisputes {
+				sl.disputes.Add(p[0], p[1])
+			}
+			for _, v := range ir.NewFaulty {
+				if !sl.faultyIn[v] {
+					sl.faultyIn[v] = true
+					sl.faulty = append(sl.faulty, v)
+				}
+				sl.disputes.MarkFaulty(sl.g, v)
+			}
+		}
+	}
+	return sl, rec, nil
+}

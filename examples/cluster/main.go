@@ -3,15 +3,19 @@
 // separate `nabnode` processes would have — broadcast a pipelined
 // workload over real sockets while a scripted false alarmer forces
 // dispute control, and every peer's committed outputs are checked
-// against the single-process lockstep runner. For the real thing, run
+// against the single-process lockstep runner. Each peer runs behind the
+// streaming Session API (the same facade nabnode uses). For the real
+// thing, run
 //
 //	go run ./cmd/nabnode -spawn-local -topo k5 -f 1 -adversary 4=alarm
 //
-// which spawns genuine OS processes from the same cluster config format.
+// which spawns genuine OS processes from the same cluster config format
+// (add -wal DIR to make them crash-recoverable).
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -63,26 +67,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One peer per node, booted concurrently in any order.
+	// One streaming session per node, booted concurrently in any order:
+	// every peer submits the identical deterministic workload and
+	// collects its local nodes' commits.
 	type peerOut struct {
 		id  nab.NodeID
 		res *nab.PipelineResult
 		err error
 	}
+	ctx := context.Background()
 	outs := make([]peerOut, len(nodes))
 	var wg sync.WaitGroup
 	for i, v := range nodes {
 		wg.Add(1)
 		go func(i int, v nab.NodeID) {
 			defer wg.Done()
-			peer, err := nab.StartClusterNode(cfg, v, nab.ClusterOptions{Reservation: rsv})
+			fail := func(err error) { outs[i] = peerOut{id: v, err: err} }
+			sess, err := nab.Open(ctx, nab.Config{},
+				nab.WithCluster(cfg, v, nab.ClusterOptions{Reservation: rsv}))
 			if err != nil {
-				outs[i] = peerOut{id: v, err: err}
+				fail(err)
 				return
 			}
-			defer peer.Close()
-			res, err := peer.Run()
-			outs[i] = peerOut{id: v, res: res, err: err}
+			defer sess.Close()
+			go func() {
+				for _, in := range cfg.Inputs() {
+					if _, err := sess.Submit(ctx, in); err != nil {
+						return
+					}
+				}
+				sess.Drain(ctx)
+			}()
+			for range sess.Commits() {
+			}
+			if err := sess.Err(); err != nil {
+				fail(err)
+				return
+			}
+			outs[i] = peerOut{id: v, res: sess.Result()}
 		}(i, v)
 	}
 	wg.Wait()

@@ -27,6 +27,35 @@ type Options struct {
 	// control-plane endpoint) from it instead of re-binding the configured
 	// addresses, closing the release-then-rebind race.
 	Reservation *Reservation
+
+	// Durable switches the process to crash-recovery mode: mesh links
+	// heal (transport.PeerOptions.Reconnect), the control plane carries
+	// the rejoin protocol, and Stream supervises rollback rounds — a peer
+	// process killed and restarted re-enters the cluster mid-stream with
+	// the committed sequence staying byte-identical to the uninterrupted
+	// run. Every process of the cluster must agree on Durable.
+	Durable bool
+	// Recovered is the committed-instance prefix replayed from this
+	// process's WAL when it restarts (nil on first boot). The runtime is
+	// restored to it before streaming and a rejoin round is announced.
+	Recovered []*core.InstanceResult
+	// RecoveredInputs maps instance numbers to submitted payloads
+	// recovered from the WAL — needed when a rollback round rewinds below
+	// this process's own watermark, so it can re-execute instances it
+	// committed before the crash.
+	RecoveredInputs map[int][]byte
+	// Rejoining marks a process restarting over an existing WAL: Start
+	// announces a rejoin round so the (possibly stalled) cluster rolls
+	// back and re-drives the frames this process missed. It must be set
+	// whenever the WAL shows a previous incarnation — even one that
+	// crashed before its first commit became durable, since its peers may
+	// already be stalled waiting for its frames.
+	Rejoining bool
+	// RejoinLinger bounds how long a process that finished its workload
+	// stays parked at the shutdown barrier, mesh intact, ready to serve a
+	// rollback for a peer that crashed near the end. Default 2 minutes
+	// (durable mode only).
+	RejoinLinger time.Duration
 }
 
 // Node is one process's membership in a cluster: the transport endpoint,
@@ -34,10 +63,19 @@ type Options struct {
 // the locally hosted topology nodes.
 type Node struct {
 	cfg    *Config
+	opt    Options
 	locals []graph.NodeID
 	tr     *transport.Peer
 	ctrl   *ctrlPlane
 	rt     *runtime.Runtime
+
+	// Crash-recovery supervision state (Durable mode); all touched only
+	// by the single Stream call.
+	epoch         uint64                 // launch epoch agreed by the last rollback
+	lastRound     int                    // last rollback round this process acked
+	rejoinPending bool                   // announce a rejoin when the supervisor starts
+	committed     []*core.InstanceResult // full committed prefix, recovery + live
+	inputs        *inputBuffer           // retained submissions for re-execution
 
 	stopOnce sync.Once
 	stop     chan struct{} // releases the context watchdog
@@ -78,6 +116,7 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		TimeUnit:    opt.TimeUnit,
 		Burst:       opt.Burst,
 		DialTimeout: opt.BootTimeout,
+		Reconnect:   opt.Durable,
 	}
 	if opt.Reservation != nil {
 		popt.Listener = opt.Reservation.Take(spec.Addr)
@@ -106,9 +145,9 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		if opt.Reservation != nil {
 			cl = opt.Reservation.Take(cfg.CtrlAddr)
 		}
-		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs), cl)
+		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs), cl, opt.Durable)
 	} else {
-		ctrl, err = newFollower(ctx, cfg.CtrlAddr, opt.BootTimeout)
+		ctrl, err = newFollower(ctx, cfg.CtrlAddr, opt.BootTimeout, opt.Durable)
 	}
 	if err != nil {
 		tr.Close()
@@ -126,7 +165,22 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		ctrl.Close()
 		return nil, err // runtime owns (and closed) the transport
 	}
-	n := &Node{cfg: cfg, locals: locals, tr: tr, ctrl: ctrl, rt: rt, stop: make(chan struct{})}
+	n := &Node{cfg: cfg, opt: opt, locals: locals, tr: tr, ctrl: ctrl, rt: rt, stop: make(chan struct{})}
+	if opt.Durable {
+		n.committed = append(n.committed, opt.Recovered...)
+		n.inputs = newInputBuffer(opt.RecoveredInputs)
+		if err := rt.Restore(0, len(n.committed), n.committed); err != nil {
+			ctrl.Close()
+			rt.Close()
+			return nil, err
+		}
+		// A restarting process announces its rejoin from the stream
+		// supervisor (streamDurable), where a control link that dies under
+		// the announcement — e.g. a dial that landed in the dead
+		// coordinator's lingering accept backlog and gets reset on first
+		// write — is retried like any other control-plane loss.
+		n.rejoinPending = opt.Rejoining
+	}
 	// The watchdog force-closes the endpoints on cancellation, so actors
 	// blocked in link dials (a peer process that never came up) or paced
 	// sends abort promptly instead of waiting out their timeouts.
@@ -194,6 +248,9 @@ func (n *Node) RunStream(inputs [][]byte, commit func(*core.InstanceResult) erro
 // aborts in-flight executions — mid-dispute included — and skips the
 // lingering barrier wait.
 func (n *Node) Stream(ctx context.Context, subs <-chan []byte, commit func(*core.InstanceResult) error) (*runtime.Result, error) {
+	if n.opt.Durable {
+		return n.streamDurable(ctx, subs, commit)
+	}
 	res, err := n.rt.RunStream(ctx, subs, commit)
 	timeout := 30 * time.Second
 	if err != nil {

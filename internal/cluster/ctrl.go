@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -29,7 +30,15 @@ import (
 // Decisions are replayed to late-connecting followers, making process
 // start order irrelevant.
 
-// ctrlMsg is one decision on the wire.
+// ctrlMsg is one decision or rejoin-protocol message on the wire.
+//
+// Decision types ("mismatch", "audit") are logged and replayed to
+// late-connecting followers. The crash-recovery rollback types —
+// "rejoin" (a restarted process announcing itself, follower to
+// coordinator), "sync"/"synced", "rewind"/"rewound" and "resume" — are
+// live-only: each belongs to one rollback round (Round), and replaying a
+// stale round to a later subscriber could re-trigger a rollback that
+// already completed.
 type ctrlMsg struct {
 	Type     string            `json:"type"` // "mismatch" or "audit"
 	K        int               `json:"k"`
@@ -38,6 +47,9 @@ type ctrlMsg struct {
 	Output   []byte            `json:"output,omitempty"`
 	Disputes [][2]graph.NodeID `json:"disputes,omitempty"`
 	Faulty   []graph.NodeID    `json:"faulty,omitempty"`
+	// Rollback-round coordinates (rejoin protocol).
+	Round int    `json:"round,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // decisionKey identifies one execution: barrier replays of instance k run
@@ -171,6 +183,16 @@ func (v *view) NeedAudit() (*core.AuditResult, error) {
 type ctrlPlane struct {
 	d *decisions
 
+	// durable enables the crash-recovery behaviours: follower control
+	// connections redial instead of failing the decision stream, and the
+	// rollback-round messages flow.
+	durable bool
+	addr    string
+	// events surfaces rollback-round messages (and control-link loss,
+	// Type "ctrldown") to the process's stream supervisor. Only written
+	// in durable mode, where the supervisor is guaranteed to consume.
+	events chan ctrlMsg
+
 	// Coordinator side.
 	listener net.Listener
 	expect   int // processes counted at the shutdown barrier
@@ -178,15 +200,27 @@ type ctrlPlane struct {
 	log      []ctrlMsg
 	subs     []chan ctrlMsg
 
+	// Coordinator rollback-round state.
+	rbMu     sync.Mutex
+	rbRound  int
+	rbPhase  int // 0 idle, 1 awaiting synced, 2 awaiting rewound
+	rbAcks   int
+	rbMinK   int
+	rbEpoch  uint64 // max epoch reported this round
+	rbTarget ctrlMsg
+
 	// Follower side.
-	conn   net.Conn
-	sendMu sync.Mutex
+	conn    net.Conn
+	connGen int        // bumped per replacement; stamps ctrldown events
+	connMu  sync.Mutex // guards conn replacement on durable redial
+	sendMu  sync.Mutex
 
 	doneMu    sync.Mutex
 	doneCount int
 	allDone   chan struct{}
 	doneOnce  sync.Once
 
+	closed    chan struct{}
 	closeOnce sync.Once
 }
 
@@ -205,7 +239,7 @@ func (p *ctrlPlane) Execution(k, gen int) runtime.ExecutionView {
 // from a reservation) and starts serving decision streams to followers.
 // expect is the number of processes the shutdown barrier waits for (the
 // coordinator included).
-func newCoordinator(addr string, expect int, l net.Listener) (*ctrlPlane, error) {
+func newCoordinator(addr string, expect int, l net.Listener, durable bool) (*ctrlPlane, error) {
 	if l == nil {
 		var err error
 		l, err = net.Listen("tcp", addr)
@@ -213,7 +247,11 @@ func newCoordinator(addr string, expect int, l net.Listener) (*ctrlPlane, error)
 			return nil, fmt.Errorf("cluster: control listen %s: %w", addr, err)
 		}
 	}
-	p := &ctrlPlane{d: newDecisions(), listener: l, expect: expect, allDone: make(chan struct{})}
+	p := &ctrlPlane{
+		d: newDecisions(), durable: durable, addr: addr,
+		events: make(chan ctrlMsg, 64), listener: l, expect: expect,
+		allDone: make(chan struct{}), closed: make(chan struct{}),
+	}
 	go p.acceptLoop()
 	return p, nil
 }
@@ -226,7 +264,8 @@ func (p *ctrlPlane) acceptLoop() {
 		}
 		// Register the subscriber and replay the decision log so far; the
 		// writer goroutine owns the connection's write half, the reader
-		// counts the follower's barrier announcement.
+		// counts the follower's barrier announcement and feeds the
+		// rejoin protocol.
 		ch := make(chan ctrlMsg, 4096)
 		p.subMu.Lock()
 		backlog := append([]ctrlMsg(nil), p.log...)
@@ -257,17 +296,249 @@ func (p *ctrlPlane) acceptLoop() {
 				if err := dec.Decode(&m); err != nil {
 					return
 				}
-				if m.Type == "done" {
-					p.countDone()
+				switch m.Type {
+				case "done":
+					p.countDone(m.Round)
+				case "rejoin":
+					p.startRollback()
+				case "synced":
+					p.onSynced(m)
+				case "rewound":
+					p.onRewound(m)
 				}
 			}
 		}()
 	}
 }
 
+// pushEvent hands a rollback message to the local stream supervisor.
+func (p *ctrlPlane) pushEvent(m ctrlMsg) {
+	select {
+	case p.events <- m:
+	case <-p.closed:
+	}
+}
+
+// Events returns the supervisor's rollback-message stream (durable mode).
+func (p *ctrlPlane) Events() <-chan ctrlMsg { return p.events }
+
+// broadcastCtl fans a live-only rollback message out to every follower
+// and to the local supervisor, without entering the replay log.
+func (p *ctrlPlane) broadcastCtl(m ctrlMsg) {
+	p.subMu.Lock()
+	keep := p.subs[:0]
+	for _, ch := range p.subs {
+		select {
+		case ch <- m:
+			keep = append(keep, ch)
+		default:
+			close(ch)
+		}
+	}
+	p.subs = keep
+	p.subMu.Unlock()
+	p.pushEvent(m)
+}
+
+// startRollback opens a fresh rollback round: every process is told to
+// abort its stream and report its committed watermark. A rejoin arriving
+// mid-round restarts the round (the newcomer must be counted), which is
+// what makes process reconnection order irrelevant.
+func (p *ctrlPlane) startRollback() {
+	if !p.durable {
+		return
+	}
+	ctrlDebugf("coordinator: rollback round opening")
+	p.rbMu.Lock()
+	p.rbRound++
+	p.rbPhase = 1
+	p.rbAcks = 0
+	p.rbMinK = -1
+	p.rbEpoch = 0
+	round := p.rbRound
+	p.rbMu.Unlock()
+	// Every process re-announces "done" after its post-rollback stream,
+	// so the shutdown barrier restarts its count.
+	p.doneMu.Lock()
+	p.doneCount = 0
+	p.doneMu.Unlock()
+	p.broadcastCtl(ctrlMsg{Type: "sync", Round: round})
+}
+
+// ctrlDebugf mirrors control-plane rejoin traffic to stderr when
+// NAB_REJOIN_DEBUG is set.
+func ctrlDebugf(format string, args ...any) {
+	if rejoinDebug {
+		fmt.Fprintf(os.Stderr, "[ctrl] "+format+"\n", args...)
+	}
+}
+
+// onSynced tallies one process's watermark for the current round; the
+// last ack fixes the rollback target — the cluster-wide minimum
+// committed instance and a launch epoch above every epoch in use — and
+// broadcasts the rewind.
+func (p *ctrlPlane) onSynced(m ctrlMsg) {
+	p.rbMu.Lock()
+	if m.Round != p.rbRound || p.rbPhase != 1 {
+		p.rbMu.Unlock()
+		return
+	}
+	p.rbAcks++
+	if p.rbMinK < 0 || m.K < p.rbMinK {
+		p.rbMinK = m.K
+	}
+	if m.Epoch > p.rbEpoch {
+		p.rbEpoch = m.Epoch
+	}
+	if p.rbAcks < p.expect {
+		p.rbMu.Unlock()
+		return
+	}
+	p.rbPhase = 2
+	p.rbAcks = 0
+	p.rbTarget = ctrlMsg{Type: "rewind", Round: p.rbRound, K: p.rbMinK, Epoch: p.rbEpoch + 1}
+	target := p.rbTarget
+	p.rbMu.Unlock()
+	// Decisions at or below the target are never consulted again and
+	// later ones are re-made identically by the re-execution; dropping
+	// the log keeps replay to future re-subscribers from growing without
+	// bound across rollbacks.
+	p.subMu.Lock()
+	p.log = nil
+	p.subMu.Unlock()
+	p.broadcastCtl(target)
+}
+
+// onRewound counts rewind completions; the last one releases the cluster.
+func (p *ctrlPlane) onRewound(m ctrlMsg) {
+	p.rbMu.Lock()
+	if m.Round != p.rbRound || p.rbPhase != 2 {
+		p.rbMu.Unlock()
+		return
+	}
+	p.rbAcks++
+	if p.rbAcks < p.expect {
+		p.rbMu.Unlock()
+		return
+	}
+	p.rbPhase = 0
+	round := p.rbRound
+	p.rbMu.Unlock()
+	p.broadcastCtl(ctrlMsg{Type: "resume", Round: round})
+}
+
+// announceDone announces this process at the shutdown barrier for the
+// given rollback round (0 outside durable mode).
+func (p *ctrlPlane) announceDone(round int) error {
+	if p.listener != nil {
+		p.countDone(round) // the coordinator counts itself
+		return nil
+	}
+	return p.sendCtl(ctrlMsg{Type: "done", Round: round})
+}
+
+// sendCtl ships one message up to the coordinator (follower side).
+func (p *ctrlPlane) sendCtl(m ctrlMsg) error {
+	p.connMu.Lock()
+	conn := p.conn
+	p.connMu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("cluster: control connection down")
+	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return json.NewEncoder(conn).Encode(m)
+}
+
+// Rejoin announces this process to the rollback protocol: a restarted
+// process calls it at boot, and a follower whose control link died calls
+// it after reconnecting. On the coordinator it opens the round directly.
+func (p *ctrlPlane) Rejoin() error {
+	if p.listener != nil {
+		p.startRollback()
+		return nil
+	}
+	ctrlDebugf("follower: sending rejoin")
+	return p.sendCtl(ctrlMsg{Type: "rejoin"})
+}
+
+// AckSync reports this process's committed watermark and launch epoch
+// for one rollback round.
+func (p *ctrlPlane) AckSync(round, watermark int, epoch uint64) error {
+	m := ctrlMsg{Type: "synced", Round: round, K: watermark, Epoch: epoch}
+	if p.listener != nil {
+		p.onSynced(m)
+		return nil
+	}
+	return p.sendCtl(m)
+}
+
+// AckRewound reports this process rewound for one rollback round.
+func (p *ctrlPlane) AckRewound(round int) error {
+	m := ctrlMsg{Type: "rewound", Round: round}
+	if p.listener != nil {
+		p.onRewound(m)
+		return nil
+	}
+	return p.sendCtl(m)
+}
+
+// Reconnect re-establishes a durable follower's control connection after
+// the coordinator restarted, and restarts the decision reader.
+func (p *ctrlPlane) Reconnect(ctx context.Context, timeout time.Duration) error {
+	if p.listener != nil || !p.durable {
+		return fmt.Errorf("cluster: reconnect on a non-durable or coordinator control plane")
+	}
+	if timeout <= 0 {
+		timeout = 20 * time.Second
+	}
+	conn, err := transport.DialRetry(p.addr, timeout, ctx.Done())
+	if err != nil {
+		return fmt.Errorf("cluster: control redial %s: %w", p.addr, err)
+	}
+	p.connMu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.connGen++
+	p.connMu.Unlock()
+	go p.readLoop()
+	return nil
+}
+
+// staleCtrldown reports a control-loss event that belongs to a
+// connection this plane has already replaced; acting on it would tear
+// down the healthy successor and spin the reconnect cycle forever.
+func (p *ctrlPlane) staleCtrldown(m ctrlMsg) bool {
+	if m.Type != "ctrldown" {
+		return false
+	}
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return m.K < p.connGen
+}
+
+// ctrldownNow synthesizes a control-loss event for the CURRENT
+// connection (a send on it just failed).
+func (p *ctrlPlane) ctrldownNow() ctrlMsg {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return ctrlMsg{Type: "ctrldown", K: p.connGen}
+}
+
 // countDone tallies one process at the shutdown barrier; the last one
-// releases everyone.
-func (p *ctrlPlane) countDone() {
+// releases everyone. The announcement carries the rollback round it was
+// made in: a "done" sent just before a crash-triggered rollback may land
+// after the round reset the count, and counting it would release the
+// barrier while a straggler still needs its peers' sockets.
+func (p *ctrlPlane) countDone(round int) {
+	p.rbMu.Lock()
+	current := p.rbRound
+	p.rbMu.Unlock()
+	if round != current {
+		return
+	}
 	p.doneMu.Lock()
 	p.doneCount++
 	reached := p.doneCount >= p.expect
@@ -305,7 +576,7 @@ func (p *ctrlPlane) broadcast(m ctrlMsg) error {
 // newFollower dials the coordinator (retrying while the cluster boots)
 // and starts buffering its decision stream. Canceling ctx aborts the
 // boot-time retry loop.
-func newFollower(ctx context.Context, addr string, timeout time.Duration) (*ctrlPlane, error) {
+func newFollower(ctx context.Context, addr string, timeout time.Duration, durable bool) (*ctrlPlane, error) {
 	if timeout <= 0 {
 		timeout = 20 * time.Second
 	}
@@ -313,25 +584,49 @@ func newFollower(ctx context.Context, addr string, timeout time.Duration) (*ctrl
 	if err != nil {
 		return nil, fmt.Errorf("cluster: control dial %s: %w", addr, err)
 	}
-	p := &ctrlPlane{d: newDecisions(), conn: conn, allDone: make(chan struct{})}
+	p := &ctrlPlane{
+		d: newDecisions(), durable: durable, addr: addr,
+		events: make(chan ctrlMsg, 64), conn: conn,
+		allDone: make(chan struct{}), closed: make(chan struct{}),
+	}
 	go p.readLoop()
 	return p, nil
 }
 
 func (p *ctrlPlane) readLoop() {
-	dec := json.NewDecoder(bufio.NewReader(p.conn))
+	p.connMu.Lock()
+	conn, gen := p.conn, p.connGen
+	p.connMu.Unlock()
+	dec := json.NewDecoder(bufio.NewReader(conn))
 	for {
 		var m ctrlMsg
 		if err := dec.Decode(&m); err != nil {
+			if p.durable {
+				// The coordinator process died. Tell the supervisor —
+				// which will redial and rejoin once the coordinator is
+				// back — instead of failing every pending decision wait.
+				// The event is stamped with this connection's generation,
+				// so a loss reported by an already-replaced connection
+				// cannot tear down its healthy successor.
+				select {
+				case <-p.closed:
+				default:
+					p.pushEvent(ctrlMsg{Type: "ctrldown", K: gen})
+				}
+				return
+			}
 			p.d.fail(fmt.Errorf("decision stream ended: %w", err))
 			p.doneOnce.Do(func() { close(p.allDone) })
 			return
 		}
-		if m.Type == "alldone" {
+		switch m.Type {
+		case "alldone":
 			p.doneOnce.Do(func() { close(p.allDone) })
-			continue
+		case "sync", "rewind", "resume":
+			p.pushEvent(m)
+		default:
+			p.d.put(m)
 		}
-		p.d.put(m)
 	}
 }
 
@@ -340,15 +635,8 @@ func (p *ctrlPlane) readLoop() {
 // frames. Best effort: on timeout, context cancellation or a dead control
 // link it returns anyway — the local results are already committed.
 func (p *ctrlPlane) barrier(ctx context.Context, timeout time.Duration) {
-	if p.listener != nil {
-		p.countDone() // the coordinator counts itself
-	} else {
-		p.sendMu.Lock()
-		err := json.NewEncoder(p.conn).Encode(ctrlMsg{Type: "done"})
-		p.sendMu.Unlock()
-		if err != nil {
-			return
-		}
+	if err := p.announceDone(0); err != nil {
+		return
 	}
 	select {
 	case <-p.allDone:
@@ -360,6 +648,7 @@ func (p *ctrlPlane) barrier(ctx context.Context, timeout time.Duration) {
 // Close tears the control plane down; pending waits fail.
 func (p *ctrlPlane) Close() error {
 	p.closeOnce.Do(func() {
+		close(p.closed)
 		if p.listener != nil {
 			p.listener.Close()
 			p.subMu.Lock()
@@ -369,9 +658,11 @@ func (p *ctrlPlane) Close() error {
 			p.subs = nil
 			p.subMu.Unlock()
 		}
+		p.connMu.Lock()
 		if p.conn != nil {
 			p.conn.Close()
 		}
+		p.connMu.Unlock()
 		p.d.fail(fmt.Errorf("control plane closed"))
 		p.doneOnce.Do(func() { close(p.allDone) })
 	})

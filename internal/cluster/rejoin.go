@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/runtime"
+)
+
+// rejoinDebug mirrors the rollback state machine to stderr when
+// NAB_REJOIN_DEBUG is set — the supervisor runs across OS processes, so
+// a wedged round is otherwise invisible.
+var rejoinDebug = os.Getenv("NAB_REJOIN_DEBUG") != ""
+
+func (n *Node) debugf(format string, args ...any) {
+	if !rejoinDebug {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[rejoin %v] "+format+"\n", append([]any{n.locals}, args...)...)
+}
+
+// This file is the process-side half of the cluster's crash-recovery: a
+// supervised stream loop that re-enters the pipelined runtime across
+// rollback rounds.
+//
+// NAB is a synchronous-model protocol: when a peer process dies outside
+// the fault model (kill -9), the survivors stall waiting for its frames —
+// there is nothing to decide, only work to re-drive. The rejoin protocol
+// therefore rolls the whole cluster back to its minimum committed
+// instance m and re-executes everything above it:
+//
+//  1. the restarted process replays its WAL, restores its runtime to its
+//     own watermark and announces "rejoin" on the control plane;
+//  2. the coordinator broadcasts "sync": every process aborts its stream
+//     (in-flight speculation reaped exactly like a dispute barrier) and
+//     answers with its committed watermark and launch epoch;
+//  3. the coordinator fixes m = min(watermarks) and a fresh launch epoch
+//     E above every epoch in use, and broadcasts "rewind": every process
+//     restores its runtime to its own committed prefix [:m] on launch
+//     base E<<32 — stale frames of abandoned executions demultiplex
+//     below the base and are dropped;
+//  4. once every process acknowledges, "resume" restarts the streams.
+//     Instances a process had already committed re-execute (their frames
+//     are what the rolled-back peers are missing) with their commits
+//     suppressed locally, so consumers never see a duplicate; instances
+//     above the old watermark commit normally. Determinism of the
+//     engines makes the re-driven sequence byte-identical.
+//
+// The same machinery covers a coordinator restart: followers observe the
+// dead control connection ("ctrldown"), redial until the coordinator is
+// back, and announce "rejoin" themselves.
+
+// inputBuffer retains every submission pulled from the session so
+// rollback rounds can re-feed instances the runtime already consumed.
+// Entries at or below the cluster-wide rollback floor are pruned at each
+// rewind; retention between rollbacks is the cost of durability.
+type inputBuffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   map[int][]byte
+	tail   int // highest instance with a known input
+	closed bool
+}
+
+func newInputBuffer(recovered map[int][]byte) *inputBuffer {
+	b := &inputBuffer{data: map[int][]byte{}}
+	b.cond = sync.NewCond(&b.mu)
+	for k, in := range recovered {
+		b.data[k] = in
+		if k > b.tail {
+			b.tail = k
+		}
+	}
+	return b
+}
+
+// put appends the next submission and returns its instance number.
+func (b *inputBuffer) put(in []byte) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tail++
+	b.data[b.tail] = in
+	b.cond.Broadcast()
+	return b.tail
+}
+
+func (b *inputBuffer) closeBuf() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// prune drops inputs at or below floor — instances every process of the
+// cluster has committed can never be rolled back to again.
+func (b *inputBuffer) prune(floor int) {
+	b.mu.Lock()
+	for k := range b.data {
+		if k <= floor {
+			delete(b.data, k)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// feed pumps inputs from+1, from+2, ... into out, closing it when the
+// buffer is closed and drained. A close of stop aborts the feed (the
+// stream it supplies was canceled).
+func (b *inputBuffer) feed(stop <-chan struct{}, out chan<- []byte, from int) {
+	defer close(out)
+	go func() {
+		<-stop
+		// Broadcast under the mutex: an unlocked wakeup can fire between
+		// the feeder's stop-check and its cond.Wait and be lost forever.
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}()
+	next := from + 1
+	for {
+		b.mu.Lock()
+		for {
+			if _, ok := b.data[next]; ok || b.closed {
+				break
+			}
+			select {
+			case <-stop:
+				b.mu.Unlock()
+				return
+			default:
+			}
+			b.cond.Wait()
+		}
+		in, ok := b.data[next]
+		b.mu.Unlock()
+		if !ok {
+			return // closed and drained
+		}
+		select {
+		case out <- in:
+			next++
+		case <-stop:
+			return
+		}
+	}
+}
+
+// streamDurable is Stream's crash-recovery form: RunStream supervised
+// across rollback rounds, commits suppressed below the delivered
+// watermark, the whole committed history (recovered + live) aggregated
+// into the result.
+func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit func(*core.InstanceResult) error) (*runtime.Result, error) {
+	linger := n.opt.RejoinLinger
+	if linger <= 0 {
+		linger = 2 * time.Minute
+	}
+	// Pump the session's submissions into the retained buffer.
+	go func() {
+		for {
+			select {
+			case in, ok := <-subs:
+				if !ok {
+					n.inputs.closeBuf()
+					return
+				}
+				n.inputs.put(in)
+			case <-ctx.Done():
+				n.inputs.closeBuf()
+				return
+			}
+		}
+	}()
+
+	events := n.ctrl.Events()
+	commitFn := func(ir *core.InstanceResult) error {
+		if ir.K <= len(n.committed) {
+			// Re-execution below the delivered watermark: the wire
+			// traffic is the point; the commit was delivered (and
+			// persisted) before the rollback.
+			return nil
+		}
+		n.committed = append(n.committed, ir)
+		if commit != nil {
+			return commit(ir)
+		}
+		return nil
+	}
+
+	// A restarted process opens its rejoin round now, from inside the
+	// supervisor: an announcement that dies with its control connection
+	// (a redial raced the dead coordinator's lingering accept backlog)
+	// re-enters through the ctrldown path instead of failing the boot.
+	if n.rejoinPending {
+		n.rejoinPending = false
+		n.debugf("announcing rejoin (recovered watermark %d)", len(n.committed))
+		if err := n.ctrl.Rejoin(); err != nil {
+			n.debugf("rejoin announcement failed (%v); reconnecting", err)
+			if err := n.rollback(ctx, n.ctrl.ctrldownNow(), linger); err != nil {
+				n.ctrl.barrier(ctx, time.Second)
+				return nil, err
+			}
+		}
+	}
+
+	var lastRes *runtime.Result
+	for {
+		innerCtx, cancel := context.WithCancel(ctx)
+		innerSubs := make(chan []byte, max(1, n.rt.Window()))
+		go n.inputs.feed(innerCtx.Done(), innerSubs, n.rt.Committed())
+		type streamRes struct {
+			res *runtime.Result
+			err error
+		}
+		done := make(chan streamRes, 1)
+		go func() {
+			res, err := n.rt.RunStream(innerCtx, innerSubs, commitFn)
+			done <- streamRes{res, err}
+		}()
+
+		var sr streamRes
+		var rollEv *ctrlMsg
+	wait:
+		for {
+			select {
+			case sr = <-done:
+				n.debugf("stream returned (err=%v, committed=%d)", sr.err, len(n.committed))
+				break wait
+			case ev := <-events:
+				if (ev.Type == "sync" || ev.Type == "ctrldown") && !n.ctrl.staleCtrldown(ev) {
+					n.debugf("stream interrupted by %s round %d", ev.Type, ev.Round)
+					cancel()
+					sr = <-done
+					rollEv = &ev
+					break wait
+				}
+				// rewind/resume of a round we already left, or a loss
+				// reported by an already-replaced control conn: stale.
+			case <-ctx.Done():
+				cancel()
+				<-done
+				n.ctrl.barrier(ctx, time.Second)
+				return nil, ctx.Err()
+			}
+		}
+		cancel()
+
+		if rollEv != nil {
+			if err := n.rollback(ctx, *rollEv, linger); err != nil {
+				n.ctrl.barrier(ctx, time.Second)
+				return nil, err
+			}
+			continue
+		}
+		if sr.err != nil {
+			n.ctrl.barrier(ctx, time.Second)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, sr.err
+		}
+		lastRes = sr.res
+
+		// Workload complete: park at the shutdown barrier, mesh intact,
+		// still answering rollbacks for peers that crashed near the end.
+		n.debugf("parking at barrier (round %d, committed %d)", n.lastRound, len(n.committed))
+		ev, err := n.park(ctx, events, linger)
+		if err != nil {
+			return nil, err
+		}
+		if ev == nil {
+			n.debugf("released from barrier")
+			res := lastRes
+			res.Instances = append([]*core.InstanceResult(nil), n.committed...)
+			return res, nil
+		}
+		if err := n.rollback(ctx, *ev, linger); err != nil {
+			n.ctrl.barrier(ctx, time.Second)
+			return nil, err
+		}
+	}
+}
+
+// park announces this process done and waits for the cluster to finish —
+// or for a rollback round that pulls it back in. A nil event means the
+// process is released.
+func (n *Node) park(ctx context.Context, events <-chan ctrlMsg, linger time.Duration) (*ctrlMsg, error) {
+	if err := n.ctrl.announceDone(n.lastRound); err != nil {
+		// The control link died while announcing: treat as a pending
+		// coordinator restart.
+		ev := n.ctrl.ctrldownNow()
+		return &ev, nil
+	}
+	timeout := time.After(linger)
+	for {
+		select {
+		case <-n.ctrl.allDone:
+			return nil, nil
+		case ev := <-events:
+			if (ev.Type == "sync" || ev.Type == "ctrldown") && !n.ctrl.staleCtrldown(ev) {
+				return &ev, nil
+			}
+		case <-timeout:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, nil
+		}
+	}
+}
+
+// rollback drives this process through one rollback round (possibly
+// restarted by further rejoins): ack the sync with our watermark, rewind
+// the runtime to the agreed floor on the agreed launch epoch, ack, and
+// wait for the cluster-wide resume.
+func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) error {
+	events := n.ctrl.Events()
+	deadline := time.After(linger)
+	next := func() (ctrlMsg, error) {
+		for {
+			select {
+			case ev := <-events:
+				if n.ctrl.staleCtrldown(ev) {
+					continue // a replaced conn's loss; the successor is live
+				}
+				return ev, nil
+			case <-deadline:
+				return ctrlMsg{}, fmt.Errorf("cluster: rollback round timed out after %v", linger)
+			case <-ctx.Done():
+				return ctrlMsg{}, ctx.Err()
+			}
+		}
+	}
+	for {
+		switch ev.Type {
+		case "ctrldown":
+			// Coordinator restart: redial until it is back, announce
+			// ourselves, then wait for its sync. A connection that dies
+			// again under the announcement — a dial raced into the dead
+			// listener's backlog — just loops back here, bounded by the
+			// round deadline.
+			select {
+			case <-deadline:
+				return fmt.Errorf("cluster: control-plane reconnect timed out after %v", linger)
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			if err := n.ctrl.Reconnect(ctx, n.opt.BootTimeout); err != nil {
+				return err
+			}
+			if err := n.ctrl.Rejoin(); err != nil {
+				n.debugf("rejoin after reconnect failed (%v); retrying", err)
+				ev = n.ctrl.ctrldownNow()
+				continue
+			}
+			var err error
+			if ev, err = next(); err != nil {
+				return err
+			}
+		case "sync":
+			round := ev.Round
+			n.lastRound = round
+			n.debugf("acking sync round %d (watermark %d, epoch %d)", round, len(n.committed), n.epoch)
+			if err := n.ctrl.AckSync(round, len(n.committed), n.epoch); err != nil {
+				ev = n.ctrl.ctrldownNow()
+				continue
+			}
+			var err error
+			if ev, err = next(); err != nil {
+				return err
+			}
+			if ev.Type == "rewind" && ev.Round == round {
+				m := ev.K
+				if m > len(n.committed) {
+					return fmt.Errorf("cluster: rewind to %d beyond local watermark %d", m, len(n.committed))
+				}
+				n.debugf("rewinding to %d on epoch %d (round %d)", m, ev.Epoch, round)
+				n.epoch = ev.Epoch
+				if err := n.rt.Restore(n.epoch<<32, m, n.committed[:m]); err != nil {
+					return err
+				}
+				n.inputs.prune(m)
+				// Re-pin every outbound mesh link before acknowledging: a
+				// connection to the restarted peer can look healthy until
+				// the first post-resume write discovers the dead socket.
+				if err := n.tr.Reestablish(); err != nil {
+					return fmt.Errorf("cluster: re-pin mesh links: %w", err)
+				}
+				if err := n.ctrl.AckRewound(round); err != nil {
+					ev = n.ctrl.ctrldownNow()
+					continue
+				}
+				for {
+					if ev, err = next(); err != nil {
+						return err
+					}
+					if ev.Type == "resume" && ev.Round == round {
+						n.debugf("resuming after round %d", round)
+						return nil
+					}
+					if ev.Type == "sync" || ev.Type == "ctrldown" {
+						break // round restarted under us
+					}
+				}
+			}
+			// Anything else: a restarted round or a dead coordinator;
+			// loop with the new event.
+		default:
+			var err error
+			if ev, err = next(); err != nil {
+				return err
+			}
+		}
+	}
+}

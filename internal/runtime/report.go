@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nab/internal/capacity"
+	"nab/internal/graph"
 )
 
 // Report is the runtime's aggregate throughput accounting, stated in the
@@ -41,6 +42,14 @@ type Report struct {
 // Report derives the aggregate accounting for a finished run. cap may be
 // nil; pass capacity.Analyze's output to include the Theorem 2/3 bounds.
 func (rt *Runtime) Report(res *Result, cap *capacity.Report) *Report {
+	return NewReport(rt.proto.Graph(), res, cap)
+}
+
+// NewReport derives the aggregate accounting for a finished run over
+// topology g — the engine-independent form for callers holding only a
+// Session's PipelineResult. cap may be nil; pass capacity.Analyze's
+// output to include the Theorem 2/3 bounds.
+func NewReport(g *graph.Directed, res *Result, cap *capacity.Report) *Report {
 	rep := &Report{
 		Instances:       len(res.Instances),
 		LenBits:         res.LenBits,
@@ -49,7 +58,6 @@ func (rt *Runtime) Report(res *Result, cap *capacity.Report) *Report {
 		Replays:         res.Replays,
 		SequentialTime:  res.TotalTime(),
 	}
-	g := rt.proto.Graph()
 	for key, bits := range res.LinkBits {
 		if c := g.Cap(key[0], key[1]); c > 0 {
 			if t := float64(bits) / float64(c); t > rep.LinkTime {

@@ -217,6 +217,62 @@ func (rt *Runtime) Close() error {
 	return rt.closeErr
 }
 
+// Committed returns how many instances the runtime has folded.
+func (rt *Runtime) Committed() int {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	return rt.k
+}
+
+// Restore rewrites the scheduler state between streams: the dispute
+// state is rebuilt from scratch by folding the committed history (from a
+// WAL replay, or the in-memory history of a cluster rollback), the next
+// instance becomes k+1, the per-generation plan cache is dropped, and
+// launch numbering restarts at launchBase+1. The history's Ks must be
+// increasing and bounded by k; a compacted log's synthetic checkpoint
+// result (carrying the accumulated disputes) is a valid first entry.
+//
+// launchBase exists for the cluster rejoin protocol: after a crash
+// + restart every process Restores onto an agreed fresh launch epoch
+// (strictly above any number the old epoch used), so in-flight frames of
+// abandoned executions can never alias a relaunched instance — the
+// demultiplexer drops everything at or below the new base. Single-process
+// recovery passes 0.
+//
+// Restore must not race a RunStream; call it before the first stream or
+// after the previous one returned (a canceled stream counts — cancel
+// reaps every in-flight execution first).
+func (rt *Runtime) Restore(launchBase uint64, k int, committed []*core.InstanceResult) error {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	if k < 0 {
+		return fmt.Errorf("runtime: Restore to negative instance %d", k)
+	}
+	ds := core.NewDisputeState(rt.cfg.Graph)
+	prev := 0
+	for _, ir := range committed {
+		if ir.K <= prev || ir.K > k {
+			return fmt.Errorf("runtime: Restore: instance %d out of order (after %d, limit %d)", ir.K, prev, k)
+		}
+		if err := rt.proto.Fold(ds, ir); err != nil {
+			return fmt.Errorf("runtime: Restore: %w", err)
+		}
+		prev = ir.K
+	}
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	if len(rt.engines) != 0 {
+		return fmt.Errorf("runtime: Restore with %d executions in flight", len(rt.engines))
+	}
+	rt.ds = ds
+	rt.k = k
+	rt.entries = map[int]*planEntry{}
+	rt.nextLaunch = launchBase
+	rt.maxLaunch = launchBase
+	rt.pending = map[uint64][]*transport.Message{}
+	return nil
+}
+
 // pendingSlack bounds how far beyond the newest local launch a buffered
 // frame's launch number may run. An honest peer's scheduler is at most
 // one window of speculative launches past the oldest uncommitted

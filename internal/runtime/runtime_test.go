@@ -565,3 +565,71 @@ func TestRunBatchRejectsMalformedUpFront(t *testing.T) {
 		t.Errorf("failed batch advanced the schedule: next instance %d, want 1", res.Instances[0].K)
 	}
 }
+
+// TestRestoreResumesMidSequence replays a committed prefix into a fresh
+// runtime (the WAL cold-start path) and finishes the workload: the tail
+// must commit byte-identically to the uninterrupted run, dispute
+// evolution included.
+func TestRestoreResumesMidSequence(t *testing.T) {
+	cfg := core.Config{
+		Graph: topo.CompleteBi(4, 1), Source: 1, F: 1, LenBytes: 16, Seed: 5,
+		Adversaries: map[graph.NodeID]core.Adversary{3: adversary.FalseAlarm{}},
+	}
+	inputs := mkInputs(8, cfg.LenBytes)
+
+	full, err := runtime.New(runtime.Config{Config: cfg, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	want, err := full.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cut = 3
+	rt, err := runtime.New(runtime.Config{Config: cfg, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Restore(1<<32, cut, want.Instances[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Committed(); got != cut {
+		t.Fatalf("restored runtime reports %d committed, want %d", got, cut)
+	}
+	res, err := rt.Run(inputs[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != len(inputs)-cut {
+		t.Fatalf("resumed run committed %d instances, want %d", len(res.Instances), len(inputs)-cut)
+	}
+	for i, ir := range res.Instances {
+		w := want.Instances[cut+i]
+		if ir.K != w.K || ir.Mismatch != w.Mismatch || ir.Phase3 != w.Phase3 {
+			t.Errorf("instance %d: k/mismatch/phase3 diverged after restore", w.K)
+		}
+		if !reflect.DeepEqual(ir.Outputs, w.Outputs) {
+			t.Errorf("instance %d: outputs diverged after restore", w.K)
+		}
+	}
+	if got, want := rt.Disputes().String(), full.Disputes().String(); got != want {
+		t.Errorf("dispute set after restore %q, want %q", got, want)
+	}
+
+	// Restore validates its history: gaps without a checkpoint, and
+	// out-of-order entries, are rejected.
+	bad, err := runtime.New(runtime.Config{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if err := bad.Restore(0, 2, want.Instances[:3]); err == nil {
+		t.Error("Restore accepted history beyond its target instance")
+	}
+	if err := bad.Restore(0, 3, []*core.InstanceResult{want.Instances[1], want.Instances[0]}); err == nil {
+		t.Error("Restore accepted out-of-order history")
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"sync"
 	"time"
 )
@@ -29,7 +30,12 @@ import (
 type frameWriter struct {
 	ch   chan *Message
 	stop <-chan struct{}
-	done chan struct{}
+	// quit retires this writer alone (its connection was replaced by a
+	// reconnect); queued frames are abandoned — they were bound for a
+	// dead socket.
+	quit     chan struct{}
+	quitOnce sync.Once
+	done     chan struct{}
 
 	mu  sync.Mutex
 	err error
@@ -39,14 +45,26 @@ type frameWriter struct {
 // Send, which is the same backpressure a blocking socket write applies.
 const frameQueueDepth = 256
 
+// errRetired reports an enqueue onto a writer whose connection was
+// replaced by a reconnect; the frame belongs to the dead socket's era.
+var errRetired = errors.New("transport: frame writer retired")
+
 func newFrameWriter(bw *bufio.Writer, stop <-chan struct{}) *frameWriter {
 	fw := &frameWriter{
 		ch:   make(chan *Message, frameQueueDepth),
 		stop: stop,
+		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
 	go fw.run(bw)
 	return fw
+}
+
+// retire ends this writer's goroutine and unblocks pending enqueues —
+// used when a reconnecting link replaces the writer's dead connection.
+// Idempotent.
+func (fw *frameWriter) retire() {
+	fw.quitOnce.Do(func() { close(fw.quit) })
 }
 
 // enqueue hands one frame to the writer goroutine.
@@ -67,6 +85,8 @@ func (fw *frameWriter) enqueue(m *Message) error {
 		return nil
 	case <-fw.stop:
 		return ErrClosed
+	case <-fw.quit:
+		return errRetired
 	}
 }
 
@@ -130,6 +150,8 @@ func (fw *frameWriter) run(bw *bufio.Writer) {
 				}
 			}
 			flush()
+		case <-fw.quit:
+			return
 		case <-fw.stop:
 			for {
 				select {

@@ -32,6 +32,15 @@ type PeerOptions struct {
 	// handoff (cluster.ReserveAddrs) that closes the release-then-rebind
 	// race of address pre-allocation. The peer takes ownership.
 	Listener net.Listener
+	// Reconnect makes the mesh survive peer-process crashes: a send onto a
+	// dead outbound link drops the frame (counted by LostSends) and redials
+	// in the background instead of surfacing a sticky error, and an inbound
+	// handshake re-pinning an already-pinned link replaces the dead
+	// connection. Dropping is only sound under a recovery protocol that
+	// re-executes everything in flight after the peer rejoins (the cluster
+	// rejoin rollback); without one, leave Reconnect off so a dead peer
+	// fails the run loudly.
+	Reconnect bool
 }
 
 // Handshake layout: every mesh connection opens with a fixed 21-byte
@@ -77,7 +86,10 @@ type Peer struct {
 	recvd   map[[2]graph.NodeID]int64 // receive-side charges from remote peers
 	conns   []net.Conn
 	writers []*frameWriter
+	inbound map[[2]graph.NodeID]net.Conn // live pinned inbound conn per link (Reconnect)
+	relinks []*reconnLink                // outbound links for Reestablish (Reconnect)
 	dropped int64
+	lost    int64 // frames dropped on down outbound links (Reconnect)
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -101,6 +113,7 @@ func NewPeer(g *graph.Directed, localNodes []graph.NodeID, addrs map[graph.NodeI
 		inboxes: map[graph.NodeID]chan *Message{},
 		pacers:  map[[2]graph.NodeID]*pacer{},
 		recvd:   map[[2]graph.NodeID]int64{},
+		inbound: map[[2]graph.NodeID]net.Conn{},
 		closed:  make(chan struct{}),
 	}
 	for _, v := range localNodes {
@@ -169,6 +182,25 @@ func (p *Peer) serveConn(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+	if p.opt.Reconnect {
+		// Re-pin: a restarted peer process redials every link it owns; the
+		// fresh connection replaces the dead one (whose reader exits when
+		// we close it) so the link heals without tearing the mesh down.
+		key := [2]graph.NodeID{from, to}
+		p.mu.Lock()
+		if old := p.inbound[key]; old != nil && old != conn {
+			old.Close()
+		}
+		p.inbound[key] = conn
+		p.mu.Unlock()
+		defer func() {
+			p.mu.Lock()
+			if p.inbound[key] == conn {
+				delete(p.inbound, key)
+			}
+			p.mu.Unlock()
+		}()
+	}
 	br := bufio.NewReader(conn)
 	for {
 		m, err := ReadFrame(br)
@@ -255,20 +287,88 @@ func (p *Peer) Dial(from, to graph.NodeID) (Link, error) {
 	if p.locals[to] {
 		return &peerLoopLink{p: p, key: key, inbox: p.inboxes[to], pace: p.pacerFor(key)}, nil
 	}
+	conn, fw, err := p.dialLink(from, to)
+	if err != nil {
+		return nil, err
+	}
+	if p.opt.Reconnect {
+		l := &reconnLink{p: p, key: key, conn: conn, fw: fw, pace: p.pacerFor(key)}
+		p.mu.Lock()
+		p.relinks = append(p.relinks, l)
+		p.mu.Unlock()
+		return l, nil
+	}
+	return &peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key)}, nil
+}
+
+// Reestablish force-redials every outbound remote link (Reconnect mode):
+// the cluster rejoin protocol calls it during the rewind phase, because a
+// connection to a peer that was killed and restarted can look healthy
+// until the first post-resume write discovers the dead socket — and by
+// then the frame is gone. Returns once every link carries a fresh,
+// handshaken connection.
+func (p *Peer) Reestablish() error {
+	p.mu.Lock()
+	links := append([]*reconnLink(nil), p.relinks...)
+	p.mu.Unlock()
+	errs := make([]error, len(links))
+	var wg sync.WaitGroup
+	for i, l := range links {
+		wg.Add(1)
+		go func(i int, l *reconnLink) {
+			defer wg.Done()
+			errs[i] = l.reestablish()
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dialLink establishes (or re-establishes) the socket and coalescing
+// writer of one outbound remote link.
+func (p *Peer) dialLink(from, to graph.NodeID) (net.Conn, *frameWriter, error) {
 	conn, err := DialRetry(p.addrs[to], p.opt.DialTimeout, p.closed)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial link (%d,%d): %w", from, to, err)
+		return nil, nil, fmt.Errorf("transport: dial link (%d,%d): %w", from, to, err)
 	}
 	if err := writeHandshake(conn, from, to); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("transport: handshake link (%d,%d): %w", from, to, err)
+		return nil, nil, fmt.Errorf("transport: handshake link (%d,%d): %w", from, to, err)
 	}
 	fw := newFrameWriter(bufio.NewWriter(conn), p.closed)
 	p.mu.Lock()
 	p.conns = append(p.conns, conn)
 	p.writers = append(p.writers, fw)
 	p.mu.Unlock()
-	return &peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key)}, nil
+	return conn, fw, nil
+}
+
+// untrack retires a replaced connection and its writer — a flapping
+// reconnect link must not grow the transport's teardown lists without
+// bound.
+func (p *Peer) untrack(conn net.Conn, fw *frameWriter) {
+	if fw != nil {
+		fw.retire()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, c := range p.conns {
+		if c == conn {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			break
+		}
+	}
+	for i, w := range p.writers {
+		if w == fw {
+			p.writers = append(p.writers[:i], p.writers[i+1:]...)
+			break
+		}
+	}
 }
 
 // DialRetry connects to addr with exponential backoff (25ms doubling to
@@ -340,6 +440,20 @@ func (p *Peer) Dropped() int64 {
 	return p.dropped
 }
 
+// LostSends returns how many outbound frames were dropped on down links
+// while Reconnect was healing them — work the rejoin rollback re-executes.
+func (p *Peer) LostSends() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lost
+}
+
+func (p *Peer) countLost() {
+	p.mu.Lock()
+	p.lost++
+	p.mu.Unlock()
+}
+
 // Close implements Transport: signals every outbound link's coalescing
 // writer, waits for their final drain and flush (bounded per writer — a
 // writer wedged on a dead peer is unblocked by the connection close
@@ -389,6 +503,159 @@ func (l *peerLink) Send(m *Message) error {
 
 // Close implements Link.
 func (l *peerLink) Close() error { return l.conn.Close() }
+
+// reconnLink is peerLink's self-healing variant (PeerOptions.Reconnect):
+// a write failure marks the link down, drops the frame, and redials in
+// the background until the peer's listener answers again. Senders never
+// observe a peer crash as an error — frames emitted into the outage are
+// counted (LostSends) and recovered by the cluster rollback, which
+// re-executes every uncommitted instance once the peer rejoins.
+type reconnLink struct {
+	p    *Peer
+	key  [2]graph.NodeID
+	pace *pacer
+
+	mu      sync.Mutex
+	conn    net.Conn
+	fw      *frameWriter // nil while down
+	dialing bool
+}
+
+// Send implements Link.
+func (l *reconnLink) Send(m *Message) error {
+	if m.From != l.key[0] || m.To != l.key[1] {
+		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.key[0], l.key[1])
+	}
+	if m.Bits < 0 {
+		return fmt.Errorf("transport: negative bit charge %d", m.Bits)
+	}
+	if !m.Marker && m.Bits > 0 {
+		l.pace.charge(m.Bits)
+	}
+	select {
+	case <-l.p.closed:
+		return ErrClosed
+	default:
+	}
+	l.mu.Lock()
+	fw := l.fw
+	l.mu.Unlock()
+	if fw != nil {
+		err := fw.enqueue(m)
+		if err == nil {
+			return nil
+		}
+		if err == ErrClosed {
+			return err
+		}
+		l.markDown(fw)
+	}
+	l.p.countLost()
+	return nil
+}
+
+// markDown retires a failed writer and starts (at most one) background
+// redial.
+func (l *reconnLink) markDown(failed *frameWriter) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fw != failed {
+		return // another Send already retired it
+	}
+	conn := l.conn
+	l.fw = nil
+	l.conn = nil
+	if conn != nil {
+		conn.Close()
+	}
+	l.p.untrack(conn, failed)
+	if !l.dialing {
+		l.dialing = true
+		go l.redial()
+	}
+}
+
+// redial re-establishes the link, retrying until the transport closes.
+func (l *reconnLink) redial() {
+	for {
+		conn, fw, err := l.p.dialLink(l.key[0], l.key[1])
+		if err == nil {
+			l.mu.Lock()
+			l.conn, l.fw, l.dialing = conn, fw, false
+			l.mu.Unlock()
+			return
+		}
+		select {
+		case <-l.p.closed:
+			l.mu.Lock()
+			l.dialing = false
+			l.mu.Unlock()
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// reestablish retires the link's pre-existing connection —
+// healthy-looking or not — and dials a fresh one synchronously. If a
+// background redial is in flight (or completes while we wait), its
+// result IS adopted: that dial succeeded against a live listener, so a
+// second handshake would be redundant.
+func (l *reconnLink) reestablish() error {
+	entryFw := func() *frameWriter {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.fw
+	}()
+	for {
+		l.mu.Lock()
+		if l.dialing {
+			l.mu.Unlock()
+			select {
+			case <-l.p.closed:
+				return ErrClosed
+			case <-time.After(20 * time.Millisecond):
+			}
+			continue
+		}
+		if l.fw != nil && l.fw != entryFw {
+			// A redial installed a fresh connection after we entered:
+			// adopt it.
+			l.mu.Unlock()
+			return nil
+		}
+		oldConn, oldFw := l.conn, l.fw
+		if oldConn != nil {
+			oldConn.Close()
+		}
+		l.conn, l.fw = nil, nil
+		l.dialing = true
+		l.mu.Unlock()
+		if oldConn != nil || oldFw != nil {
+			l.p.untrack(oldConn, oldFw)
+		}
+		conn, fw, err := l.p.dialLink(l.key[0], l.key[1])
+		l.mu.Lock()
+		l.dialing = false
+		if err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		l.conn, l.fw = conn, fw
+		l.mu.Unlock()
+		return nil
+	}
+}
+
+// Close implements Link.
+func (l *reconnLink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		return l.conn.Close()
+	}
+	return nil
+}
 
 // peerLoopLink is the sender half of a local-to-local link: same pacing
 // and accounting, no socket.

@@ -50,7 +50,10 @@
 //
 // WithLockstep selects the synchronous reference simulator, WithCluster
 // the multi-process partial engine; identical payload sequences commit
-// byte-identical outputs on every engine.
+// byte-identical outputs on every engine. WithDurability/Recover put a
+// write-ahead log (internal/wal) under any engine: accepted submissions
+// and commits are persisted, a killed process resumes where its log
+// ends, and cluster processes rejoin a running mesh mid-stream.
 //
 // # Concurrent pipelined runtime
 //
@@ -168,6 +171,14 @@ func NewRunner(cfg Config) (*Runner, error) { return core.NewRunner(cfg) }
 // NewPipelinedRunner validates cfg and starts the concurrent runtime.
 // Close it when done.
 func NewPipelinedRunner(cfg PipelineConfig) (*PipelinedRunner, error) { return runtime.New(cfg) }
+
+// NewPipelineReport derives the aggregate throughput accounting for a
+// finished run over topology g — use it on a Session's Result to set the
+// measured rates next to the paper's Theorem 2/3 bounds (capRep may be
+// nil).
+func NewPipelineReport(g *Graph, res *PipelineResult, capRep *CapacityReport) *PipelineReport {
+	return runtime.NewReport(g, res, capRep)
+}
 
 // NewTCPTransport builds a loopback-TCP substrate over g (one listener
 // per node, one connection per directed link, encoding/binary framing)

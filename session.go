@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"nab/internal/core"
 	"nab/internal/dispute"
 	"nab/internal/runtime"
+	"nab/internal/wal"
 )
 
 // Seq is the broadcast sequence number a Session assigns at submission:
@@ -27,6 +30,10 @@ type Commit struct {
 	// only under WithLocalNodes or WithCluster), the mismatch/phase3
 	// schedule and dispute-control findings.
 	Result *InstanceResult
+	// Replayed marks a commit re-delivered from the write-ahead log by a
+	// Recover session: it was committed (and delivered) by a previous
+	// incarnation of the process.
+	Replayed bool
 }
 
 // ErrSessionDraining is returned by Submit while the session drains:
@@ -55,6 +62,8 @@ type sessionOptions struct {
 	cluster     *ClusterConfig
 	clusterID   NodeID
 	clusterOpts ClusterOptions
+
+	durability *durabilityOptions
 }
 
 // SessionOption customizes Open.
@@ -158,6 +167,11 @@ type Session struct {
 	disputes func() *DisputeSet
 	cancel   context.CancelFunc
 
+	// Durability state (nil without WithDurability/Recover).
+	slog         *sessionLog
+	replayed     []*core.InstanceResult // recovered commits re-delivered at open
+	recoveredSeq Seq                    // highest sequence restored from the WAL
+
 	// submitMu serializes producers and guards the submission stream's
 	// lifecycle, so Drain never closes subs under a blocked send.
 	submitMu sync.Mutex
@@ -202,7 +216,50 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 	}
 	fail := func(err error) (*Session, error) {
 		cancel()
+		if s.slog != nil {
+			s.slog.close()
+		}
 		return nil, err
+	}
+
+	// Durability: open (or resume) the WAL before the engine, so every
+	// engine starts from the recovered state.
+	rec := &recovery{}
+	if o.durability != nil {
+		if o.durability.dir == "" {
+			return fail(errors.New("nab: WithCheckpointInterval needs WithDurability or Recover to name the log directory"))
+		}
+		var fp uint64
+		node := int64(-1)
+		if o.cluster != nil {
+			fp = wal.Fingerprint(o.cluster.Topology, o.cluster.Source, o.cluster.F,
+				o.cluster.LenBytes, o.cluster.Seed, clusterAdversaryString(o.cluster))
+			node = int64(o.clusterID)
+			g, err := o.cluster.Graph()
+			if err != nil {
+				return fail(err)
+			}
+			s.slog, rec, err = openSessionLog(o.durability, fp, node, g, true)
+			if err != nil {
+				return fail(err)
+			}
+		} else {
+			if cfg.Graph == nil {
+				return fail(errors.New("nab: durability needs a configured topology"))
+			}
+			merged := cfg
+			mergeAdversaries(&merged, o.adversaries)
+			fp = wal.Fingerprint(cfg.Graph.Marshal(), cfg.Source, cfg.F,
+				cfg.LenBytes, cfg.Seed, adversaryString(merged.Adversaries))
+			var err error
+			s.slog, rec, err = openSessionLog(o.durability, fp, node, cfg.Graph, false)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		s.replayed = rec.replayed
+		s.recoveredSeq = Seq(rec.tail)
+		s.next = Seq(rec.tail)
 	}
 
 	switch {
@@ -213,7 +270,14 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 		if cfg.Graph != nil {
 			return fail(errors.New("nab: WithCluster derives the configuration from the cluster config; pass a zero Config"))
 		}
-		node, err := cluster.StartContext(sctx, o.cluster, o.clusterID, o.clusterOpts)
+		copt := o.clusterOpts
+		if s.slog != nil {
+			copt.Durable = true
+			copt.Recovered = rec.replayed
+			copt.RecoveredInputs = rec.inputs
+			copt.Rejoining = rec.resumed
+		}
+		node, err := cluster.StartContext(sctx, o.cluster, o.clusterID, copt)
 		if err != nil {
 			return fail(err)
 		}
@@ -223,6 +287,11 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 		s.disputes = node.Runtime().Disputes
 		s.subs = make(chan []byte, max(1, o.cluster.Window))
 		go func() {
+			if !s.emitReplayed(sctx) {
+				s.finish(nil, sctx.Err())
+				return
+			}
+			// The node's result already spans the recovered prefix.
 			res, err := node.Stream(sctx, s.subs, s.emitFunc(sctx))
 			s.finish(res, err)
 		}()
@@ -239,9 +308,16 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 		if err != nil {
 			return fail(err)
 		}
+		if s.slog != nil {
+			if err := runner.Restore(rec.k, rec.foldList); err != nil {
+				return fail(err)
+			}
+		}
 		s.lenBytes = cfg.LenBytes
 		s.disputes = runner.Disputes
-		s.subs = make(chan []byte, 1)
+		if _, err := s.preloadSubs(rec, 1); err != nil {
+			return fail(err)
+		}
 		go s.runLockstep(sctx, runner)
 
 	default:
@@ -256,16 +332,94 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 		if err != nil {
 			return fail(err)
 		}
-		s.lenBytes = cfg.LenBytes
 		s.closer = rt.Close
+		if s.slog != nil {
+			if err := rt.Restore(0, rec.k, rec.foldList); err != nil {
+				return fail(err)
+			}
+		}
+		s.lenBytes = cfg.LenBytes
 		s.disputes = rt.Disputes
-		s.subs = make(chan []byte, rt.Window())
+		if _, err := s.preloadSubs(rec, rt.Window()); err != nil {
+			return fail(err)
+		}
 		go func() {
+			if !s.emitReplayed(sctx) {
+				s.finish(nil, sctx.Err())
+				return
+			}
 			res, err := rt.RunStream(sctx, s.subs, s.emitFunc(sctx))
+			if res != nil && len(s.replayed) > 0 {
+				res.Instances = append(append([]*core.InstanceResult(nil), s.replayed...), res.Instances...)
+			}
 			s.finish(res, err)
 		}()
 	}
 	return s, nil
+}
+
+// preloadSubs sizes the submission channel to hold the recovered
+// uncommitted backlog plus the engine's window and enqueues the backlog,
+// so recovered payloads re-enter the stream ahead of any new Submit.
+func (s *Session) preloadSubs(rec *recovery, window int) (int, error) {
+	backlog, err := rec.uncommitted()
+	if err != nil {
+		return 0, err
+	}
+	s.subs = make(chan []byte, len(backlog)+max(1, window))
+	for _, in := range backlog {
+		s.subs <- in
+	}
+	return len(backlog), nil
+}
+
+// emitReplayed re-delivers the recovered commits on the Commits channel
+// before any live traffic; false means the session context ended first.
+func (s *Session) emitReplayed(ctx context.Context) bool {
+	for _, ir := range s.replayed {
+		select {
+		case s.commits <- Commit{Seq: Seq(ir.K), Result: ir, Replayed: true}:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// adversaryString canonicalizes an in-process adversary assignment for
+// the WAL fingerprint: sorted node=type pairs. Type identity is the best
+// a map of interface values offers — two adversaries of one type with
+// different internal parameters hash alike (cluster configs, which carry
+// full spec strings, do better).
+func adversaryString(advs map[NodeID]Adversary) string {
+	if len(advs) == 0 {
+		return ""
+	}
+	nodes := make([]NodeID, 0, len(advs))
+	for v := range advs {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var sb strings.Builder
+	for _, v := range nodes {
+		fmt.Fprintf(&sb, "%d=%T;", v, advs[v])
+	}
+	return sb.String()
+}
+
+// clusterAdversaryString canonicalizes a cluster config's scripted
+// adversaries (full spec strings, sorted by node).
+func clusterAdversaryString(cfg *ClusterConfig) string {
+	specs := make([]ClusterNodeSpec, len(cfg.Nodes))
+	copy(specs, cfg.Nodes)
+	sort.Slice(specs, func(i, j int) bool { return specs[i].ID < specs[j].ID })
+	var sb strings.Builder
+	for _, ns := range specs {
+		if ns.Adversary != "" {
+			fmt.Fprintf(&sb, "%d=%s;", ns.ID, ns.Adversary)
+		}
+	}
+	return sb.String()
 }
 
 // mergeAdversaries overlays opts adversaries onto the config's map
@@ -284,10 +438,16 @@ func mergeAdversaries(cfg *Config, extra map[NodeID]Adversary) {
 	cfg.Adversaries = merged
 }
 
-// emitFunc is the engine's per-commit hook: push onto the Commits channel
-// with backpressure, aborting if the session context ends first.
+// emitFunc is the engine's per-commit hook: append to the write-ahead
+// log (durable sessions), then push onto the Commits channel with
+// backpressure, aborting if the session context ends first.
 func (s *Session) emitFunc(ctx context.Context) func(*core.InstanceResult) error {
 	return func(ir *core.InstanceResult) error {
+		if s.slog != nil {
+			if err := s.slog.logCommit(ir); err != nil {
+				return fmt.Errorf("nab: wal commit: %w", err)
+			}
+		}
 		select {
 		case s.commits <- Commit{Seq: Seq(ir.K), Result: ir}:
 			return nil
@@ -300,10 +460,15 @@ func (s *Session) emitFunc(ctx context.Context) func(*core.InstanceResult) error
 // runLockstep adapts the synchronous simulator to the streaming shape:
 // one instance at a time, pulled from the submission queue.
 func (s *Session) runLockstep(ctx context.Context, runner *core.Runner) {
+	if !s.emitReplayed(ctx) {
+		s.finish(nil, ctx.Err())
+		return
+	}
 	res := &runtime.Result{
 		RunResult: core.RunResult{LenBits: runner.Protocol().LenBits()},
 		Window:    1,
 	}
+	res.Instances = append(res.Instances, s.replayed...)
 	emit := s.emitFunc(ctx)
 	start := time.Now()
 	var err error
@@ -338,6 +503,9 @@ loop:
 // finish records the session's terminal state. done closes before commits
 // so a consumer that sees Commits end always observes the final Err.
 func (s *Session) finish(res *runtime.Result, err error) {
+	if s.slog != nil {
+		s.slog.log.Sync() // push the trailing commit records to disk
+	}
 	s.res = res
 	s.err = err
 	close(s.done)
@@ -359,26 +527,53 @@ func (s *Session) Submit(ctx context.Context, payload []byte) (Seq, error) {
 		return 0, fmt.Errorf("nab: payload is %d bytes, session broadcasts %d", len(payload), s.lenBytes)
 	}
 	s.submitMu.Lock()
-	defer s.submitMu.Unlock()
 	// An ended session reports ErrSessionClosed even though Close also
 	// marks it drained: closed is the stronger, terminal state.
 	if err := s.endedErr(); err != nil {
+		s.submitMu.Unlock()
 		return 0, err
 	}
 	if s.drained {
+		s.submitMu.Unlock()
 		return 0, ErrSessionDraining
 	}
 	p := append([]byte(nil), payload...) // the caller may reuse its buffer
 	select {
 	case s.subs <- p:
 		s.next++
-		return s.next, nil
+		seq := s.next
+		if s.slog == nil {
+			s.submitMu.Unlock()
+			return seq, nil
+		}
+		// Append under the lock (record order must match sequence
+		// order), fsync outside it: concurrent submitters coalesce into
+		// one group-committed fsync, and the commit logger orders itself
+		// behind this record.
+		err := s.slog.appendSubmit(int(seq), p)
+		s.submitMu.Unlock()
+		if err == nil {
+			err = s.slog.syncSubmits()
+		}
+		if err != nil {
+			return seq, fmt.Errorf("nab: wal submit: %w", err)
+		}
+		return seq, nil
 	case <-ctx.Done():
+		s.submitMu.Unlock()
 		return 0, ctx.Err()
 	case <-s.done:
+		s.submitMu.Unlock()
 		return 0, s.endedErr()
 	}
 }
+
+// RecoveredSeq returns the highest sequence number restored from the
+// write-ahead log (0 for fresh sessions): a Recover session has already
+// accounted for every payload up to it — committed ones are re-delivered
+// with Commit.Replayed set, uncommitted ones re-enter the stream
+// automatically — so a producer replaying its workload should skip them.
+func (s *Session) RecoveredSeq() Seq { return s.recoveredSeq }
 
 // endedErr reports the session's terminal state as a Submit error, nil
 // while it is still live.
@@ -486,6 +681,11 @@ func (s *Session) Close() error {
 		s.closeSubs()
 		if s.closer != nil {
 			s.closeErr = s.closer()
+		}
+		if s.slog != nil {
+			if err := s.slog.close(); s.closeErr == nil {
+				s.closeErr = err
+			}
 		}
 	})
 	return s.closeErr

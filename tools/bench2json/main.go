@@ -37,6 +37,7 @@ import (
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/linalg"
+	"nab/internal/wal"
 )
 
 // Row is one topology's lockstep-vs-pipelined measurement.
@@ -60,6 +61,11 @@ type Row struct {
 	// commit rate. Present only with -stream.
 	StreamSubmitIPS float64 `json:"stream_submit_per_sec,omitempty"`
 	StreamCommitIPS float64 `json:"stream_commit_per_sec,omitempty"`
+	// DurableCommitIPS is the end-to-end commit rate of the same stream
+	// with a write-ahead log underneath (submissions fsynced on accept,
+	// commits batch-synced) — the price of crash-recovery. Present only
+	// with -wal.
+	DurableCommitIPS float64 `json:"durable_commit_per_sec,omitempty"`
 }
 
 // KernelRow is one arithmetic/coding kernel measurement, recorded so the
@@ -78,6 +84,10 @@ type Output struct {
 	Seed    int64       `json:"seed"`
 	Rows    []Row       `json:"rows"`
 	Kernels []KernelRow `json:"kernels,omitempty"`
+	// Wal rows (present with -wal) track the durability subsystem: the
+	// zero-allocation commit-record append, the serial vs group-committed
+	// fsync path, and session recovery replay per committed instance.
+	Wal []KernelRow `json:"wal,omitempty"`
 }
 
 func main() {
@@ -96,6 +106,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 2012, "coding-matrix seed")
 	withCluster := fs.Bool("cluster", false, "also measure a multi-process cluster (builds cmd/nabnode)")
 	withStream := fs.Bool("stream", false, "also measure sustained streaming-session throughput (open-loop submit vs commit rate)")
+	withWal := fs.Bool("wal", false, "also measure the durability subsystem: WAL append/fsync-batching rows, durable commit rate per topology, recovery replay time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,12 +161,7 @@ func run(args []string, w io.Writer) error {
 		}
 		lockIPS := float64(*q) / time.Since(start).Seconds()
 
-		rt, err := nab.NewPipelinedRunner(nab.PipelineConfig{Config: cfg, Window: *window})
-		if err != nil {
-			return fmt.Errorf("%s: %w", tp.name, err)
-		}
-		pres, err := rt.Run(inputs)
-		rt.Close()
+		pres, err := sessionRun(cfg, inputs, nab.WithWindow(*window))
 		if err != nil {
 			return fmt.Errorf("%s: pipelined: %w", tp.name, err)
 		}
@@ -175,9 +181,20 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 		if *withStream {
-			row.StreamSubmitIPS, row.StreamCommitIPS, err = streamIPS(cfg, *window, inputs)
+			row.StreamSubmitIPS, row.StreamCommitIPS, err = streamIPS(cfg, *window, inputs, "")
 			if err != nil {
 				return fmt.Errorf("%s: stream: %w", tp.name, err)
+			}
+		}
+		if *withWal {
+			dir, err := os.MkdirTemp("", "bench2json-wal-*")
+			if err != nil {
+				return err
+			}
+			_, row.DurableCommitIPS, err = streamIPS(cfg, *window, inputs, dir)
+			os.RemoveAll(dir)
+			if err != nil {
+				return fmt.Errorf("%s: durable stream: %w", tp.name, err)
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -189,7 +206,20 @@ func run(args []string, w io.Writer) error {
 		if *withStream {
 			fmt.Fprintf(w, "  stream submit %7.1f/s commit %7.1f/s", row.StreamSubmitIPS, row.StreamCommitIPS)
 		}
+		if *withWal {
+			fmt.Fprintf(w, "  durable commit %7.1f/s", row.DurableCommitIPS)
+		}
 		fmt.Fprintln(w)
+	}
+
+	if *withWal {
+		res.Wal, err = walRows(*lenBytes)
+		if err != nil {
+			return err
+		}
+		for _, kr := range res.Wal {
+			fmt.Fprintf(w, "%-34s %10.1f ns/op  %3d allocs/op\n", kr.Name, kr.NsPerOp, kr.AllocsPerOp)
+		}
 	}
 
 	res.Kernels, err = kernelRows(*seed)
@@ -315,12 +345,47 @@ func kernelRows(seed int64) ([]KernelRow, error) {
 	return rows, nil
 }
 
+// sessionRun executes the workload on one Session and returns the
+// aggregate result — the streaming-first replacement for the deprecated
+// batch Run entrypoints.
+func sessionRun(cfg nab.Config, inputs [][]byte, opts ...nab.SessionOption) (*nab.PipelineResult, error) {
+	ctx := context.Background()
+	sess, err := nab.Open(ctx, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	go func() {
+		for _, in := range inputs {
+			if _, err := sess.Submit(ctx, in); err != nil {
+				return
+			}
+		}
+		sess.Drain(ctx)
+	}()
+	for range sess.Commits() {
+	}
+	if err := sess.Err(); err != nil {
+		return nil, err
+	}
+	res := sess.Result()
+	if res == nil || len(res.Instances) != len(inputs) {
+		return nil, fmt.Errorf("session committed %d instances, want %d", len(res.Instances), len(inputs))
+	}
+	return res, nil
+}
+
 // streamIPS drives a Session open-loop over the workload: a producer
 // submits as fast as backpressure admits while the consumer drains
 // commits concurrently. Returns the accepted-submission rate and the
-// end-to-end commit rate (both wall-clock).
-func streamIPS(cfg nab.Config, window int, inputs [][]byte) (submitPerSec, commitPerSec float64, err error) {
-	sess, err := nab.Open(context.Background(), cfg, nab.WithWindow(window))
+// end-to-end commit rate (both wall-clock). A non-empty walDir opens the
+// session durably — the fsync-batched crash-recovery configuration.
+func streamIPS(cfg nab.Config, window int, inputs [][]byte, walDir string) (submitPerSec, commitPerSec float64, err error) {
+	opts := []nab.SessionOption{nab.WithWindow(window)}
+	if walDir != "" {
+		opts = append(opts, nab.WithDurability(walDir))
+	}
+	sess, err := nab.Open(context.Background(), cfg, opts...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -354,6 +419,126 @@ func streamIPS(cfg nab.Config, window int, inputs [][]byte) (submitPerSec, commi
 		return 0, 0, fmt.Errorf("streamed %d commits, want %d", got, len(inputs))
 	}
 	return float64(len(inputs)) / submitWall.Seconds(), float64(got) / commitWall.Seconds(), nil
+}
+
+// walRows measures the durability subsystem in-process: the
+// zero-allocation commit-record append, the fsync path serial (one
+// fsync per record) vs group-committed under 16 concurrent submitters
+// (many records per fsync), and a full session recovery — WAL replay,
+// dispute-state restore, re-delivery — per committed instance.
+func walRows(lenBytes int) ([]KernelRow, error) {
+	bench := func(name string, fn func(b *testing.B)) KernelRow {
+		r := testing.Benchmark(fn)
+		return KernelRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	ir := &nab.InstanceResult{
+		K: 1, Gamma: 6, Rho: 3, SymBits: 16, Stripes: 2,
+		Outputs: map[nab.NodeID][]byte{
+			1: bytes.Repeat([]byte{0x17}, lenBytes),
+			2: bytes.Repeat([]byte{0x2a}, lenBytes),
+			4: bytes.Repeat([]byte{0x99}, lenBytes),
+		},
+		TotalBits: 4096,
+	}
+	payload := bytes.Repeat([]byte{0x42}, lenBytes)
+
+	var rows []KernelRow
+	appendRow := func(name string, opt wal.Options, fn func(l *wal.Log, b *testing.B)) error {
+		dir, err := os.MkdirTemp("", "bench2json-walrow-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(dir, opt)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		rows = append(rows, bench(name, func(b *testing.B) { fn(l, b) }))
+		return nil
+	}
+	if err := appendRow("wal.Append/commit-record", wal.Options{NoSync: true}, func(l *wal.Log, b *testing.B) {
+		buf := make([]byte, 0, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wal.AppendCommit(buf[:0], ir)
+			if _, err := l.Append(wal.TypeCommit, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := appendRow("wal.AppendSync/serial-fsync", wal.Options{}, func(l *wal.Log, b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.AppendSync(wal.TypeSubmit, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := appendRow("wal.AppendSync/group-commit-16", wal.Options{}, func(l *wal.Log, b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(16)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := l.AppendSync(wal.TypeSubmit, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	// Recovery: replay a durable lockstep session of recoverQ committed
+	// instances — WAL scan, dispute-state restore, re-delivery of every
+	// commit — and charge the wall time per recovered instance.
+	const recoverQ = 64
+	dir, err := os.MkdirTemp("", "bench2json-walrec-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := nab.Config{Graph: nab.CompleteGraph(4, 1), Source: 1, F: 1, LenBytes: lenBytes, Seed: 9}
+	inputs := make([][]byte, recoverQ)
+	for i := range inputs {
+		inputs[i] = bytes.Repeat([]byte{byte(i + 1)}, lenBytes)
+	}
+	if _, err := sessionRun(cfg, inputs, nab.WithLockstep(), nab.WithDurability(dir)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	const recoverRuns = 8
+	for i := 0; i < recoverRuns; i++ {
+		sess, err := nab.Open(context.Background(), cfg, nab.WithLockstep(), nab.Recover(dir))
+		if err != nil {
+			return nil, err
+		}
+		go sess.Drain(context.Background())
+		n := 0
+		for c := range sess.Commits() {
+			if c.Replayed {
+				n++
+			}
+		}
+		sess.Close()
+		if n != recoverQ {
+			return nil, fmt.Errorf("recovery replayed %d commits, want %d", n, recoverQ)
+		}
+	}
+	rows = append(rows, KernelRow{
+		Name:    "session.Recover/replay-per-instance",
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(recoverRuns*recoverQ),
+	})
+	return rows, nil
 }
 
 // buildNabnode compiles cmd/nabnode into a temp dir.
