@@ -35,6 +35,12 @@
 // replayed from the log are re-emitted, so the restarted process's
 // output stream is complete). Without -wal, supervise processes
 // externally and restart the run.
+//
+// Observability: -admin ADDR (node mode) serves /metrics (Prometheus
+// text exposition), /healthz (engine liveness + WAL sync lag) and
+// /debug/pprof; -admin-base PORT (spawn mode) gives node v's child the
+// admin endpoint 127.0.0.1:PORT+v, so a live cluster is scrapable per
+// process. Structured rejoin/recovery traces: NAB_REJOIN_DEBUG=1.
 package main
 
 import (
@@ -54,10 +60,16 @@ import (
 	"time"
 
 	"nab"
+	"nab/internal/admin"
 	"nab/internal/cluster"
 	"nab/internal/graph"
 	"nab/internal/topo"
 )
+
+// maxHealthyWALLag is the /healthz threshold on appended-but-unsynced
+// WAL records; the group-commit syncer keeps it near zero in a healthy
+// process.
+const maxHealthyWALLag = 4096
 
 // instanceLine is one committed instance on stdout.
 type instanceLine struct {
@@ -122,6 +134,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 7, "spawn mode: seed for coding matrices and workload")
 	out := fs.String("out", "", "spawn mode: write the generated cluster.json here (default: temp file)")
 	walDir := fs.String("wal", "", "durable WAL directory: node mode appends this process's log there and recovers from it on restart; spawn mode gives each child <dir>/node-<id>")
+	adminAddr := fs.String("admin", "", "node mode: serve /metrics (Prometheus text), /healthz and /debug/pprof on this address")
+	adminBase := fs.Int("admin-base", 0, "spawn mode: give each child an admin endpoint on 127.0.0.1:<base+id>")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "spawn mode, node=strategy (repeatable): crash, flip, coded, alarm, suppress, random:<seed>")
 	if err := fs.Parse(args); err != nil {
@@ -129,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *spawn {
-		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, advs)
+		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, advs)
 	}
 	if *cfgPath == "" {
 		return fmt.Errorf("either -cluster with -id (node mode) or -spawn-local is required")
@@ -142,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir)
+	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir, *adminAddr)
 }
 
 // inheritedListeners rebuilds the listeners a -spawn-local parent handed
@@ -191,7 +205,7 @@ func inheritedListeners(cfg *cluster.Config, id graph.NodeID) (*cluster.Reservat
 // print the summary. A non-empty walDir makes the session durable: a
 // restarted process recovers its log (already-committed instances are
 // re-emitted) and rejoins the cluster mid-stream.
-func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir string) error {
+func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir, adminAddr string) error {
 	ctx := context.Background()
 	opts := []nab.SessionOption{nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv})}
 	if walDir != "" {
@@ -202,6 +216,21 @@ func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluste
 		return err
 	}
 	defer sess.Close()
+	if adminAddr != "" {
+		adm, err := admin.Serve(adminAddr, admin.Options{Checks: []admin.Check{
+			{Name: "engine", Probe: sess.Err},
+			{Name: "wal", Probe: func() error {
+				if lag := sess.WALSyncLag(); lag > maxHealthyWALLag {
+					return fmt.Errorf("sync lag %d records", lag)
+				}
+				return nil
+			}},
+		}})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+	}
 	go func() {
 		inputs := cfg.Inputs()
 		// A recovered session has already accounted for a prefix of the
@@ -273,7 +302,7 @@ func childExtras(rsv *cluster.Reservation, cfg *cluster.Config, v graph.NodeID) 
 // endpoint as a held listener and hands the sockets to the children as
 // inherited descriptors, so no port can be lost between reservation and
 // boot.
-func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, advs adversaryFlags) error {
+func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase int, advs adversaryFlags) error {
 	g, err := loadGraph(file, topoName)
 	if err != nil {
 		return err
@@ -327,6 +356,10 @@ func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenB
 		args := []string{"-cluster", out, "-id", fmt.Sprint(v)}
 		if walDir != "" {
 			args = append(args, "-wal", filepath.Join(walDir, fmt.Sprintf("node-%d", v)))
+		}
+		if adminBase > 0 {
+			// Predictable per-node admin ports: node v scrapes at base+v.
+			args = append(args, "-admin", fmt.Sprintf("127.0.0.1:%d", adminBase+int(v)))
 		}
 		cmd := exec.Command(self, args...)
 		cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)

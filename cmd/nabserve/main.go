@@ -15,7 +15,10 @@
 // Add -wal DIR to make the daemon durable: accepted requests and commits
 // are write-ahead logged, and a daemon killed mid-stream resumes on
 // restart — dispute state, instance numbering and uncommitted requests
-// included — instead of starting the broadcast sequence over.
+// included — instead of starting the broadcast sequence over. Add
+// -admin ADDR to expose /metrics (Prometheus text exposition), /healthz
+// (engine liveness, drain state, WAL sync lag) and /debug/pprof on a
+// private HTTP endpoint.
 //
 // Client (sends -q framed requests, prints the replies):
 //
@@ -24,13 +27,17 @@
 // Wire protocol: a request is a 4-byte big-endian length followed by the
 // broadcast input (exactly -len bytes); a reply is a 4-byte big-endian
 // length followed by a JSON object {instance, output, mismatch, phase3,
-// modelTime}. The connection closes after an invalid request.
+// modelTime}. The connection closes after an invalid request. A client
+// connecting while the daemon still drains a disconnected client's
+// outstanding commits gets a single {"error":"draining: ..."} reply and
+// the connection closes.
 package main
 
 import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,8 +46,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"nab"
+	"nab/internal/admin"
 	"nab/internal/adversary"
 	"nab/internal/graph"
 	"nab/internal/topo"
@@ -88,7 +97,21 @@ type reply struct {
 	Phase3   bool   `json:"phase3"`
 	// ModelTime is the instance's cut-through duration in time units.
 	ModelTime float64 `json:"modelTime"`
+	// Error is set on a refusal frame — e.g. a client connecting while
+	// the daemon drains a previous client's abandoned commits — after
+	// which the connection closes.
+	Error string `json:"error,omitempty"`
 }
+
+// errDraining is the typed refusal a client receives when it connects
+// while the daemon is still flushing commits a disconnected client left
+// outstanding. It also surfaces on /healthz as not-ready.
+var errDraining = errors.New("draining: flushing commits a disconnected client left outstanding")
+
+// maxHealthyWALLag is the /healthz threshold on appended-but-unsynced
+// WAL records; the group-commit syncer keeps it near zero in a healthy
+// daemon.
+const maxHealthyWALLag = 4096
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -111,6 +134,7 @@ func run(args []string, w io.Writer) error {
 	q := fs.Int("q", 8, "client mode: number of requests to stream")
 	netTransport := fs.Bool("net-transport", false, "run node links over loopback TCP instead of the in-process bus")
 	walDir := fs.String("wal", "", "durable WAL directory: accepted requests and commits are logged there, and a restarted daemon resumes the stream (dispute state included) instead of starting over")
+	adminAddr := fs.String("admin", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof on this address")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "node=strategy (repeatable): flip, coded, alarm, crash, random")
 	if err := fs.Parse(args); err != nil {
@@ -146,6 +170,16 @@ func run(args []string, w io.Writer) error {
 	}
 	defer sess.Close()
 
+	srv := &server{sess: sess, lenBytes: *lenBytes, w: w}
+	if *adminAddr != "" {
+		adm, err := admin.Serve(*adminAddr, admin.Options{Checks: adminChecks(srv)})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(w, "nabserve: admin endpoints on http://%s (/metrics, /healthz, /debug/pprof)\n", adm.Addr())
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -153,27 +187,88 @@ func run(args []string, w io.Writer) error {
 	defer l.Close()
 	fmt.Fprintf(w, "nabserve: listening on %s (topo %s, n=%d, f=%d, len=%d, window=%d)\n",
 		l.Addr(), *topoName, g.NumNodes(), *f, *lenBytes, *window)
-	return serve(l, sess, *lenBytes, w)
+	return srv.serve(l)
 }
 
-// serve accepts clients one at a time: NAB broadcasts a single global
+// adminChecks is the daemon's /healthz probe set: engine liveness, the
+// drain flag (a not-ready daemon still flushing an abandoned client's
+// commits), and WAL sync lag.
+func adminChecks(srv *server) []admin.Check {
+	return []admin.Check{
+		{Name: "engine", Probe: srv.sess.Err},
+		{Name: "draining", Probe: func() error {
+			if srv.draining.Load() {
+				return errDraining
+			}
+			return nil
+		}},
+		{Name: "wal", Probe: func() error {
+			if lag := srv.sess.WALSyncLag(); lag > maxHealthyWALLag {
+				return fmt.Errorf("sync lag %d records", lag)
+			}
+			return nil
+		}},
+	}
+}
+
+// server is the daemon's accept-loop state: the shared session plus the
+// drain flag the admin /healthz probe and the accept loop both read.
+type server struct {
+	sess     *nab.Session
+	lenBytes int
+	w        io.Writer
+	// draining is set while a disconnected client's outstanding commits
+	// are still being consumed; a client connecting in that window gets a
+	// typed errDraining reply instead of a silent queue (or a reset when
+	// the daemon dies mid-drain).
+	draining atomic.Bool
+}
+
+// serve handles clients one at a time: NAB broadcasts a single global
 // instance sequence, so concurrent clients would interleave their requests
 // into one stream anyway. The session — and with it the engine's dispute
-// state — lives across connections.
+// state — lives across connections. The accept loop stays live while a
+// session drains, so a premature second client is refused with a typed
+// error frame instead of hanging in the backlog.
 func serve(l net.Listener, sess *nab.Session, lenBytes int, w io.Writer) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return nil // listener closed: clean shutdown
+	srv := &server{sess: sess, lenBytes: lenBytes, w: w}
+	return srv.serve(l)
+}
+
+func (s *server) serve(l net.Listener) error {
+	conns := make(chan net.Conn)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(conns)
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed: clean shutdown
+			}
+			if s.draining.Load() {
+				writeReply(conn, &reply{Error: errDraining.Error()})
+				conn.Close()
+				continue
+			}
+			select {
+			case conns <- conn:
+			case <-done:
+				conn.Close()
+				return
+			}
 		}
-		if err := session(conn, sess, lenBytes); err != nil && err != io.EOF {
-			fmt.Fprintf(w, "nabserve: session %s: %v\n", conn.RemoteAddr(), err)
+	}()
+	for conn := range conns {
+		if err := s.session(conn); err != nil && err != io.EOF {
+			fmt.Fprintf(s.w, "nabserve: session %s: %v\n", conn.RemoteAddr(), err)
 		}
 		conn.Close()
-		if err := sess.Err(); err != nil {
+		if err := s.sess.Err(); err != nil {
 			return err // the engine died; stop accepting
 		}
 	}
+	return nil
 }
 
 // session bridges one client connection onto the shared Session: a reader
@@ -183,8 +278,10 @@ func serve(l net.Listener, sess *nab.Session, lenBytes int, w io.Writer) error {
 // Every submission this connection made is matched with a consumed commit
 // before returning, so an early disconnect cannot leak replies into the
 // next connection.
-func session(conn net.Conn, sess *nab.Session, lenBytes int) error {
+func (s *server) session(conn net.Conn) error {
+	sess, lenBytes := s.sess, s.lenBytes
 	ctx := context.Background()
+	defer s.draining.Store(false)
 	// events carries one nil per accepted submission, then the reader's
 	// terminal error (io.EOF for a clean disconnect). done releases a
 	// reader whose event nobody will consume (early bridge exit).
@@ -229,6 +326,9 @@ func session(conn net.Conn, sess *nab.Session, lenBytes int) error {
 				// have only half-closed. Real errors switch to draining.
 				if err != io.EOF && firstErr == nil {
 					firstErr = err
+					if outstanding > 0 {
+						s.draining.Store(true)
+					}
 				}
 				continue
 			}
@@ -261,6 +361,9 @@ func session(conn net.Conn, sess *nab.Session, lenBytes int) error {
 				ModelTime: c.Result.TotalTime(),
 			}); err != nil {
 				firstErr = err
+				if outstanding > 0 {
+					s.draining.Store(true)
+				}
 				// Unblock a reader stuck in readFrame so the drain ends.
 				conn.Close()
 			}
@@ -302,6 +405,9 @@ func client(w io.Writer, addr string, q, lenBytes int, seed int64) error {
 		rep, err := readReply(conn, lenBytes)
 		if err != nil {
 			return fmt.Errorf("reply %d: %w", i+1, err)
+		}
+		if rep.Error != "" {
+			return fmt.Errorf("server refused: %s", rep.Error)
 		}
 		fmt.Fprintf(w, "instance %d: %d bytes, mismatch=%v phase3=%v modelTime=%.2f\n",
 			rep.Instance, len(rep.Output), rep.Mismatch, rep.Phase3, rep.ModelTime)

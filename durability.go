@@ -8,8 +8,14 @@ import (
 	"nab/internal/core"
 	"nab/internal/dispute"
 	"nab/internal/graph"
+	"nab/internal/obs"
 	"nab/internal/wal"
 )
+
+// recoveryLog narrates WAL replay at Open — how much of a previous
+// incarnation survived and where the stream resumes. Shares the rejoin
+// switch since a cluster restart is where recovery matters most.
+var recoveryLog = obs.New("recovery", "NAB_RECOVERY_DEBUG", "NAB_REJOIN_DEBUG")
 
 // durabilityOptions configures the session WAL.
 type durabilityOptions struct {
@@ -369,9 +375,13 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 		if _, err := log.AppendSync(wal.TypeMeta, sl.buf); err != nil {
 			return fail(err)
 		}
+		recoveryLog.Debug("wal-created", "dir", o.dir, "cluster", cluster)
 		return sl, &recovery{inputs: map[int][]byte{}}, nil
 	}
 	rec.resumed = true
+	recoveryLog.Info("wal-recovered",
+		"dir", o.dir, "k", rec.k, "tail", rec.tail,
+		"replayed", len(rec.replayed), "checkpointed", sawCkpt, "cluster", cluster)
 	if !sawMeta {
 		return fail(fmt.Errorf("nab: recover: log carries no meta record"))
 	}

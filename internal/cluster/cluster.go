@@ -9,6 +9,7 @@ import (
 
 	"nab/internal/core"
 	"nab/internal/graph"
+	"nab/internal/obs"
 	"nab/internal/runtime"
 	"nab/internal/transport"
 )
@@ -68,6 +69,7 @@ type Node struct {
 	tr     *transport.Peer
 	ctrl   *ctrlPlane
 	rt     *runtime.Runtime
+	log    *obs.Logger // rejoin/rollback event log, bound to the local node set
 
 	// Crash-recovery supervision state (Durable mode); all touched only
 	// by the single Stream call.
@@ -165,7 +167,11 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		ctrl.Close()
 		return nil, err // runtime owns (and closed) the transport
 	}
-	n := &Node{cfg: cfg, opt: opt, locals: locals, tr: tr, ctrl: ctrl, rt: rt, stop: make(chan struct{})}
+	n := &Node{
+		cfg: cfg, opt: opt, locals: locals, tr: tr, ctrl: ctrl, rt: rt,
+		log:  rejoinLog.With("node", fmt.Sprint(locals)),
+		stop: make(chan struct{}),
+	}
 	if opt.Durable {
 		n.committed = append(n.committed, opt.Recovered...)
 		n.inputs = newInputBuffer(opt.RecoveredInputs)

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"os"
 	"sync"
 	"time"
 
@@ -348,7 +347,7 @@ func (p *ctrlPlane) startRollback() {
 	if !p.durable {
 		return
 	}
-	ctrlDebugf("coordinator: rollback round opening")
+	ctrlLog.Info("rollback-open", "role", "coordinator")
 	p.rbMu.Lock()
 	p.rbRound++
 	p.rbPhase = 1
@@ -363,14 +362,6 @@ func (p *ctrlPlane) startRollback() {
 	p.doneCount = 0
 	p.doneMu.Unlock()
 	p.broadcastCtl(ctrlMsg{Type: "sync", Round: round})
-}
-
-// ctrlDebugf mirrors control-plane rejoin traffic to stderr when
-// NAB_REJOIN_DEBUG is set.
-func ctrlDebugf(format string, args ...any) {
-	if rejoinDebug {
-		fmt.Fprintf(os.Stderr, "[ctrl] "+format+"\n", args...)
-	}
 }
 
 // onSynced tallies one process's watermark for the current round; the
@@ -458,7 +449,7 @@ func (p *ctrlPlane) Rejoin() error {
 		p.startRollback()
 		return nil
 	}
-	ctrlDebugf("follower: sending rejoin")
+	ctrlLog.Info("send-rejoin", "role", "follower")
 	return p.sendCtl(ctrlMsg{Type: "rejoin"})
 }
 

@@ -1,0 +1,19 @@
+package cluster
+
+import (
+	"nab/internal/metrics"
+	"nab/internal/obs"
+)
+
+// Control-plane instruments and the rejoin/ctrl structured loggers.
+// NAB_REJOIN_DEBUG remains the enable switch it always was; the ad-hoc
+// stderr prints it used to gate are now logfmt events (see internal/obs).
+var (
+	mRollbackRounds = metrics.NewCounter("nab_cluster_rollback_rounds_total",
+		"Rollback rounds this process has been pulled through.")
+	mRejoinDuration = metrics.NewHistogram("nab_cluster_rejoin_seconds",
+		"Duration of completed rollback rounds, sync to resume.", metrics.LatencyBuckets)
+
+	rejoinLog = obs.New("rejoin", "NAB_REJOIN_DEBUG")
+	ctrlLog   = obs.New("ctrl", "NAB_REJOIN_DEBUG")
+)

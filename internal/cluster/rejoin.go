@@ -3,25 +3,12 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
 	"nab/internal/core"
 	"nab/internal/runtime"
 )
-
-// rejoinDebug mirrors the rollback state machine to stderr when
-// NAB_REJOIN_DEBUG is set — the supervisor runs across OS processes, so
-// a wedged round is otherwise invisible.
-var rejoinDebug = os.Getenv("NAB_REJOIN_DEBUG") != ""
-
-func (n *Node) debugf(format string, args ...any) {
-	if !rejoinDebug {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "[rejoin %v] "+format+"\n", append([]any{n.locals}, args...)...)
-}
 
 // This file is the process-side half of the cluster's crash-recovery: a
 // supervised stream loop that re-enters the pipelined runtime across
@@ -196,9 +183,9 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 	// re-enters through the ctrldown path instead of failing the boot.
 	if n.rejoinPending {
 		n.rejoinPending = false
-		n.debugf("announcing rejoin (recovered watermark %d)", len(n.committed))
+		n.log.Info("announce-rejoin", "watermark", len(n.committed))
 		if err := n.ctrl.Rejoin(); err != nil {
-			n.debugf("rejoin announcement failed (%v); reconnecting", err)
+			n.log.Error("announce-failed", "err", err, "action", "reconnect")
 			if err := n.rollback(ctx, n.ctrl.ctrldownNow(), linger); err != nil {
 				n.ctrl.barrier(ctx, time.Second)
 				return nil, err
@@ -227,11 +214,11 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 		for {
 			select {
 			case sr = <-done:
-				n.debugf("stream returned (err=%v, committed=%d)", sr.err, len(n.committed))
+				n.log.Debug("stream-returned", "err", sr.err, "committed", len(n.committed))
 				break wait
 			case ev := <-events:
 				if (ev.Type == "sync" || ev.Type == "ctrldown") && !n.ctrl.staleCtrldown(ev) {
-					n.debugf("stream interrupted by %s round %d", ev.Type, ev.Round)
+					n.log.Info("stream-interrupted", "by", ev.Type, "round", ev.Round)
 					cancel()
 					sr = <-done
 					rollEv = &ev
@@ -266,13 +253,13 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 
 		// Workload complete: park at the shutdown barrier, mesh intact,
 		// still answering rollbacks for peers that crashed near the end.
-		n.debugf("parking at barrier (round %d, committed %d)", n.lastRound, len(n.committed))
+		n.log.Debug("parking", "round", n.lastRound, "committed", len(n.committed))
 		ev, err := n.park(ctx, events, linger)
 		if err != nil {
 			return nil, err
 		}
 		if ev == nil {
-			n.debugf("released from barrier")
+			n.log.Debug("released")
 			res := lastRes
 			res.Instances = append([]*core.InstanceResult(nil), n.committed...)
 			return res, nil
@@ -318,6 +305,7 @@ func (n *Node) park(ctx context.Context, events <-chan ctrlMsg, linger time.Dura
 func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) error {
 	events := n.ctrl.Events()
 	deadline := time.After(linger)
+	began := time.Now()
 	next := func() (ctrlMsg, error) {
 		for {
 			select {
@@ -352,7 +340,7 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 				return err
 			}
 			if err := n.ctrl.Rejoin(); err != nil {
-				n.debugf("rejoin after reconnect failed (%v); retrying", err)
+				n.log.Error("rejoin-after-reconnect-failed", "err", err, "action", "retry")
 				ev = n.ctrl.ctrldownNow()
 				continue
 			}
@@ -363,7 +351,8 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 		case "sync":
 			round := ev.Round
 			n.lastRound = round
-			n.debugf("acking sync round %d (watermark %d, epoch %d)", round, len(n.committed), n.epoch)
+			mRollbackRounds.Inc()
+			n.log.Info("ack-sync", "round", round, "watermark", len(n.committed), "epoch", n.epoch)
 			if err := n.ctrl.AckSync(round, len(n.committed), n.epoch); err != nil {
 				ev = n.ctrl.ctrldownNow()
 				continue
@@ -377,7 +366,7 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 				if m > len(n.committed) {
 					return fmt.Errorf("cluster: rewind to %d beyond local watermark %d", m, len(n.committed))
 				}
-				n.debugf("rewinding to %d on epoch %d (round %d)", m, ev.Epoch, round)
+				n.log.Info("rewind", "k", m, "epoch", ev.Epoch, "round", round)
 				n.epoch = ev.Epoch
 				if err := n.rt.Restore(n.epoch<<32, m, n.committed[:m]); err != nil {
 					return err
@@ -398,7 +387,9 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 						return err
 					}
 					if ev.Type == "resume" && ev.Round == round {
-						n.debugf("resuming after round %d", round)
+						dur := time.Since(began)
+						mRejoinDuration.Observe(dur.Seconds())
+						n.log.Info("resume", "round", round, "dur", dur)
 						return nil
 					}
 					if ev.Type == "sync" || ev.Type == "ctrldown" {

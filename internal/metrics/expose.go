@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus writes every family in registration order in the
+// Prometheus text exposition format (version 0.0.4): one # HELP and
+// # TYPE header per family, then one sample line per child — histograms
+// expand to cumulative _bucket{le=...} lines plus _sum and _count. This
+// is the snapshot path, not the hot path; it takes the registry and
+// family locks briefly and may allocate.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+
+		for i, key := range keys {
+			switch c := children[i].(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", key, "", float64(c.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, "", key, "", float64(c.Value()))
+			case *Histogram:
+				var cum uint64
+				for b := range c.counts {
+					cum += c.counts[b].Load()
+					le := "+Inf"
+					if b < len(c.upper) {
+						le = formatFloat(c.upper[b])
+					}
+					writeSample(bw, f.name, "_bucket", key, le, float64(cum))
+				}
+				writeSample(bw, f.name, "_sum", key, "", c.Sum())
+				writeSample(bw, f.name, "_count", key, "", float64(cum))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one line: name[suffix]{key[,le="..."]} value. key is
+// the pre-escaped label assignment ("" for unlabeled instruments).
+func writeSample(bw *bufio.Writer, name, suffix, key, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if key != "" || le != "" {
+		bw.WriteByte('{')
+		bw.WriteString(key)
+		if le != "" {
+			if key != "" {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,394 @@
+// Package metrics is the repo's dependency-free instrumentation layer:
+// atomic counters, gauges and fixed-bucket histograms collected in a
+// registry and exposed in the Prometheus text format (internal/admin
+// serves it at /metrics). The hot-path operations — Counter.Inc/Add,
+// Gauge.Set and Histogram.Observe — are single atomic updates and perform
+// no allocation (pinned by TestMetricsHotPathZeroAlloc), so instruments
+// can sit inside the coding, wire and WAL fast paths without perturbing
+// them.
+//
+// Instruments are registered once (typically package-level vars) and live
+// for the process; labeled families (Vec types) resolve their children at
+// setup time — e.g. one counter per transport link at Dial — so the send
+// path never touches a map. All names must follow the repo convention
+// nab_<subsystem>_<metric>[_total|_seconds|_bytes], enforced at
+// registration.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced on
+// the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets. The bucket
+// layout is immutable after construction; Observe is a linear scan over
+// at most a few dozen bounds plus two atomic updates, with no allocation.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds; implicit +Inf bucket after
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper bound of the bucket the quantile falls in, or the largest
+// finite bound for the overflow bucket. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.upper) {
+				return h.upper[i]
+			}
+			break
+		}
+	}
+	if len(h.upper) == 0 {
+		return 0
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// LatencyBuckets is the default bucket layout for sub-second latencies
+// (10µs to 10s), used by the commit, fsync and stall histograms.
+var LatencyBuckets = []float64{
+	10e-6, 25e-6, 100e-6, 250e-6,
+	1e-3, 2.5e-3, 10e-3, 25e-3,
+	0.1, 0.25, 1, 2.5, 10,
+}
+
+// SizeBuckets is a power-of-two layout for batch sizes and small counts.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// family is one metric name: its metadata plus the labeled children (one
+// unlabeled child for plain instruments).
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64
+	labels  []string
+
+	mu       sync.Mutex
+	order    []string // child keys in first-seen order
+	children map[string]any
+}
+
+// Registry holds families in registration order. The zero value is not
+// usable; use NewRegistry or the package Default.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry — tests and embedders that want
+// isolation from the process-wide Default.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package-level
+// constructor registers into and /metrics serves.
+func Default() *Registry { return defaultRegistry }
+
+// validName enforces the exposition grammar and the repo convention: all
+// instrument names are nab_*.
+func validName(name string) bool {
+	if !strings.HasPrefix(name, "nab_") {
+		return false
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// register creates (or fails on a duplicate) one family. Instruments are
+// package-level singletons, so a duplicate name is a programmer error.
+func (r *Registry) register(name, help string, k kind, buckets []float64, labels []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid name %q (want nab_[a-z0-9_]+)", name))
+	}
+	for _, l := range labels {
+		if l == "" || l == "le" {
+			panic(fmt.Sprintf("metrics: invalid label %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		buckets: buckets, labels: labels,
+		children: map[string]any{},
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// child returns (creating on first use) the instrument for one label-value
+// key.
+func (f *family) child(key string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case counterKind:
+		c = &Counter{}
+	case gaugeKind:
+		c = &Gauge{}
+	case histogramKind:
+		c = &Histogram{upper: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(name, help, counterKind, nil, nil).child("").(*Counter)
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(name, help, gaugeKind, nil, nil).child("").(*Gauge)
+}
+
+// NewHistogram registers an unlabeled histogram over the given ascending
+// bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: unsorted buckets on %q", name))
+	}
+	b := append([]float64(nil), buckets...)
+	return r.register(name, help, histogramKind, b, nil).child("").(*Histogram)
+}
+
+// CounterVec is a labeled counter family; resolve children with With at
+// setup time and keep the returned *Counter for the hot path.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: CounterVec %q needs labels", name))
+	}
+	return &CounterVec{f: r.register(name, help, counterKind, nil, labels)}
+}
+
+// With returns the child counter for the given label values (in the
+// labels' registration order). It allocates on first use of a label set;
+// callers cache the result.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(childKey(v.f, values)).(*Counter)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: HistogramVec %q needs labels", name))
+	}
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: unsorted buckets on %q", name))
+	}
+	b := append([]float64(nil), buckets...)
+	return &HistogramVec{f: r.register(name, help, histogramKind, b, labels)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(childKey(v.f, values)).(*Histogram)
+}
+
+// childKey canonicalizes one label-value assignment. Values are stored
+// escaped, ready for exposition.
+func childKey(f *family, values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	var sb strings.Builder
+	for i, l := range f.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Reset zeroes every instrument in the registry — counters and gauges to
+// 0, histogram buckets and sums cleared. Registration (names, labels,
+// children) is preserved. Meant for benchmark harnesses that measure
+// per-phase deltas; resetting under live traffic skews in-flight gauges.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, c := range f.children {
+			switch c := c.(type) {
+			case *Counter:
+				c.v.Store(0)
+			case *Gauge:
+				c.v.Store(0)
+			case *Histogram:
+				for i := range c.counts {
+					c.counts[i].Store(0)
+				}
+				c.sum.Store(0)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Package-level constructors over the Default registry.
+
+// NewCounter registers an unlabeled counter in the default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
+
+// NewGauge registers an unlabeled gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.NewGauge(name, help) }
+
+// NewHistogram registers an unlabeled histogram in the default registry.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, buckets)
+}
+
+// NewCounterVec registers a labeled counter family in the default registry.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return defaultRegistry.NewCounterVec(name, help, labels...)
+}
+
+// NewHistogramVec registers a labeled histogram family in the default
+// registry.
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return defaultRegistry.NewHistogramVec(name, help, buckets, labels...)
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsHotPathZeroAlloc pins the hot-path operations at 0 allocs/op,
+// like the coding and WAL fast paths: instruments must be free to sit
+// inside Send/Append/commit loops.
+func TestMetricsHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nab_test_ops_total", "ops")
+	g := r.NewGauge("nab_test_inflight", "inflight")
+	h := r.NewHistogram("nab_test_latency_seconds", "latency", LatencyBuckets)
+	vec := r.NewCounterVec("nab_test_link_frames_total", "frames", "link")
+	link := vec.With("1->2") // resolved at setup time, cached by the caller
+
+	n := testing.AllocsPerRun(2000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Inc()
+		g.Dec()
+		h.Observe(0.0042)
+		h.Observe(123.0) // overflow bucket
+		link.Inc()
+	})
+	if n != 0 {
+		t.Fatalf("hot path allocates: %v allocs/op", n)
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nab_test_total", "t")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.NewGauge("nab_test_gauge", "g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("nab_test_h_seconds", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	// ranks: p50 → 3rd obs → bucket le=2; p99 → 5th obs → overflow,
+	// reported as the largest finite bound.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("p99 = %v, want 4", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+}
+
+// TestWritePrometheusGolden locks the exposition output byte-for-byte:
+// HELP/TYPE headers, registration ordering, label escaping, histogram
+// _bucket/_sum/_count with +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nab_test_commits_total", "Total commits.")
+	c.Add(3)
+	g := r.NewGauge("nab_test_inflight", "Instances in flight.")
+	g.Set(2)
+	vec := r.NewCounterVec("nab_test_frames_total", "Frames per link.", "link")
+	vec.With("0->1").Add(5)
+	vec.With("1->0").Add(7)
+	h := r.NewHistogram("nab_test_wait_seconds", "Wait time.", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP nab_test_commits_total Total commits.
+# TYPE nab_test_commits_total counter
+nab_test_commits_total 3
+# HELP nab_test_inflight Instances in flight.
+# TYPE nab_test_inflight gauge
+nab_test_inflight 2
+# HELP nab_test_frames_total Frames per link.
+# TYPE nab_test_frames_total counter
+nab_test_frames_total{link="0->1"} 5
+nab_test_frames_total{link="1->0"} 7
+# HELP nab_test_wait_seconds Wait time.
+# TYPE nab_test_wait_seconds histogram
+nab_test_wait_seconds_bucket{le="0.5"} 1
+nab_test_wait_seconds_bucket{le="2"} 2
+nab_test_wait_seconds_bucket{le="+Inf"} 3
+nab_test_wait_seconds_sum 10.25
+nab_test_wait_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	vec := r.NewCounterVec("nab_test_esc_total", "esc", "name")
+	vec.With(`a"b\c` + "\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `nab_test_esc_total{name="a\"b\\c\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, name := range []string{"commits_total", "nab_Upper", "nab_sp ace", "nab-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %q", name)
+				}
+			}()
+			NewRegistry().NewCounter(name, "x")
+		}()
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("nab_test_dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate registration")
+		}
+	}()
+	r.NewCounter("nab_test_dup_total", "y")
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nab_test_r_total", "x")
+	h := r.NewHistogram("nab_test_r_seconds", "x", []float64{1})
+	c.Add(9)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset left state: c=%d count=%d sum=%v", c.Value(), h.Count(), h.Sum())
+	}
+	// instruments stay registered and usable
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("counter unusable after reset")
+	}
+}
+
+// TestConcurrentRegistryRace exercises registration, vec-child resolution,
+// hot-path updates, Reset and exposition concurrently; meaningful under
+// -race (CI runs the race job over this package).
+func TestConcurrentRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nab_test_race_total", "x")
+	h := r.NewHistogram("nab_test_race_seconds", "x", LatencyBuckets)
+	vec := r.NewCounterVec("nab_test_race_link_total", "x", "link")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			link := vec.With(string(rune('a' + i)))
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-5)
+				link.Inc()
+			}
+		}(i)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 10; j++ {
+			r.Reset()
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package metrics_test
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nab/internal/metrics"
+
+	// Each instrumented layer registers its instruments in package vars;
+	// importing them here puts every family the daemons expose into the
+	// default registry so the naming sweep below covers the real set.
+	_ "nab"
+	_ "nab/internal/cluster"
+	_ "nab/internal/runtime"
+	_ "nab/internal/transport"
+	_ "nab/internal/wal"
+)
+
+// namePattern is the repo's metric naming convention: a nab_ prefix and
+// lowercase snake case, per Prometheus guidance. The registry panics on
+// violations at registration time; this sweep pins the convention over
+// every family the instrumented packages actually register.
+var namePattern = regexp.MustCompile(`^nab_[a-z0-9_]+$`)
+
+func TestAllRegisteredFamiliesFollowNamingConvention(t *testing.T) {
+	var buf bytes.Buffer
+	if err := metrics.Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "# TYPE <name> <kind>" announces each family exactly once.
+		if len(fields) != 4 || fields[0] != "#" || fields[1] != "TYPE" {
+			continue
+		}
+		families++
+		name, kind := fields[2], fields[3]
+		if !namePattern.MatchString(name) {
+			t.Errorf("metric %q violates the nab_* snake_case convention", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Errorf("metric %q has unknown type %q", name, kind)
+		}
+		if kind == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter %q should end in _total", name)
+		}
+		if kind == "histogram" && !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_records") {
+			t.Errorf("histogram %q should carry a unit suffix (_seconds or _records)", name)
+		}
+	}
+	// The instrumented layers register well over a dozen families; a low
+	// count means an import above went missing and the sweep is hollow.
+	if families < 15 {
+		t.Errorf("only %d families registered; expected the full instrumented set (>= 15)", families)
+	}
+}

@@ -393,14 +393,15 @@ func planSeed(seed int64, gen int) int64 {
 
 // flight is one speculative instance execution.
 type flight struct {
-	k     int
-	gen   int
-	eng   *instanceEngine
-	view  ExecutionView // nil without a schedule plane
-	done  chan struct{}
-	ir    *core.InstanceResult
-	err   error
-	plans *planEntry
+	k       int
+	gen     int
+	eng     *instanceEngine
+	view    ExecutionView // nil without a schedule plane
+	done    chan struct{}
+	ir      *core.InstanceResult
+	err     error
+	plans   *planEntry
+	started time.Time
 }
 
 // Result extends the lockstep RunResult with wall-clock and substrate
@@ -526,12 +527,14 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 	launch := func(k int) {
 		rt.nextLaunch++
 		f := &flight{
-			k:     k,
-			gen:   rt.ds.Gen(),
-			eng:   newInstanceEngine(rt.nextLaunch, rt.cfg.Graph, rt.sendFrame, rt.locals),
-			done:  make(chan struct{}),
-			plans: entryFor(rt.ds.Gen()),
+			k:       k,
+			gen:     rt.ds.Gen(),
+			eng:     newInstanceEngine(rt.nextLaunch, rt.cfg.Graph, rt.sendFrame, rt.locals),
+			done:    make(chan struct{}),
+			plans:   entryFor(rt.ds.Gen()),
+			started: time.Now(),
 		}
+		mInflight.Inc()
 		if rt.cfg.Plane != nil {
 			f.view = rt.cfg.Plane.Execution(f.k, f.gen)
 		}
@@ -559,6 +562,7 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 		}
 		res.Dropped += f.eng.Dropped()
 		delete(inflight, f.k)
+		mInflight.Dec()
 	}
 	reap := func(f *flight) {
 		f.eng.abort()
@@ -631,6 +635,7 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 		res.Instances = append(res.Instances, f.ir)
 		rt.k++
 		delete(inputs, f.k)
+		mCommitLatency.Observe(time.Since(f.started).Seconds())
 		if commit != nil {
 			if err := commit(f.ir); err != nil {
 				return fail(err)
@@ -641,8 +646,10 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 			// dispute state, so every speculative execution planned on the
 			// old snapshot is stale. Abort them; the fill loop relaunches
 			// on the fresh snapshot.
+			mBarriers.Inc()
 			for _, fl := range inflight {
 				res.Replays++
+				mReplays.Inc()
 				reap(fl)
 			}
 			next = rt.k + 1

@@ -75,6 +75,7 @@ func (t *Chan) Dial(from, to graph.NodeID) (Link, error) {
 		key:   key,
 		inbox: t.inboxes[to],
 		pace:  newPacer(t.g.Cap(from, to), t.opt.TimeUnit, t.opt.Burst),
+		lm:    linkMetricsFor(from, to),
 	}
 	t.links[key] = l
 	return l, nil
@@ -126,6 +127,7 @@ type chanLink struct {
 	key   [2]graph.NodeID
 	inbox chan *Message
 	pace  *pacer
+	lm    linkMetrics
 }
 
 // Send implements Link. The token bucket serializes the link: concurrent
@@ -142,6 +144,7 @@ func (l *chanLink) Send(m *Message) error {
 	}
 	select {
 	case l.inbox <- m:
+		l.lm.count(m)
 		return nil
 	case <-l.t.closed:
 		return ErrClosed

@@ -125,7 +125,9 @@ func (fw *frameWriter) run(bw *bufio.Writer) {
 		if err := WriteFrame(bw, m); err != nil {
 			fw.setErr(err)
 			broken = true
+			return
 		}
+		mWriterFrames.Inc()
 	}
 	flush := func() {
 		if broken {
@@ -134,7 +136,9 @@ func (fw *frameWriter) run(bw *bufio.Writer) {
 		if err := bw.Flush(); err != nil {
 			fw.setErr(err)
 			broken = true
+			return
 		}
+		mFlushes.Inc()
 	}
 	for {
 		select {

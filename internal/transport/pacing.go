@@ -46,6 +46,7 @@ func (p *pacer) charge(bits int64) {
 	p.last = now
 	if deficit := float64(bits) - p.tokens; deficit > 0 {
 		wait := time.Duration(deficit / float64(p.capBits) * float64(p.tu))
+		mPacerStall.Observe(wait.Seconds())
 		time.Sleep(wait)
 		p.tokens = 0
 		p.last = time.Now()

@@ -213,6 +213,7 @@ func (p *Peer) serveConn(conn net.Conn) {
 			p.mu.Lock()
 			p.dropped++
 			p.mu.Unlock()
+			mDropped.Inc()
 			continue
 		}
 		if !m.Marker && m.Bits > 0 {
@@ -284,21 +285,22 @@ func (p *Peer) Dial(from, to graph.NodeID) (Link, error) {
 		return nil, fmt.Errorf("transport: node %d is not hosted by this process", from)
 	}
 	key := [2]graph.NodeID{from, to}
+	lm := linkMetricsFor(from, to)
 	if p.locals[to] {
-		return &peerLoopLink{p: p, key: key, inbox: p.inboxes[to], pace: p.pacerFor(key)}, nil
+		return &peerLoopLink{p: p, key: key, inbox: p.inboxes[to], pace: p.pacerFor(key), lm: lm}, nil
 	}
 	conn, fw, err := p.dialLink(from, to)
 	if err != nil {
 		return nil, err
 	}
 	if p.opt.Reconnect {
-		l := &reconnLink{p: p, key: key, conn: conn, fw: fw, pace: p.pacerFor(key)}
+		l := &reconnLink{p: p, key: key, conn: conn, fw: fw, pace: p.pacerFor(key), lm: lm}
 		p.mu.Lock()
 		p.relinks = append(p.relinks, l)
 		p.mu.Unlock()
 		return l, nil
 	}
-	return &peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key)}, nil
+	return &peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key), lm: lm}, nil
 }
 
 // Reestablish force-redials every outbound remote link (Reconnect mode):
@@ -345,6 +347,7 @@ func (p *Peer) dialLink(from, to graph.NodeID) (net.Conn, *frameWriter, error) {
 	p.conns = append(p.conns, conn)
 	p.writers = append(p.writers, fw)
 	p.mu.Unlock()
+	mDials.Inc()
 	return conn, fw, nil
 }
 
@@ -452,6 +455,7 @@ func (p *Peer) countLost() {
 	p.mu.Lock()
 	p.lost++
 	p.mu.Unlock()
+	mSendsLost.Inc()
 }
 
 // Close implements Transport: signals every outbound link's coalescing
@@ -484,6 +488,7 @@ type peerLink struct {
 	conn net.Conn
 	fw   *frameWriter
 	pace *pacer
+	lm   linkMetrics
 }
 
 // Send implements Link: pace, then queue onto the link's coalescing
@@ -498,7 +503,11 @@ func (l *peerLink) Send(m *Message) error {
 	if !m.Marker && m.Bits > 0 {
 		l.pace.charge(m.Bits)
 	}
-	return l.fw.enqueue(m)
+	if err := l.fw.enqueue(m); err != nil {
+		return err
+	}
+	l.lm.count(m)
+	return nil
 }
 
 // Close implements Link.
@@ -514,6 +523,7 @@ type reconnLink struct {
 	p    *Peer
 	key  [2]graph.NodeID
 	pace *pacer
+	lm   linkMetrics
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -543,6 +553,7 @@ func (l *reconnLink) Send(m *Message) error {
 	if fw != nil {
 		err := fw.enqueue(m)
 		if err == nil {
+			l.lm.count(m)
 			return nil
 		}
 		if err == ErrClosed {
@@ -569,6 +580,7 @@ func (l *reconnLink) markDown(failed *frameWriter) {
 		conn.Close()
 	}
 	l.p.untrack(conn, failed)
+	reconnLog.Info("link-down", "link", linkString(l.key))
 	if !l.dialing {
 		l.dialing = true
 		go l.redial()
@@ -580,6 +592,8 @@ func (l *reconnLink) redial() {
 	for {
 		conn, fw, err := l.p.dialLink(l.key[0], l.key[1])
 		if err == nil {
+			mRedials.Inc()
+			reconnLog.Info("link-redialed", "link", linkString(l.key))
 			l.mu.Lock()
 			l.conn, l.fw, l.dialing = conn, fw, false
 			l.mu.Unlock()
@@ -643,6 +657,8 @@ func (l *reconnLink) reestablish() error {
 		}
 		l.conn, l.fw = conn, fw
 		l.mu.Unlock()
+		mRedials.Inc()
+		reconnLog.Debug("link-reestablished", "link", linkString(l.key))
 		return nil
 	}
 }
@@ -664,6 +680,7 @@ type peerLoopLink struct {
 	key   [2]graph.NodeID
 	inbox chan *Message
 	pace  *pacer
+	lm    linkMetrics
 }
 
 // Send implements Link.
@@ -679,6 +696,7 @@ func (l *peerLoopLink) Send(m *Message) error {
 	}
 	select {
 	case l.inbox <- m:
+		l.lm.count(m)
 		return nil
 	case <-l.p.closed:
 		return ErrClosed

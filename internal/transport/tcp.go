@@ -87,6 +87,7 @@ func (t *TCP) readLoop(v graph.NodeID, conn net.Conn) {
 			t.mu.Lock()
 			t.dropped++
 			t.mu.Unlock()
+			mDropped.Inc()
 			continue
 		}
 		if !m.Marker && m.Bits > 0 {
@@ -117,7 +118,8 @@ func (t *TCP) Dial(from, to graph.NodeID) (Link, error) {
 	t.conns = append(t.conns, conn)
 	t.writers = append(t.writers, fw)
 	t.mu.Unlock()
-	return &tcpLink{from: from, to: to, conn: conn, fw: fw}, nil
+	mDials.Inc()
+	return &tcpLink{from: from, to: to, conn: conn, fw: fw, lm: linkMetricsFor(from, to)}, nil
 }
 
 // Recv implements Transport.
@@ -188,6 +190,7 @@ type tcpLink struct {
 	from, to graph.NodeID
 	conn     net.Conn
 	fw       *frameWriter
+	lm       linkMetrics
 }
 
 // Send implements Link: frames are queued in order onto the link's
@@ -196,7 +199,11 @@ func (l *tcpLink) Send(m *Message) error {
 	if m.From != l.from || m.To != l.to {
 		return fmt.Errorf("transport: frame (%d,%d) on link (%d,%d)", m.From, m.To, l.from, l.to)
 	}
-	return l.fw.enqueue(m)
+	if err := l.fw.enqueue(m); err != nil {
+		return err
+	}
+	l.lm.count(m)
+	return nil
 }
 
 // Close implements Link.

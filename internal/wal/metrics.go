@@ -1,0 +1,25 @@
+package wal
+
+import "nab/internal/metrics"
+
+// Durability instruments. The append-path counters are atomic increments
+// only, keeping the zero-allocation guarantee of the commit hot path
+// (TestWALCommitAppendZeroAlloc); the fsync histograms are updated once
+// per group commit, off the append path.
+var (
+	mAppends = metrics.NewCounter("nab_wal_appends_total",
+		"Records framed into the log buffer.")
+	mAppendBytes = metrics.NewCounter("nab_wal_append_bytes_total",
+		"Bytes framed into the log buffer, headers included.")
+	mFsync = metrics.NewHistogram("nab_wal_fsync_seconds",
+		"Latency of WAL fsyncs (group commits and rotations).", metrics.LatencyBuckets)
+	mFsyncBatch = metrics.NewHistogram("nab_wal_fsync_batch_records",
+		"Records made durable per group-commit fsync.", metrics.SizeBuckets)
+)
+
+// FsyncQuantile reports the q-quantile of process-wide WAL fsync latency
+// in seconds — the Session.Metrics snapshot path.
+func FsyncQuantile(q float64) float64 { return mFsync.Quantile(q) }
+
+// AppendedBytes reports the process-wide bytes framed into WAL buffers.
+func AppendedBytes() int64 { return mAppendBytes.Value() }

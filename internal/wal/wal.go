@@ -234,6 +234,8 @@ func (l *Log) appendLocked(typ byte, payload []byte) (Pos, error) {
 	}
 	l.segBytes += int64(headerBytes + n)
 	l.appended++
+	mAppends.Inc()
+	mAppendBytes.Add(int64(headerBytes + n))
 	pos := Pos{Seg: l.seg}
 	select {
 	case l.kick <- struct{}{}:
@@ -249,7 +251,10 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	if !l.opt.NoSync {
-		if err := l.f.Sync(); err != nil {
+		start := time.Now()
+		err := l.f.Sync()
+		mFsync.Observe(time.Since(start).Seconds())
+		if err != nil {
 			l.fail(err)
 			return err
 		}
@@ -290,6 +295,7 @@ func (l *Log) Sync() error {
 	}
 	l.syncing = true
 	upto := l.appended
+	batch := upto - l.synced
 	if err := l.bw.Flush(); err != nil {
 		l.syncing = false
 		l.fail(err)
@@ -299,7 +305,10 @@ func (l *Log) Sync() error {
 	l.mu.Unlock()
 	var err error
 	if !l.opt.NoSync {
+		start := time.Now()
 		err = f.Sync()
+		mFsync.Observe(time.Since(start).Seconds())
+		mFsyncBatch.Observe(float64(batch))
 	}
 	l.mu.Lock()
 	l.syncing = false
@@ -318,6 +327,14 @@ func (l *Log) Sync() error {
 		return l.err
 	}
 	return nil
+}
+
+// Lag returns how many appended records are not yet known durable — the
+// WAL sync lag surfaced by /healthz.
+func (l *Log) Lag() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended - l.synced
 }
 
 // AppendSync appends one record and returns once it is durable —

@@ -1,0 +1,74 @@
+package nab
+
+import (
+	"time"
+
+	"nab/internal/metrics"
+	"nab/internal/wal"
+)
+
+// Session-layer instruments: end-to-end commit accounting as the client
+// sees it, one layer above the runtime's launch-to-commit view.
+var (
+	mCommits = metrics.NewCounter("nab_commits_total",
+		"Broadcast instances committed and delivered to the session consumer.")
+	mCommitsReplayed = metrics.NewCounter("nab_commits_replayed_total",
+		"Recovered commits re-delivered from the write-ahead log.")
+	mCommitLatency = metrics.NewHistogram("nab_commit_latency_seconds",
+		"Submit-to-commit latency per broadcast payload.", metrics.LatencyBuckets)
+	mSubmitWait = metrics.NewHistogram("nab_submit_wait_seconds",
+		"Time Submit spent blocked on pipeline backpressure.", metrics.LatencyBuckets)
+)
+
+// SessionMetrics is a point-in-time snapshot of the observability layer's
+// commit and durability instruments — the same numbers /metrics exposes,
+// in API form for embedders and bench harnesses. The counters are
+// process-wide (all sessions share the default registry); a process
+// hosting one session reads them as its own.
+type SessionMetrics struct {
+	// Commits is the number of instances committed and delivered live.
+	Commits int64
+	// ReplayedCommits counts recovered commits re-delivered at open.
+	ReplayedCommits int64
+	// CommitLatencyP50/P99 are submit-to-commit latency quantiles
+	// (bucket upper bounds, so conservative estimates).
+	CommitLatencyP50 time.Duration
+	CommitLatencyP99 time.Duration
+	// SubmitWaitP99 is the backpressure wait quantile seen by Submit.
+	SubmitWaitP99 time.Duration
+	// WALFsyncP99 is the WAL group-commit fsync latency quantile.
+	WALFsyncP99 time.Duration
+	// WALAppendBytes is the total bytes framed into WAL buffers.
+	WALAppendBytes int64
+	// WALSyncLag is this session's appended-but-not-yet-durable record
+	// count (0 without durability).
+	WALSyncLag uint64
+}
+
+// Metrics snapshots the session-visible instruments.
+func (s *Session) Metrics() SessionMetrics {
+	return SessionMetrics{
+		Commits:          mCommits.Value(),
+		ReplayedCommits:  mCommitsReplayed.Value(),
+		CommitLatencyP50: secondsToDuration(mCommitLatency.Quantile(0.50)),
+		CommitLatencyP99: secondsToDuration(mCommitLatency.Quantile(0.99)),
+		SubmitWaitP99:    secondsToDuration(mSubmitWait.Quantile(0.99)),
+		WALFsyncP99:      secondsToDuration(wal.FsyncQuantile(0.99)),
+		WALAppendBytes:   wal.AppendedBytes(),
+		WALSyncLag:       s.WALSyncLag(),
+	}
+}
+
+// WALSyncLag returns how many of this session's WAL records are appended
+// but not yet known durable — the sync-lag health signal surfaced by
+// /healthz. Sessions without durability report 0.
+func (s *Session) WALSyncLag() uint64 {
+	if s.slog == nil {
+		return 0
+	}
+	return s.slog.log.Lag()
+}
+
+func secondsToDuration(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

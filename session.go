@@ -179,6 +179,12 @@ type Session struct {
 	next     Seq
 	drained  bool
 
+	// subTimes records each accepted payload's submit time until its
+	// commit observes the end-to-end latency; guarded by its own mutex
+	// because the commit side runs in the engine goroutine.
+	subTimeMu sync.Mutex
+	subTimes  map[Seq]time.Time
+
 	commits chan Commit
 	done    chan struct{}
 	err     error           // terminal error; written before done closes
@@ -210,9 +216,10 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Session{
-		cancel:  cancel,
-		commits: make(chan Commit, o.commitBuffer),
-		done:    make(chan struct{}),
+		cancel:   cancel,
+		commits:  make(chan Commit, o.commitBuffer),
+		done:     make(chan struct{}),
+		subTimes: map[Seq]time.Time{},
 	}
 	fail := func(err error) (*Session, error) {
 		cancel()
@@ -379,6 +386,7 @@ func (s *Session) emitReplayed(ctx context.Context) bool {
 	for _, ir := range s.replayed {
 		select {
 		case s.commits <- Commit{Seq: Seq(ir.K), Result: ir, Replayed: true}:
+			mCommitsReplayed.Inc()
 		case <-ctx.Done():
 			return false
 		}
@@ -450,6 +458,14 @@ func (s *Session) emitFunc(ctx context.Context) func(*core.InstanceResult) error
 		}
 		select {
 		case s.commits <- Commit{Seq: Seq(ir.K), Result: ir}:
+			mCommits.Inc()
+			s.subTimeMu.Lock()
+			t, ok := s.subTimes[Seq(ir.K)]
+			delete(s.subTimes, Seq(ir.K))
+			s.subTimeMu.Unlock()
+			if ok {
+				mCommitLatency.Observe(time.Since(t).Seconds())
+			}
 			return nil
 		case <-ctx.Done():
 			return ctx.Err()
@@ -538,10 +554,15 @@ func (s *Session) Submit(ctx context.Context, payload []byte) (Seq, error) {
 		return 0, ErrSessionDraining
 	}
 	p := append([]byte(nil), payload...) // the caller may reuse its buffer
+	enqueue := time.Now()
 	select {
 	case s.subs <- p:
 		s.next++
 		seq := s.next
+		mSubmitWait.Observe(time.Since(enqueue).Seconds())
+		s.subTimeMu.Lock()
+		s.subTimes[seq] = time.Now()
+		s.subTimeMu.Unlock()
 		if s.slog == nil {
 			s.submitMu.Unlock()
 			return seq, nil

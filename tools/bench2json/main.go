@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/linalg"
+	"nab/internal/metrics"
 	"nab/internal/wal"
 )
 
@@ -78,6 +80,26 @@ type KernelRow struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// MetricsRow is one topology's live-instrument snapshot (present with
+// -metrics): latency quantiles read from the session's histograms plus
+// wire totals from the per-link transport counters, captured over one
+// pipelined streaming run with the metrics registry reset beforehand —
+// the same numbers a /metrics scrape of a live daemon reports.
+type MetricsRow struct {
+	Topology        string  `json:"topology"`
+	CommitP50Ms     float64 `json:"commit_p50_ms"`
+	CommitP99Ms     float64 `json:"commit_p99_ms"`
+	SubmitWaitP99Ms float64 `json:"submit_wait_p99_ms"`
+	// FsyncP99Ms / WALAppendBytes are present when the measured stream is
+	// durable (-wal): the group-committed fsync tail latency and total
+	// bytes appended to the log.
+	FsyncP99Ms     float64 `json:"fsync_p99_ms,omitempty"`
+	WALAppendBytes int64   `json:"wal_append_bytes,omitempty"`
+	// LinkBits is the capacity-charged bits sent per directed link,
+	// keyed "from->to" as in the nab_transport_link_bits_total labels.
+	LinkBits map[string]int64 `json:"link_bits,omitempty"`
+}
+
 // Output is the file's top-level shape.
 type Output struct {
 	Bench   string      `json:"bench"`
@@ -88,6 +110,9 @@ type Output struct {
 	// zero-allocation commit-record append, the serial vs group-committed
 	// fsync path, and session recovery replay per committed instance.
 	Wal []KernelRow `json:"wal,omitempty"`
+	// Metrics rows (present with -metrics) carry the latency trajectory:
+	// commit/submit-wait quantiles and per-link wire totals.
+	Metrics []MetricsRow `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -107,6 +132,7 @@ func run(args []string, w io.Writer) error {
 	withCluster := fs.Bool("cluster", false, "also measure a multi-process cluster (builds cmd/nabnode)")
 	withStream := fs.Bool("stream", false, "also measure sustained streaming-session throughput (open-loop submit vs commit rate)")
 	withWal := fs.Bool("wal", false, "also measure the durability subsystem: WAL append/fsync-batching rows, durable commit rate per topology, recovery replay time")
+	withMetrics := fs.Bool("metrics", false, "also record live-instrument rows per topology: commit-latency p50/p99, submit-wait p99, fsync p99 (with -wal) and per-link wire bits")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -197,6 +223,24 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("%s: durable stream: %w", tp.name, err)
 			}
 		}
+		if *withMetrics {
+			walDir := ""
+			if *withWal {
+				dir, err := os.MkdirTemp("", "bench2json-metrics-wal-*")
+				if err != nil {
+					return err
+				}
+				walDir = dir
+			}
+			mrow, err := metricsRow(tp.name, cfg, *window, inputs, walDir)
+			if walDir != "" {
+				os.RemoveAll(walDir)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: metrics: %w", tp.name, err)
+			}
+			res.Metrics = append(res.Metrics, mrow)
+		}
 		res.Rows = append(res.Rows, row)
 		fmt.Fprintf(w, "%-22s lockstep %7.1f/s  pipelined %7.1f/s  speedup %.2fx",
 			row.Topology, row.LockstepIPS, row.PipelinedIPS, row.Speedup)
@@ -210,6 +254,15 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  durable commit %7.1f/s", row.DurableCommitIPS)
 		}
 		fmt.Fprintln(w)
+		if *withMetrics {
+			m := res.Metrics[len(res.Metrics)-1]
+			fmt.Fprintf(w, "%-22s commit p50 %6.2fms  p99 %6.2fms  submit-wait p99 %6.2fms",
+				"", m.CommitP50Ms, m.CommitP99Ms, m.SubmitWaitP99Ms)
+			if *withWal {
+				fmt.Fprintf(w, "  fsync p99 %6.2fms", m.FsyncP99Ms)
+			}
+			fmt.Fprintf(w, "  links %d\n", len(m.LinkBits))
+		}
 	}
 
 	if *withWal {
@@ -419,6 +472,88 @@ func streamIPS(cfg nab.Config, window int, inputs [][]byte, walDir string) (subm
 		return 0, 0, fmt.Errorf("streamed %d commits, want %d", got, len(inputs))
 	}
 	return float64(len(inputs)) / submitWall.Seconds(), float64(got) / commitWall.Seconds(), nil
+}
+
+// metricsRow streams the workload once with the metrics registry reset
+// and reads the resulting instruments back — latency quantiles through
+// the Session.Metrics snapshot API, per-link wire counters through the
+// registry's own text exposition, exactly as a /metrics scrape would.
+func metricsRow(name string, cfg nab.Config, window int, inputs [][]byte, walDir string) (MetricsRow, error) {
+	metrics.Default().Reset()
+	opts := []nab.SessionOption{nab.WithWindow(window)}
+	if walDir != "" {
+		opts = append(opts, nab.WithDurability(walDir))
+	}
+	ctx := context.Background()
+	sess, err := nab.Open(ctx, cfg, opts...)
+	if err != nil {
+		return MetricsRow{}, err
+	}
+	defer sess.Close()
+	go func() {
+		for _, in := range inputs {
+			if _, err := sess.Submit(ctx, in); err != nil {
+				return
+			}
+		}
+		sess.Drain(ctx)
+	}()
+	got := 0
+	for range sess.Commits() {
+		got++
+	}
+	if err := sess.Err(); err != nil {
+		return MetricsRow{}, err
+	}
+	if got != len(inputs) {
+		return MetricsRow{}, fmt.Errorf("streamed %d commits, want %d", got, len(inputs))
+	}
+	sm := sess.Metrics()
+	row := MetricsRow{
+		Topology:        name,
+		CommitP50Ms:     millis(sm.CommitLatencyP50),
+		CommitP99Ms:     millis(sm.CommitLatencyP99),
+		SubmitWaitP99Ms: millis(sm.SubmitWaitP99),
+		LinkBits:        scrapeLinkBits(),
+	}
+	if walDir != "" {
+		row.FsyncP99Ms = millis(sm.WALFsyncP99)
+		row.WALAppendBytes = sm.WALAppendBytes
+	}
+	return row, nil
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// scrapeLinkBits reads the per-link bit counters out of the registry's
+// text exposition.
+func scrapeLinkBits() map[string]int64 {
+	var buf bytes.Buffer
+	if err := metrics.Default().WritePrometheus(&buf); err != nil {
+		return nil
+	}
+	out := map[string]int64{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		rest, ok := strings.CutPrefix(line, `nab_transport_link_bits_total{link="`)
+		if !ok {
+			continue
+		}
+		link, val, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || f <= 0 {
+			// Zero-valued children are links an earlier topology dialed;
+			// Reset keeps them registered but this run never used them.
+			continue
+		}
+		out[link] = int64(f)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // walRows measures the durability subsystem in-process: the

@@ -11,7 +11,7 @@ import (
 func TestRunWritesJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var log strings.Builder
-	if err := run([]string{"-q", "4", "-len", "16", "-window", "2", "-out", out}, &log); err != nil {
+	if err := run([]string{"-q", "4", "-len", "16", "-window", "2", "-metrics", "-out", out}, &log); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -32,6 +32,25 @@ func TestRunWritesJSON(t *testing.T) {
 	}
 	if !strings.Contains(log.String(), "speedup") {
 		t.Errorf("missing summary output:\n%s", log.String())
+	}
+	if len(res.Metrics) != 3 {
+		t.Fatalf("got %d metrics rows, want 3", len(res.Metrics))
+	}
+	for _, m := range res.Metrics {
+		if m.CommitP99Ms <= 0 || m.CommitP50Ms <= 0 {
+			t.Errorf("%s: non-positive commit quantiles: %+v", m.Topology, m)
+		}
+		if m.CommitP99Ms < m.CommitP50Ms {
+			t.Errorf("%s: p99 %.3fms below p50 %.3fms", m.Topology, m.CommitP99Ms, m.CommitP50Ms)
+		}
+		if len(m.LinkBits) == 0 {
+			t.Errorf("%s: no per-link bit counters", m.Topology)
+		}
+		for link, bits := range m.LinkBits {
+			if bits <= 0 {
+				t.Errorf("%s: link %s carried %d bits", m.Topology, link, bits)
+			}
+		}
 	}
 	if len(res.Kernels) < 4 {
 		t.Fatalf("got %d kernel rows, want >= 4", len(res.Kernels))
