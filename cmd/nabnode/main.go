@@ -134,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 7, "spawn mode: seed for coding matrices and workload")
 	out := fs.String("out", "", "spawn mode: write the generated cluster.json here (default: temp file)")
 	walDir := fs.String("wal", "", "durable WAL directory: node mode appends this process's log there and recovers from it on restart; spawn mode gives each child <dir>/node-<id>")
+	chaosPath := fs.String("chaos", "", "spawn mode: chaos physics spec (JSON ChaosConfig) injected into every child via the generated cluster.json")
 	adminAddr := fs.String("admin", "", "node mode: serve /metrics (Prometheus text), /healthz and /debug/pprof on this address")
 	adminBase := fs.Int("admin-base", 0, "spawn mode: give each child an admin endpoint on 127.0.0.1:<base+id>")
 	advs := adversaryFlags{}
@@ -143,7 +144,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *spawn {
-		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, advs)
+		chaos, err := loadChaos(*chaosPath)
+		if err != nil {
+			return err
+		}
+		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, advs, chaos)
+	}
+	if *chaosPath != "" {
+		return fmt.Errorf("-chaos is a spawn-mode flag; node mode inherits the spec from cluster.json")
 	}
 	if *cfgPath == "" {
 		return fmt.Errorf("either -cluster with -id (node mode) or -spawn-local is required")
@@ -302,7 +310,7 @@ func childExtras(rsv *cluster.Reservation, cfg *cluster.Config, v graph.NodeID) 
 // endpoint as a held listener and hands the sockets to the children as
 // inherited descriptors, so no port can be lost between reservation and
 // boot.
-func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase int, advs adversaryFlags) error {
+func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase int, advs adversaryFlags, chaos *nab.ChaosConfig) error {
 	g, err := loadGraph(file, topoName)
 	if err != nil {
 		return err
@@ -318,6 +326,7 @@ func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenB
 		Topology: g.Marshal(), Source: graph.NodeID(source), F: f,
 		LenBytes: lenBytes, Seed: seed, Window: window, Instances: q,
 		CtrlAddr: addrs[len(nodes)],
+		Chaos:    chaos,
 	}
 	for i, v := range nodes {
 		cfg.Nodes = append(cfg.Nodes, cluster.NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})
@@ -413,6 +422,27 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.Write(p)
+}
+
+// loadChaos reads a ChaosConfig JSON spec (see transport.ChaosConfig for
+// the schema; durations are "50ms"-style strings). The spec lands in the
+// generated cluster.json so every child injects the same seeded physics.
+func loadChaos(path string) (*nab.ChaosConfig, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &nab.ChaosConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("chaos spec %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos spec %s: %w", path, err)
+	}
+	return cfg, nil
 }
 
 func loadGraph(file, name string) (*graph.Directed, error) {

@@ -16,6 +16,7 @@ import (
 	"nab/internal/core"
 	"nab/internal/graph"
 	"nab/internal/topo"
+	"nab/internal/transport"
 )
 
 // nodeProc is one supervised nabnode child with live stdout capture.
@@ -89,8 +90,9 @@ func (np *nodeProc) output() string {
 }
 
 // restartConfig builds a per-node-process cluster config over g with WAL
-// directories under a fresh temp root.
-func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, window int, advs map[graph.NodeID]string) (*cluster.Config, string, *cluster.Reservation, string) {
+// directories under a fresh temp root. chaos (optional) rides inside the
+// shared cluster.json, so every child injects the same physics.
+func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, window int, advs map[graph.NodeID]string, chaos *transport.ChaosConfig) (*cluster.Config, string, *cluster.Reservation, string) {
 	t.Helper()
 	nodes := g.Nodes()
 	rsv, err := cluster.ReserveAddrs(len(nodes) + 1)
@@ -103,6 +105,7 @@ func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, w
 		Topology: g.Marshal(), Source: source, F: f,
 		LenBytes: 24, Seed: 13, Window: window, Instances: q,
 		CtrlAddr: addrs[len(nodes)],
+		Chaos:    chaos,
 	}
 	for i, v := range nodes {
 		cfg.Nodes = append(cfg.Nodes, cluster.NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})
@@ -163,9 +166,9 @@ func mergeInstanceLines(t *testing.T, id graph.NodeID, outs []string) (map[int]i
 // the victim once it has emitted killAfter commits, restart it on the
 // same WAL, and assert the cluster completes with the merged commit
 // sequence (and dispute set) byte-identical to the lockstep oracle.
-func runKillRestart(t *testing.T, g *graph.Directed, source graph.NodeID, f, q int, advs map[graph.NodeID]string, victim graph.NodeID, killAfter int) {
+func runKillRestart(t *testing.T, g *graph.Directed, source graph.NodeID, f, q int, advs map[graph.NodeID]string, victim graph.NodeID, killAfter int, chaos *transport.ChaosConfig) {
 	t.Helper()
-	cfg, path, rsv, dir := restartConfig(t, g, source, f, q, 2, advs)
+	cfg, path, rsv, dir := restartConfig(t, g, source, f, q, 2, advs, chaos)
 
 	coreCfg, err := cfg.CoreConfig()
 	if err != nil {
@@ -299,7 +302,37 @@ func TestClusterKillRestartByteIdentical(t *testing.T) {
 		t.Skip("multi-process e2e skipped in -short mode")
 	}
 	runKillRestart(t, topo.CompleteBi(4, 1), 1, 1, 32,
-		map[graph.NodeID]string{3: "flip"}, 2, 3)
+		map[graph.NodeID]string{3: "flip"}, 2, 3, nil)
+}
+
+// TestClusterKillRestartUnderChaos layers seeded hostile physics on the
+// kill-restart scenario: every mesh link gets latency + jitter + a
+// reorder window, and a directed survivor-to-survivor partition (1->4;
+// 4->1 stays healthy) opens early and heals while the victim's rejoin
+// rollback is in flight. Frames delayed from before the partition arrive
+// after the min-watermark rewind picked a new launch epoch — they must
+// demux dead instead of corrupting the re-driven instances, and the
+// merged commit sequence and dispute set must stay byte-identical to the
+// lockstep oracle.
+func TestClusterKillRestartUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	chaos := &transport.ChaosConfig{
+		Seed: 77,
+		Default: transport.LinkChaos{
+			Latency:     transport.Duration(time.Millisecond),
+			Jitter:      transport.Duration(3 * time.Millisecond),
+			ReorderProb: 0.25,
+		},
+		Partitions: []transport.Partition{
+			{From: []graph.NodeID{1}, To: []graph.NodeID{4},
+				Start: transport.Duration(300 * time.Millisecond),
+				Heal:  transport.Duration(2500 * time.Millisecond)},
+		},
+	}
+	runKillRestart(t, topo.CompleteBi(4, 1), 1, 1, 32,
+		map[graph.NodeID]string{3: "flip"}, 2, 3, chaos)
 }
 
 // TestClusterKillRestartRoles kills and restarts each deployment role —
@@ -332,7 +365,7 @@ func TestClusterKillRestartRoles(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			runKillRestart(t, tc.g, 1, 2, 16, advs, tc.victim, 2)
+			runKillRestart(t, tc.g, 1, 2, 16, advs, tc.victim, 2, nil)
 		})
 	}
 }

@@ -119,6 +119,7 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		Burst:       opt.Burst,
 		DialTimeout: opt.BootTimeout,
 		Reconnect:   opt.Durable,
+		Chaos:       cfg.Chaos,
 	}
 	if opt.Reservation != nil {
 		popt.Listener = opt.Reservation.Take(spec.Addr)

@@ -26,6 +26,7 @@ import (
 	"nab/internal/adversary"
 	"nab/internal/core"
 	"nab/internal/graph"
+	"nab/internal/transport"
 )
 
 // NodeSpec places one node of the topology.
@@ -63,6 +64,13 @@ type Config struct {
 	// process hosting Source): followers whose local nodes fall out of
 	// the instance graph fetch the agreed mismatch/audit decisions there.
 	CtrlAddr string `json:"ctrlAddr"`
+	// Chaos optionally scripts hostile network physics for the scenario:
+	// seeded per-link latency/jitter, reorder windows, asymmetric
+	// partitions with scheduled heal times, slow-link throttles. Living
+	// in the shared config means every process injects the same physics
+	// — chaos is part of the scenario, like the adversaries. Nil means a
+	// polite network.
+	Chaos *transport.ChaosConfig `json:"chaos,omitempty"`
 }
 
 // Load reads and validates a cluster.json.
@@ -139,6 +147,26 @@ func (c *Config) Validate() error {
 	}
 	if c.CtrlAddr == "" {
 		return fmt.Errorf("cluster: no control-plane address")
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if c.Chaos != nil {
+		for i, pt := range c.Chaos.Partitions {
+			for _, v := range append(append([]graph.NodeID{}, pt.From...), pt.To...) {
+				if !g.HasNode(v) {
+					return fmt.Errorf("cluster: chaos partitions[%d]: node %d not in topology", i, v)
+				}
+			}
+		}
+		for i, r := range c.Chaos.Links {
+			if r.From != 0 && !g.HasNode(r.From) {
+				return fmt.Errorf("cluster: chaos links[%d]: node %d not in topology", i, r.From)
+			}
+			if r.To != 0 && !g.HasNode(r.To) {
+				return fmt.Errorf("cluster: chaos links[%d]: node %d not in topology", i, r.To)
+			}
+		}
 	}
 	return nil
 }

@@ -155,6 +155,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	tr := cfg.Transport
 	if tr == nil {
+		// Surface a bad chaos spec now rather than from the first lazily
+		// dialed link mid-run.
+		if err := cfg.ChanOptions.Chaos.Validate(); err != nil {
+			return nil, err
+		}
 		tr = transport.NewChan(cfg.Graph, cfg.ChanOptions)
 	}
 	var locals map[graph.NodeID]bool

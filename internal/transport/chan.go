@@ -22,6 +22,10 @@ type ChanOptions struct {
 	Burst int64
 	// Buffer is the per-node inbox depth; 0 defaults to 4096 frames.
 	Buffer int
+	// Chaos interposes seeded hostile network physics (latency, jitter,
+	// reorder windows, scheduled partitions, slow links) on every link.
+	// Nil means a polite network. See ChaosConfig.
+	Chaos *ChaosConfig
 }
 
 // Chan is the in-process Transport: one goroutine-safe FIFO per directed
@@ -32,7 +36,11 @@ type Chan struct {
 
 	mu      sync.Mutex
 	links   map[[2]graph.NodeID]*chanLink
+	dialed  map[[2]graph.NodeID]Link // chaos-wrapped view handed to dialers
 	inboxes map[graph.NodeID]chan *Message
+
+	chaos    *chaosState
+	chaosErr error
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -48,9 +56,11 @@ func NewChan(g *graph.Directed, opt ChanOptions) *Chan {
 		g:       g.Clone(),
 		opt:     opt,
 		links:   map[[2]graph.NodeID]*chanLink{},
+		dialed:  map[[2]graph.NodeID]Link{},
 		inboxes: map[graph.NodeID]chan *Message{},
 		closed:  make(chan struct{}),
 	}
+	t.chaos, t.chaosErr = newChaosState(opt.Chaos, t.closed)
 	for _, v := range t.g.Nodes() {
 		t.inboxes[v] = make(chan *Message, opt.Buffer)
 	}
@@ -64,10 +74,13 @@ func (t *Chan) Dial(from, to graph.NodeID) (Link, error) {
 	if !t.g.HasEdge(from, to) {
 		return nil, fmt.Errorf("transport: no link (%d,%d) in topology", from, to)
 	}
+	if t.chaosErr != nil {
+		return nil, t.chaosErr
+	}
 	key := [2]graph.NodeID{from, to}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if l, ok := t.links[key]; ok {
+	if l, ok := t.dialed[key]; ok {
 		return l, nil
 	}
 	l := &chanLink{
@@ -78,7 +91,12 @@ func (t *Chan) Dial(from, to graph.NodeID) (Link, error) {
 		lm:    linkMetricsFor(from, to),
 	}
 	t.links[key] = l
-	return l, nil
+	// Chaos wraps outside the pacer: a delayed frame pays its capacity
+	// charge when it finally enters the link. The wrapped view is cached
+	// so repeat dialers share one seeded per-instance hash stream.
+	wrapped := t.chaos.wrap(Link(l), from, to)
+	t.dialed[key] = wrapped
+	return wrapped, nil
 }
 
 // Recv implements Transport.

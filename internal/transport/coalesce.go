@@ -15,6 +15,15 @@ import (
 // and no frame waits on a timer: the flush happens the instant there is
 // nothing left to batch.
 //
+// The queue preserves enqueue order onto the wire, which makes the writer
+// the ordering authority of its connection: whatever order the layer
+// above releases — pacer order on a polite link, chaos release order
+// under a ChaosConfig — is exactly the order the remote reader sees.
+// Chaos therefore sits in front of the writer, never inside it: a
+// chaos-delayed stream trickles frames in one at a time (each flushed
+// immediately, as a real sparse wire would), while burst traffic still
+// coalesces.
+//
 // Write errors are sticky: the first failure is reported by every later
 // Send, and queued frames are discarded so senders never block behind a
 // dead connection. A failure on a link's very last frame is therefore

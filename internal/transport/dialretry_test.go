@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRetryJitterDeterministicAndBounded pins the jitter contract: the
+// draw is a pure function of (process, addr, attempt), stays inside
+// [0, backoff), and actually varies across attempts and addresses — the
+// whole point is that a herd of dialers spreads out instead of retrying
+// in lockstep.
+func TestRetryJitterDeterministicAndBounded(t *testing.T) {
+	backoff := 100 * time.Millisecond
+	a := retryJitter("127.0.0.1:9000", 3, backoff)
+	if b := retryJitter("127.0.0.1:9000", 3, backoff); b != a {
+		t.Fatalf("same (addr, attempt) drew %v then %v", a, b)
+	}
+	varied := false
+	for attempt := 0; attempt < 16; attempt++ {
+		j := retryJitter("127.0.0.1:9000", attempt, backoff)
+		if j < 0 || j >= backoff {
+			t.Fatalf("attempt %d: jitter %v outside [0, %v)", attempt, j, backoff)
+		}
+		if j != a {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter constant across attempts")
+	}
+	if retryJitter("127.0.0.1:9001", 3, backoff) == a &&
+		retryJitter("127.0.0.1:9002", 3, backoff) == a {
+		t.Fatal("jitter constant across addresses")
+	}
+}
+
+// TestDialRetryFinalAttempt is the regression test for the give-up-early
+// bug: with the listener coming up late in the timeout window, the old
+// loop could compute now+backoff > deadline and bail without spending the
+// time it still had. The fixed loop clamps the wait to the remaining
+// budget and always makes a final attempt at the deadline.
+func TestDialRetryFinalAttempt(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // free the port; nothing listens until late in the window
+
+	up := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(450 * time.Millisecond)
+		ll, err := net.Listen("tcp", addr)
+		if err == nil {
+			up <- ll
+		} else {
+			up <- nil
+		}
+	}()
+	conn, err := DialRetry(addr, 700*time.Millisecond, nil)
+	if ll := <-up; ll != nil {
+		defer ll.Close()
+	}
+	if err != nil {
+		t.Fatalf("DialRetry gave up with budget left: %v", err)
+	}
+	conn.Close()
+}
+
+// TestDialRetryCancel checks the cancel channel aborts the wait promptly.
+func TestDialRetryCancel(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(cancel)
+	}()
+	t0 := time.Now()
+	if _, err := DialRetry(addr, 10*time.Second, cancel); err != ErrClosed {
+		t.Fatalf("canceled DialRetry returned %v, want ErrClosed", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("cancel took %v to abort the retry loop", el)
+	}
+}

@@ -9,9 +9,15 @@ import (
 // charging b bits on a link of capacity capBits bits per TimeUnit
 // occupies the link for b/capBits time units — the paper's capacity
 // charge made physical. A zero TimeUnit disables timing (accounting
-// only). Holding the mutex across the sleep is deliberate: a link
-// transmits one frame at a time, so concurrent senders queue behind each
-// other exactly as frames on a wire would.
+// only).
+//
+// One-frame-at-a-time accounting is kept by debt, not by the mutex: a
+// frame that overdraws the bucket takes the tokens negative and sleeps
+// its own drain time *outside* the lock, so a later frame's deficit
+// already includes every earlier frame's debt and serializes behind it —
+// while Bits() and concurrent charges stay responsive during the stall.
+// (The lock used to be held across the sleep; a chaos-stalled slow link
+// then blocked Bits() and every concurrent sender for the full wait.)
 type pacer struct {
 	capBits int64
 	tu      time.Duration
@@ -30,12 +36,13 @@ func newPacer(capBits int64, tu time.Duration, burst int64) *pacer {
 	return &pacer{capBits: capBits, tu: tu, burst: burst, tokens: float64(burst), last: time.Now()}
 }
 
-// charge accounts bits against the link and sleeps while it drains.
+// charge accounts bits against the link and sleeps while it drains. The
+// wait is computed under the lock but slept outside it.
 func (p *pacer) charge(bits int64) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.bits += bits
 	if p.tu <= 0 {
+		p.mu.Unlock()
 		return
 	}
 	now := time.Now()
@@ -44,14 +51,16 @@ func (p *pacer) charge(bits int64) {
 		p.tokens = b
 	}
 	p.last = now
-	if deficit := float64(bits) - p.tokens; deficit > 0 {
+	deficit := float64(bits) - p.tokens
+	// Charge unconditionally; a deficit leaves the bucket in debt, which
+	// the next frame's deficit inherits — that is what serializes frames
+	// on the wire without holding the lock across the sleep.
+	p.tokens -= float64(bits)
+	p.mu.Unlock()
+	if deficit > 0 {
 		wait := time.Duration(deficit / float64(p.capBits) * float64(p.tu))
 		mPacerStall.Observe(wait.Seconds())
 		time.Sleep(wait)
-		p.tokens = 0
-		p.last = time.Now()
-	} else {
-		p.tokens -= float64(bits)
 	}
 }
 

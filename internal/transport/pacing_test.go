@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPacerBitsPromptDuringStall is the regression test for the lock held
+// across the drain sleep: a frame big enough to stall the bucket for over
+// a second must not block Bits() (or a concurrent charge) for the
+// duration. Before the debt model, this test hung on the mutex until the
+// big frame finished draining.
+func TestPacerBitsPromptDuringStall(t *testing.T) {
+	// 1000 bits per 100ms; 15_000 bits stalls ~1.4s past the burst.
+	p := newPacer(1000, 100*time.Millisecond, 1000)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		p.charge(15_000)
+	}()
+	<-started
+	time.Sleep(50 * time.Millisecond) // let the charge take its debt and enter the sleep
+	t0 := time.Now()
+	got := p.Bits()
+	if el := time.Since(t0); el > 200*time.Millisecond {
+		t.Fatalf("Bits() blocked %v behind a draining frame", el)
+	}
+	if got != 15_000 {
+		t.Fatalf("Bits() = %d during the stall, want 15000 (charge is unconditional)", got)
+	}
+}
+
+// TestPacerDebtSerializes checks the accounting the debt model must
+// preserve: two over-budget frames back to back still pay for each other —
+// the second frame's deficit includes the first frame's debt, so total
+// wall time stays one-frame-at-a-time even though the lock is released.
+func TestPacerDebtSerializes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// 10_000 bits per 100ms; burst 1 bit so every frame pays in full.
+	p := newPacer(10_000, 100*time.Millisecond, 1)
+	t0 := time.Now()
+	p.charge(10_000) // ~100ms
+	p.charge(10_000) // ~100ms more, inheriting the debt
+	if el := time.Since(t0); el < 150*time.Millisecond {
+		t.Fatalf("two full-budget frames drained in %v — debt not inherited", el)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -41,6 +42,12 @@ type PeerOptions struct {
 	// rejoin rollback); without one, leave Reconnect off so a dead peer
 	// fails the run loudly.
 	Reconnect bool
+	// Chaos interposes seeded hostile network physics (latency, jitter,
+	// reorder windows, scheduled partitions, slow links) on every
+	// outbound link, local-to-local loops included. All processes of a
+	// cluster must share one config (it lives in cluster.json) so the
+	// scenario's physics are agreed. Nil means a polite network.
+	Chaos *ChaosConfig
 }
 
 // Handshake layout: every mesh connection opens with a fixed 21-byte
@@ -79,6 +86,7 @@ type Peer struct {
 	opt    PeerOptions
 
 	listener net.Listener
+	chaos    *chaosState
 
 	mu      sync.Mutex
 	inboxes map[graph.NodeID]chan *Message
@@ -115,6 +123,10 @@ func NewPeer(g *graph.Directed, localNodes []graph.NodeID, addrs map[graph.NodeI
 		recvd:   map[[2]graph.NodeID]int64{},
 		inbound: map[[2]graph.NodeID]net.Conn{},
 		closed:  make(chan struct{}),
+	}
+	var err error
+	if p.chaos, err = newChaosState(opt.Chaos, p.closed); err != nil {
+		return nil, err
 	}
 	for _, v := range localNodes {
 		if !p.g.HasNode(v) {
@@ -287,7 +299,7 @@ func (p *Peer) Dial(from, to graph.NodeID) (Link, error) {
 	key := [2]graph.NodeID{from, to}
 	lm := linkMetricsFor(from, to)
 	if p.locals[to] {
-		return &peerLoopLink{p: p, key: key, inbox: p.inboxes[to], pace: p.pacerFor(key), lm: lm}, nil
+		return p.chaos.wrap(&peerLoopLink{p: p, key: key, inbox: p.inboxes[to], pace: p.pacerFor(key), lm: lm}, from, to), nil
 	}
 	conn, fw, err := p.dialLink(from, to)
 	if err != nil {
@@ -298,9 +310,13 @@ func (p *Peer) Dial(from, to graph.NodeID) (Link, error) {
 		p.mu.Lock()
 		p.relinks = append(p.relinks, l)
 		p.mu.Unlock()
-		return l, nil
+		// Chaos wraps outside the reconnect machinery: a delayed frame
+		// released after a redial (or a rejoin Reestablish) enters
+		// whatever connection the link carries at that moment, exactly
+		// like a frame that spent the outage in the air.
+		return p.chaos.wrap(l, from, to), nil
 	}
-	return &peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key), lm: lm}, nil
+	return p.chaos.wrap(&peerLink{key: key, conn: conn, fw: fw, pace: p.pacerFor(key), lm: lm}, from, to), nil
 }
 
 // Reestablish force-redials every outbound remote link (Reconnect mode):
@@ -374,24 +390,45 @@ func (p *Peer) untrack(conn net.Conn, fw *frameWriter) {
 	}
 }
 
-// DialRetry connects to addr with exponential backoff (25ms doubling to
-// a 500ms cap) until timeout — the boot-order-independent dial every
-// cluster endpoint needs, since peer processes come up in arbitrary
-// order. A close of cancel (when non-nil) aborts the wait with
+// DialRetry connects to addr with jittered exponential backoff (25ms
+// doubling to a 500ms cap) until timeout — the boot-order-independent
+// dial every cluster endpoint needs, since peer processes come up in
+// arbitrary order. A close of cancel (when non-nil) aborts the wait with
 // ErrClosed.
+//
+// The jitter is seeded per (process, address, attempt): when n-1 peers
+// all watch one restarted coordinator, their retry schedules decorrelate
+// instead of stampeding the fresh listener's accept backlog in lockstep
+// — and each process's schedule is still deterministic, so a replayed
+// scenario dials on the same beat.
 func DialRetry(addr string, timeout time.Duration, cancel <-chan struct{}) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	backoff := 25 * time.Millisecond
-	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+	for attempt := 0; ; attempt++ {
+		d := time.Until(deadline)
+		if d < 10*time.Millisecond {
+			// Floor the final attempt's budget: DialTimeout treats <= 0
+			// as "no timeout", and a micro-budget dial cannot complete a
+			// handshake anyway.
+			d = 10 * time.Millisecond
+		}
+		conn, err := net.DialTimeout("tcp", addr, d)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().Add(backoff).After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
 			return nil, err
 		}
+		// Wait the jittered backoff, but never past the deadline: when
+		// now+backoff barely overshoots it, the link still deserves one
+		// final attempt at the deadline rather than giving up early.
+		wait := backoff + retryJitter(addr, attempt, backoff)
+		if wait > remaining {
+			wait = remaining
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-cancel:
 			return nil, ErrClosed
 		}
@@ -399,6 +436,21 @@ func DialRetry(addr string, timeout time.Duration, cancel <-chan struct{}) (net.
 			backoff *= 2
 		}
 	}
+}
+
+// dialSalt decorrelates retry schedules across OS processes while staying
+// fixed within one, so a given process's dial cadence is reproducible.
+var dialSalt = splitmix64(uint64(os.Getpid()))
+
+// retryJitter draws a deterministic jitter in [0, backoff) for one
+// (process, address, attempt).
+func retryJitter(addr string, attempt int, backoff time.Duration) time.Duration {
+	h := dialSalt
+	for i := 0; i < len(addr); i++ {
+		h = splitmix64(h ^ uint64(addr[i]))
+	}
+	h = splitmix64(h ^ uint64(attempt))
+	return time.Duration(unitFromHash(h) * float64(backoff))
 }
 
 // Recv implements Transport.
@@ -588,8 +640,11 @@ func (l *reconnLink) markDown(failed *frameWriter) {
 }
 
 // redial re-establishes the link, retrying until the transport closes.
+// The retry beat is jittered like DialRetry's: every outbound link of
+// every survivor redials a crashed peer, and identical 100ms beats would
+// hammer the restarted listener in synchronized waves.
 func (l *reconnLink) redial() {
-	for {
+	for attempt := 0; ; attempt++ {
 		conn, fw, err := l.p.dialLink(l.key[0], l.key[1])
 		if err == nil {
 			mRedials.Inc()
@@ -599,13 +654,14 @@ func (l *reconnLink) redial() {
 			l.mu.Unlock()
 			return
 		}
+		pause := 100*time.Millisecond + retryJitter(linkString(l.key), attempt, 100*time.Millisecond)
 		select {
 		case <-l.p.closed:
 			l.mu.Lock()
 			l.dialing = false
 			l.mu.Unlock()
 			return
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(pause):
 		}
 	}
 }

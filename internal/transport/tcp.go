@@ -19,8 +19,17 @@ import (
 // TCP does not pace: real sockets have their own clocks. Per-link bit
 // accounting is kept on the receive side so utilization is still
 // comparable against capacity.Report.
+// TCPOptions tunes the loopback transport.
+type TCPOptions struct {
+	// Chaos interposes seeded hostile network physics (latency, jitter,
+	// reorder windows, scheduled partitions, slow links) on every dialed
+	// link. Nil means a polite network. See ChaosConfig.
+	Chaos *ChaosConfig
+}
+
 type TCP struct {
-	g *graph.Directed
+	g     *graph.Directed
+	chaos *chaosState
 
 	mu        sync.Mutex
 	listeners map[graph.NodeID]net.Listener
@@ -38,6 +47,11 @@ type TCP struct {
 // NewTCP listens on an ephemeral loopback port per node of g and starts
 // the accept loops.
 func NewTCP(g *graph.Directed) (*TCP, error) {
+	return NewTCPOpts(g, TCPOptions{})
+}
+
+// NewTCPOpts is NewTCP with options.
+func NewTCPOpts(g *graph.Directed, opt TCPOptions) (*TCP, error) {
 	t := &TCP{
 		g:         g.Clone(),
 		listeners: map[graph.NodeID]net.Listener{},
@@ -45,6 +59,10 @@ func NewTCP(g *graph.Directed) (*TCP, error) {
 		inboxes:   map[graph.NodeID]chan *Message{},
 		bits:      map[[2]graph.NodeID]int64{},
 		closed:    make(chan struct{}),
+	}
+	var err error
+	if t.chaos, err = newChaosState(opt.Chaos, t.closed); err != nil {
+		return nil, err
 	}
 	for _, v := range t.g.Nodes() {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -119,7 +137,7 @@ func (t *TCP) Dial(from, to graph.NodeID) (Link, error) {
 	t.writers = append(t.writers, fw)
 	t.mu.Unlock()
 	mDials.Inc()
-	return &tcpLink{from: from, to: to, conn: conn, fw: fw, lm: linkMetricsFor(from, to)}, nil
+	return t.chaos.wrap(&tcpLink{from: from, to: to, conn: conn, fw: fw, lm: linkMetricsFor(from, to)}, from, to), nil
 }
 
 // Recv implements Transport.

@@ -9,16 +9,21 @@
 // reproduces the paper's capacity charge bits/z_e (a b-bit frame on a link
 // of capacity z_e occupies it for b/z_e time units).
 //
-// Two implementations ship:
+// Three implementations ship:
 //
 //   - Chan: an in-process goroutine/channel bus, the default substrate for
 //     the pipelined runtime and for tests;
 //   - TCP: one loopback TCP connection per directed link with
 //     encoding/binary wire framing (see wire.go), the realistic-serving
-//     substrate used by cmd/nabserve.
+//     substrate used by cmd/nabserve;
+//   - Peer: the multi-process full-mesh used by cluster deployments, with
+//     handshake-pinned links and optional crash-healing reconnects.
 //
-// Both keep per-link bit accounting, so aggregate utilization can be
-// compared against capacity.Report's bounds.
+// All keep per-link bit accounting, so aggregate utilization can be
+// compared against capacity.Report's bounds, and all can interpose the
+// seeded hostile-network physics of ChaosConfig (latency, jitter, reorder
+// windows, scheduled asymmetric partitions, slow links) for scenario
+// testing.
 package transport
 
 import (
@@ -54,6 +59,19 @@ type Message struct {
 // Link is the sender half of one directed link. A Link is FIFO: frames
 // arrive at the remote node in Send order. Send may block while the link's
 // token bucket drains (pacing) but is safe for concurrent use.
+//
+// Ordering invariant: the runtime genuinely depends on FIFO only *within*
+// each (link, instance) stream. An end-of-step marker promises that its
+// instance's earlier emissions on the link are already in flight ahead of
+// it — the receiving mailbox consumes a step the moment its markers are
+// in, so a data frame reordered behind its own marker would be silently
+// lost (see mailbox.await in internal/runtime/engine.go). Cross-instance
+// and cross-link arrival order is free: frames are buffered per
+// (instance, step) and instances demultiplex independently. The chaos
+// layer (chaos.go) exploits exactly this slack — it reorders across
+// instances while clamping per-instance FIFO — and the Peer mesh's
+// 21-byte handshake is pinned the same way: it must precede the data
+// frames of its connection, never reordered behind them.
 type Link interface {
 	Send(m *Message) error
 	Close() error

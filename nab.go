@@ -161,8 +161,26 @@ type (
 	// Transport is a pluggable point-to-point substrate (per-link
 	// Dial/Send/Recv with capacity accounting).
 	Transport = transport.Transport
-	// TransportOptions tunes the in-process bus (token-bucket pacing).
+	// TransportOptions tunes the in-process bus (token-bucket pacing,
+	// optional chaos physics).
 	TransportOptions = transport.ChanOptions
+	// ChaosConfig scripts seeded hostile network physics — per-link
+	// latency/jitter, reorder windows, asymmetric partitions with
+	// scheduled heal times, slow-link throttles — for any transport:
+	// set TransportOptions.Chaos (in-process bus), pass it to
+	// NewTCPTransportOpts, or put it in ClusterConfig.Chaos so every
+	// process of a cluster injects the same physics.
+	ChaosConfig = transport.ChaosConfig
+	// ChaosLink is one directed link's chaos physics profile.
+	ChaosLink = transport.LinkChaos
+	// ChaosLinkRule scopes a ChaosLink profile to matching links.
+	ChaosLinkRule = transport.LinkRule
+	// ChaosPartition schedules one asymmetric partition with a heal time.
+	ChaosPartition = transport.Partition
+	// ChaosDuration is a time.Duration that marshals as "50ms" in JSON.
+	ChaosDuration = transport.Duration
+	// TCPTransportOptions tunes NewTCPTransportOpts.
+	TCPTransportOptions = transport.TCPOptions
 )
 
 // NewRunner validates cfg and prepares a NAB execution.
@@ -184,6 +202,11 @@ func NewPipelineReport(g *Graph, res *PipelineResult, capRep *CapacityReport) *P
 // per node, one connection per directed link, encoding/binary framing)
 // for PipelineConfig.Transport.
 func NewTCPTransport(g *Graph) (Transport, error) { return transport.NewTCP(g) }
+
+// NewTCPTransportOpts is NewTCPTransport with options (chaos physics).
+func NewTCPTransportOpts(g *Graph, opt TCPTransportOptions) (Transport, error) {
+	return transport.NewTCPOpts(g, opt)
+}
 
 // Re-exported multi-process cluster types. See internal/cluster for full
 // documentation.

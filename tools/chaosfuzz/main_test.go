@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the generator: the same fuzz seed must
+// expand to the same scenario forever, or recorded seed numbers stop
+// meaning anything.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("seed %d generated two different scenarios:\n%s\n%s", seed, ja, jb)
+		}
+		if err := a.Chaos.Validate(); err != nil {
+			t.Errorf("seed %d generated invalid chaos config: %v", seed, err)
+		}
+		if a.Engine == "kill-recover" && (a.KillAfter < 1 || a.KillAfter >= a.Q) {
+			t.Errorf("seed %d: kill point %d outside (0, %d)", seed, a.KillAfter, a.Q)
+		}
+	}
+	if reflect.DeepEqual(Generate(1), Generate(2)) {
+		t.Fatal("adjacent seeds generated identical scenarios")
+	}
+}
+
+// TestScenarioFixtureRoundTrip checks a recorded scenario survives the
+// JSON round trip intact — a failing seed must replay exactly.
+func TestScenarioFixtureRoundTrip(t *testing.T) {
+	sc := Generate(42)
+	dir := t.TempDir()
+	path, err := sc.record(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Name = "" // record derives the name from the label; ignore it
+	ja, _ := json.Marshal(sc)
+	jb, _ := json.Marshal(back)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("fixture round trip mangled the scenario:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestChaosFuzzSmoke sweeps a small fixed seed budget end to end: every
+// generated scenario must commit byte-identically to the lockstep oracle.
+// CI runs a larger budget under -race (see the fuzz workflow).
+func TestChaosFuzzSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine sweep skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-seeds", "4"}, &out, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+}
+
+// TestReplayCheckedInFixtures replays every committed regression fixture:
+// scenarios that once flushed out a transport bug must stay green.
+func TestReplayCheckedInFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine replays skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-fixtures", "fixtures"}, &out, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	t.Logf("\n%s", out.String())
+}
