@@ -229,7 +229,7 @@ func BenchmarkPipelinedRuntime(b *testing.B) {
 			defer rt.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := rt.Run(inputs); err != nil {
+				if _, err := runBatch(rt, inputs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -264,7 +264,7 @@ func BenchmarkPipelineSpeedup(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := rt.Run(inputs)
+		res, err := runBatch(rt, inputs)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -204,48 +204,9 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 // Locals returns the topology nodes this process hosts.
 func (n *Node) Locals() []graph.NodeID { return append([]graph.NodeID(nil), n.locals...) }
 
-// Runtime exposes the underlying partial runtime (e.g. for RunFunc
-// streaming commits).
+// Runtime exposes the underlying partial runtime (e.g. for dispute-set
+// introspection or input validation before a Stream).
 func (n *Node) Runtime() *runtime.Runtime { return n.rt }
-
-// Run executes the config's deterministic workload. Every process of the
-// cluster calls Run; each result carries the outputs of the local
-// fault-free nodes, with mismatch bits and dispute evolution agreed
-// cluster-wide.
-//
-// Deprecated: Run is the one-shot batch form kept for compatibility; it
-// delegates to Stream (see also nab.Session, the facade over it).
-func (n *Node) Run() (*runtime.Result, error) {
-	return n.RunInputs(n.cfg.Inputs())
-}
-
-// RunInputs executes an explicit input sequence (all processes must pass
-// identical inputs).
-//
-// Deprecated: RunInputs is the one-shot batch form kept for
-// compatibility; it delegates to Stream.
-func (n *Node) RunInputs(inputs [][]byte) (*runtime.Result, error) {
-	return n.RunStream(inputs, nil)
-}
-
-// RunStream is RunInputs with a per-commit hook invoked synchronously as
-// each instance commits, in order.
-//
-// Deprecated: RunStream is the one-shot batch form kept for
-// compatibility; it delegates to Stream.
-func (n *Node) RunStream(inputs [][]byte, commit func(*core.InstanceResult) error) (*runtime.Result, error) {
-	// Preserve the batch contract: reject a malformed batch before
-	// engaging the mesh, so no process half-commits it.
-	if err := n.rt.ValidateInputs(inputs); err != nil {
-		return nil, err
-	}
-	subs := make(chan []byte, len(inputs))
-	for _, in := range inputs {
-		subs <- in
-	}
-	close(subs)
-	return n.Stream(context.Background(), subs, commit)
-}
 
 // Stream executes submissions pulled from subs until the channel closes
 // (see runtime.RunStream: a bounded channel gives backpressure; every

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -12,6 +13,35 @@ import (
 	"nab/internal/runtime"
 	"nab/internal/topo"
 )
+
+// batchChan turns a fixed workload into the pre-closed submission channel
+// the streaming entry points consume.
+func batchChan(inputs [][]byte) chan []byte {
+	subs := make(chan []byte, len(inputs))
+	for _, in := range inputs {
+		subs <- in
+	}
+	close(subs)
+	return subs
+}
+
+// runBatch feeds a fixed batch through the runtime's streaming entry
+// point and returns once every instance has committed.
+func runBatch(rt *runtime.Runtime, inputs [][]byte) (*runtime.Result, error) {
+	if err := rt.ValidateInputs(inputs); err != nil {
+		return nil, err
+	}
+	return rt.RunStream(context.Background(), batchChan(inputs), nil)
+}
+
+// streamNode drives a cluster node through Stream over the whole
+// workload, as every process of a cluster must.
+func streamNode(n *cluster.Node, inputs [][]byte) (*runtime.Result, error) {
+	if err := n.Runtime().ValidateInputs(inputs); err != nil {
+		return nil, err
+	}
+	return n.Stream(context.Background(), batchChan(inputs), nil)
+}
 
 // mkConfig assembles a loopback cluster config: nodes are assigned to
 // hosting processes round-robin over `procs` addresses (procs == n gives
@@ -87,7 +117,7 @@ func runCluster(t *testing.T, cfg *cluster.Config, rsv *cluster.Reservation) []c
 				return
 			}
 			defer n.Close()
-			res, err := n.Run()
+			res, err := streamNode(n, cfg.Inputs())
 			results[i] = clusterResult{
 				locals:   n.Locals(),
 				res:      res,

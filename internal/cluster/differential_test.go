@@ -81,7 +81,7 @@ func pipelinedRun(t *testing.T, cfg *cluster.Config) (*core.RunResult, string) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	res, err := rt.Run(cfg.Inputs())
+	res, err := runBatch(rt, cfg.Inputs())
 	if err != nil {
 		t.Fatal(err)
 	}

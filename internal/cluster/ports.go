@@ -9,7 +9,7 @@ import (
 
 // Reservation holds bound listeners for a set of addresses, to be handed
 // off to the endpoints that will serve them. Reserving addresses this way
-// — instead of listening, reading the port, and closing (FreeAddrs) —
+// — instead of listening, reading the port, and closing the listener —
 // closes the TOCTOU window in which another process could bind a released
 // port before the cluster rebinds it.
 //
@@ -110,19 +110,4 @@ func (r *Reservation) Close() error {
 		delete(r.held, addr)
 	}
 	return nil
-}
-
-// FreeAddrs reserves n distinct loopback TCP addresses by briefly
-// listening on ephemeral ports and releasing them.
-//
-// Deprecated: the released ports can be rebound by another process before
-// the cluster binds them. Use ReserveAddrs, which keeps the listeners
-// held and hands them off to the node bootstrap.
-func FreeAddrs(n int) ([]string, error) {
-	r, err := ReserveAddrs(n)
-	if err != nil {
-		return nil, err
-	}
-	defer r.Close()
-	return r.Addrs(), nil
 }

@@ -102,6 +102,8 @@ func (s *Scheme) Encode(from, to graph.NodeID, x []gf.Elem) ([]gf.Elem, error) {
 // EncodeInto is Encode writing into dst, which must hold exactly the
 // edge's z_e symbols; dst is overwritten. The allocation-free form for hot
 // paths that place coded symbols directly into a larger frame buffer.
+//
+//nab:allocfree
 func (s *Scheme) EncodeInto(from, to graph.NodeID, x, dst []gf.Elem) error {
 	m := s.EdgeMatrix(from, to)
 	if m == nil {
@@ -128,6 +130,8 @@ func (s *Scheme) Check(from, to graph.NodeID, x []gf.Elem, y []gf.Elem) (bool, e
 // CheckInto is Check computing the expected symbols into the caller's
 // scratch buffer, which must hold at least the edge's z_e symbols (MaxCap
 // suffices for every edge) and is clobbered.
+//
+//nab:allocfree
 func (s *Scheme) CheckInto(from, to graph.NodeID, x, y, scratch []gf.Elem) (bool, error) {
 	m := s.EdgeMatrix(from, to)
 	if m == nil {

@@ -30,10 +30,14 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//nab:allocfree
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be >= 0 for Prometheus semantics; not enforced on
 // the hot path).
+//
+//nab:allocfree
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -45,15 +49,23 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//nab:allocfree
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Inc adds 1.
+//
+//nab:allocfree
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts 1.
+//
+//nab:allocfree
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Add adds n.
+//
+//nab:allocfree
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.
@@ -69,6 +81,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//nab:allocfree
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {

@@ -435,35 +435,6 @@ func (res *Result) InstancesPerSec() float64 {
 	return float64(len(res.Instances)) / res.Wall.Seconds()
 }
 
-// Run executes one pipelined instance per input and returns once all have
-// committed, in order.
-//
-// Deprecated: Run is the one-shot batch form kept for compatibility; it
-// delegates to RunStream, which takes an unbounded submission stream and
-// a context (see also nab.Session, the facade over it).
-func (rt *Runtime) Run(inputs [][]byte) (*Result, error) {
-	return rt.RunFunc(inputs, nil)
-}
-
-// RunFunc is Run with a per-commit hook invoked synchronously as each
-// instance commits, in order.
-//
-// Deprecated: RunFunc is the one-shot batch form kept for compatibility;
-// it delegates to RunStream.
-func (rt *Runtime) RunFunc(inputs [][]byte, commit func(*core.InstanceResult) error) (*Result, error) {
-	// Preserve the batch contract: a malformed input rejects the whole
-	// batch up front, before any instance executes or commits.
-	if err := rt.ValidateInputs(inputs); err != nil {
-		return nil, err
-	}
-	subs := make(chan []byte, len(inputs))
-	for _, in := range inputs {
-		subs <- in
-	}
-	close(subs)
-	return rt.RunStream(context.Background(), subs, commit)
-}
-
 // ValidateInputs checks a batch against the configured input size,
 // numbering errors by the instances the batch would run next.
 func (rt *Runtime) ValidateInputs(inputs [][]byte) error {
@@ -608,6 +579,7 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 		if open && tail-rt.k < rt.cfg.Window {
 			subCh = subs
 		}
+		//nab:ignore lockedblock -- runMu serializes entire runs; a second RunStream is meant to wait out the first, and no other path takes runMu
 		select {
 		case <-ctx.Done():
 			return fail(ctx.Err())

@@ -30,6 +30,21 @@ func mkInputs(q, lenBytes int) [][]byte {
 	return out
 }
 
+// runBatch feeds a fixed batch through RunStream — the runtime's only
+// run entry point — validating up front so a malformed input rejects the
+// whole batch before any instance executes or commits.
+func runBatch(rt *runtime.Runtime, inputs [][]byte) (*runtime.Result, error) {
+	if err := rt.ValidateInputs(inputs); err != nil {
+		return nil, err
+	}
+	subs := make(chan []byte, len(inputs))
+	for _, in := range inputs {
+		subs <- in
+	}
+	close(subs)
+	return rt.RunStream(context.Background(), subs, nil)
+}
+
 // scenario names an adversary assignment; mk builds fresh adversary state
 // per runner so lockstep and pipelined replays start identical.
 type scenario struct {
@@ -117,7 +132,7 @@ func TestOutputsMatchLockstep(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer rt.Close()
-				got, err := rt.Run(inputs)
+				got, err := runBatch(rt, inputs)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -198,7 +213,7 @@ func TestSeededRandomReplayDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := rt.Run(inputs)
+		got, err := runBatch(rt, inputs)
 		rt.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -241,7 +256,7 @@ func TestDisputeBarrierReplays(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	res, err := rt.Run(mkInputs(6, 16))
+	res, err := runBatch(rt, mkInputs(6, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +301,7 @@ func TestStreamingRuns(t *testing.T) {
 	var got []*core.InstanceResult
 	var batchBits []int64
 	for _, batch := range [][][]byte{inputs[:2], inputs[2:5], inputs[5:]} {
-		res, err := rt.Run(batch)
+		res, err := runBatch(rt, batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -329,7 +344,7 @@ func TestCloseUnblocksRun(t *testing.T) {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := rt.Run(mkInputs(64, 64))
+		_, err := runBatch(rt, mkInputs(64, 64))
 		errCh <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let the pipeline get going
@@ -358,7 +373,7 @@ func TestTCPTransportRun(t *testing.T) {
 	}
 	defer rt.Close()
 	inputs := mkInputs(3, 8)
-	res, err := rt.Run(inputs)
+	res, err := runBatch(rt, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +406,7 @@ func TestAggregateReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	res, err := rt.Run(mkInputs(8, 64))
+	res, err := runBatch(rt, mkInputs(8, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -553,11 +568,11 @@ func TestRunBatchRejectsMalformedUpFront(t *testing.T) {
 	}
 	defer rt.Close()
 	good := mkInputs(2, 16)
-	if _, err := rt.Run([][]byte{good[0], good[1], []byte("short")}); err == nil {
+	if _, err := runBatch(rt, [][]byte{good[0], good[1], []byte("short")}); err == nil {
 		t.Fatal("batch with a malformed input accepted")
 	}
 	// Nothing committed: the next batch still starts at instance 1.
-	res, err := rt.Run(good[:1])
+	res, err := runBatch(rt, good[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -582,7 +597,7 @@ func TestRestoreResumesMidSequence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer full.Close()
-	want, err := full.Run(inputs)
+	want, err := runBatch(full, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -599,7 +614,7 @@ func TestRestoreResumesMidSequence(t *testing.T) {
 	if got := rt.Committed(); got != cut {
 		t.Fatalf("restored runtime reports %d committed, want %d", got, cut)
 	}
-	res, err := rt.Run(inputs[cut:])
+	res, err := runBatch(rt, inputs[cut:])
 	if err != nil {
 		t.Fatal(err)
 	}

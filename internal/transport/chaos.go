@@ -233,6 +233,7 @@ func newChaosState(cfg *ChaosConfig, stop <-chan struct{}) (*chaosState, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	//nab:ignore determinism -- the epoch anchors partition schedules to transport construction; every chaos decision hashes only (seed, link, instance, frame)
 	return &chaosState{cfg: cfg, epoch: time.Now(), stop: stop}, nil
 }
 
@@ -349,7 +350,7 @@ func (l *chaosLink) scheduleLocked(m *Message) chaosFrame {
 		delay += time.Duration(unitFromHash(h) * float64(l.par.ReorderDelay.D()))
 		mChaosReordered.Inc()
 	}
-	now := time.Now()
+	now := time.Now() //nab:ignore determinism -- release *times* are wall-clock actuation; the delay and ordering above derive purely from the seeded hash
 	at := now.Add(delay)
 	if r := l.par.RateBits; r > 0 && !m.Marker && m.Bits > 0 {
 		// Serialization, not just latency: the frame enters the slow link
@@ -369,6 +370,7 @@ func (l *chaosLink) scheduleLocked(m *Message) chaosFrame {
 				at = healAt
 				mChaosPartitionStalls.Inc()
 				chaosLog.Debug("partition-stall", "link", linkString(l.key),
+					//nab:ignore determinism -- log decoration only; no decision consumes this value
 					"instance", m.Instance, "heal_in", time.Until(healAt).Round(time.Millisecond))
 			}
 		}
@@ -411,12 +413,13 @@ func (l *chaosLink) run() {
 	for {
 		var due <-chan time.Time
 		if len(h) > 0 {
+			//nab:ignore determinism -- the delivery goroutine actuates already-stamped release times on the wall clock; order was fixed in scheduleLocked
 			d := time.Until(h[0].at)
 			if d <= 0 {
 				l.deliver(heap.Pop(&h).(chaosFrame))
 				continue
 			}
-			due = time.After(d)
+			due = time.After(d) //nab:ignore determinism -- wall-clock sleep until the stamped release time; not a decision input
 		}
 		select {
 		case f := <-l.ch:

@@ -72,6 +72,8 @@ func Encode(m *Message) ([]byte, error) {
 
 // appendMessage appends m's encoding to buf and returns the extended
 // slice.
+//
+//nab:allocfree
 func appendMessage(buf []byte, m *Message) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint64(buf, m.Instance)
 	buf = binary.BigEndian.AppendUint32(buf, m.Step)
@@ -219,6 +221,8 @@ func Decode(raw []byte) (*Message, error) {
 
 // AppendFrame appends the length-prefixed encoding of m to dst and returns
 // the extended slice; on error dst is returned unchanged.
+//
+//nab:allocfree
 func AppendFrame(dst []byte, m *Message) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below

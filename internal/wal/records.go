@@ -84,6 +84,8 @@ type Checkpoint struct {
 }
 
 // AppendMeta appends a TypeMeta payload to buf.
+//
+//nab:allocfree
 func AppendMeta(buf []byte, m Meta) []byte {
 	buf = binary.AppendUvarint(buf, m.Fingerprint)
 	buf = binary.AppendVarint(buf, m.Node)
@@ -98,6 +100,8 @@ func DecodeMeta(b []byte) (Meta, error) {
 }
 
 // AppendSubmit appends a TypeSubmit payload to buf.
+//
+//nab:allocfree
 func AppendSubmit(buf []byte, k int, payload []byte) []byte {
 	buf = binary.AppendVarint(buf, int64(k))
 	return append(buf, payload...)
@@ -114,6 +118,8 @@ func DecodeSubmit(b []byte) (Submit, error) {
 }
 
 // AppendCheckpoint appends a TypeCheckpoint payload to buf.
+//
+//nab:allocfree
 func AppendCheckpoint(buf []byte, cp Checkpoint) []byte {
 	buf = binary.AppendVarint(buf, int64(cp.K))
 	buf = binary.AppendUvarint(buf, uint64(len(cp.Disputes)))
@@ -154,6 +160,8 @@ const maxInlineOutputs = 64
 // to buf. The steady-state path (buf with capacity, <= maxInlineOutputs
 // outputs) performs no allocation, which keeps the commit hot path
 // alloc-free end to end.
+//
+//nab:allocfree
 func AppendCommit(buf []byte, ir *core.InstanceResult) []byte {
 	buf = binary.AppendVarint(buf, int64(ir.K))
 	buf = binary.AppendVarint(buf, ir.Gamma)
@@ -174,6 +182,7 @@ func AppendCommit(buf []byte, ir *core.InstanceResult) []byte {
 	var inline [maxInlineOutputs]graph.NodeID
 	keys := inline[:0]
 	if len(ir.Outputs) > maxInlineOutputs {
+		//nab:ignore allocfree -- cold fallback past the inline budget; no shipped topology exceeds maxInlineOutputs
 		keys = make([]graph.NodeID, 0, len(ir.Outputs))
 	}
 	for v := range ir.Outputs {

@@ -202,9 +202,11 @@ func (l *Log) openSegment(idx uint64) error {
 func (l *Log) Append(typ byte, payload []byte) (Pos, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//nab:ignore lockedblock -- rotation fsyncs under l.mu only at segment boundaries (sealing the old file before appends resume); steady-state commits use Sync's unlock-around-fsync
 	return l.appendLocked(typ, payload)
 }
 
+//nab:allocfree
 func (l *Log) appendLocked(typ byte, payload []byte) (Pos, error) {
 	if l.err != nil {
 		return Pos{}, l.err
@@ -450,6 +452,7 @@ func readRecord(r *bufio.Reader, buf *[]byte) (byte, []byte, error) {
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
 		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
+	//nab:ignore wirebounds -- len(body) == n and 1 <= n <= maxRecordBytes is enforced right after the header parse
 	return body[0], body[1:], nil
 }
 

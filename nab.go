@@ -69,7 +69,10 @@
 //	})
 //	if err != nil { ... }
 //	defer rt.Close()
-//	res, err := rt.Run(inputs) // res.Instances, res.Wall, res.InstancesPerSec()
+//	subs := make(chan []byte, len(inputs))
+//	for _, in := range inputs { subs <- in }
+//	close(subs)
+//	res, err := rt.RunStream(ctx, subs, nil) // res.Instances, res.Wall, res.InstancesPerSec()
 //
 // Pass a Transport (e.g. NewTCPTransport) to serve over loopback TCP with
 // binary wire framing; cmd/nabserve wraps that in a request-streaming
@@ -86,7 +89,7 @@
 //	cfg, err := nab.LoadClusterConfig("cluster.json")
 //	node, err := nab.StartClusterNode(cfg, 3, nab.ClusterOptions{})
 //	defer node.Close()
-//	res, err := node.Run() // this node's committed outputs
+//	res, err := node.Stream(ctx, subs, nil) // this node's committed outputs
 //
 // One command brings a local cluster up: `nabnode -spawn-local -topo k4`.
 package nab
@@ -243,14 +246,6 @@ type ClusterReservation = cluster.Reservation
 // ports cannot be lost to another process between reservation and boot.
 func ReserveClusterAddrs(n int) (*ClusterReservation, error) { return cluster.ReserveAddrs(n) }
 
-// FreeClusterAddrs reserves n loopback addresses for building local
-// cluster configs (tests, demos).
-//
-// Deprecated: the released ports can be rebound by another process before
-// the cluster binds them. Use ReserveClusterAddrs, which keeps the
-// listeners held until the node bootstrap adopts them.
-func FreeClusterAddrs(n int) ([]string, error) { return cluster.FreeAddrs(n) }
-
 // AnalyzeCapacity computes the paper's throughput quantities for source in
 // g with fault bound f. With exact=true the reachable-instance-graph family
 // is enumerated exactly (small networks); otherwise the node-deletion
@@ -317,17 +312,6 @@ func CodedCorruptorAdversary() Adversary { return &adversary.CodedCorruptor{} }
 
 // FalseAlarmAdversary always announces MISMATCH, forcing dispute control.
 func FalseAlarmAdversary() Adversary { return adversary.FalseAlarm{} }
-
-// RandomAdversary flips coins at every protocol decision point from one
-// shared stream; replayed deterministically only at Window=1.
-//
-// Deprecated: the shared stream makes runs irreproducible under any
-// pipeline window > 1 and across cluster processes. Use
-// SeededRandomAdversary, whose per-instance streams are deterministic
-// everywhere.
-func RandomAdversary(seed int64) Adversary {
-	return &adversary.Random{RNG: rand.New(rand.NewSource(seed))}
-}
 
 // SeededRandomAdversary is the instance-scoped coin flipper: every
 // instance draws from a fresh stream derived from (seed, instance), so

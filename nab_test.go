@@ -2,11 +2,26 @@ package nab_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
 	"nab"
 )
+
+// runBatch feeds a fixed batch through the pipelined runner's streaming
+// entry point and returns once every instance has committed.
+func runBatch(rt *nab.PipelinedRunner, inputs [][]byte) (*nab.PipelineResult, error) {
+	if err := rt.ValidateInputs(inputs); err != nil {
+		return nil, err
+	}
+	subs := make(chan []byte, len(inputs))
+	for _, in := range inputs {
+		subs <- in
+	}
+	close(subs)
+	return rt.RunStream(context.Background(), subs, nil)
+}
 
 func TestFacadeQuickstart(t *testing.T) {
 	g := nab.CompleteGraph(4, 1)
@@ -37,7 +52,7 @@ func TestFacadePipelinedRunner(t *testing.T) {
 	}
 	defer rt.Close()
 	inputs := [][]byte{[]byte("8 bytes!"), []byte("more of!"), []byte("the same")}
-	res, err := rt.Run(inputs)
+	res, err := runBatch(rt, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +83,7 @@ func TestFacadeTCPTransport(t *testing.T) {
 	}
 	defer rt.Close()
 	input := []byte("via tcp!")
-	res, err := rt.Run([][]byte{input})
+	res, err := runBatch(rt, [][]byte{input})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +157,7 @@ func TestFacadeAdversariesAndBaselines(t *testing.T) {
 	// Remaining adversary constructors exist and satisfy the interface.
 	for _, a := range []nab.Adversary{
 		nab.CrashAdversary(), nab.CodedCorruptorAdversary(),
-		nab.FalseAlarmAdversary(), nab.RandomAdversary(5),
+		nab.FalseAlarmAdversary(), nab.SeededRandomAdversary(5),
 	} {
 		if a == nil {
 			t.Error("nil adversary from constructor")

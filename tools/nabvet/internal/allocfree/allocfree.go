@@ -1,0 +1,305 @@
+// Package allocfree vets functions annotated with a //nab:allocfree
+// doc-comment line against constructs that allocate on the steady-state
+// path. The repo's hot paths (metric increments, frame encoding, WAL
+// record append) carry testing.AllocsPerRun pins; this analyzer is the
+// static half of that contract — it names the allocating construct at
+// the line that introduced it instead of leaving a failed 0-allocs pin
+// to bisect.
+//
+// Flagged inside an annotated function: fmt calls, make/new, composite
+// literals that escape to the heap (slice, map, &T{}), string
+// concatenation and string<->[]byte conversions, function literals, go
+// statements, appends that may grow (not assigned back to the slice
+// they extend), and concrete values boxed into interfaces.
+//
+// Two shapes are deliberately exempt. Anything syntactically inside a
+// return or panic is a cold path — error construction with fmt.Errorf
+// on the bail-out branch is idiomatic here and never executes on the
+// steady state. And calls to ordinary functions are not flagged at all:
+// composition is the dynamic pins' job, and an intraprocedural analyzer
+// second-guessing callees would force annotation sprawl.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nab/tools/nabvet/internal/analysis"
+)
+
+// Analyzer is the allocfree check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "functions annotated //nab:allocfree must not contain allocating constructs outside return/panic paths",
+	Run:  run,
+}
+
+// Annotation marks a function as steady-state allocation-free when it
+// appears as its own line in the function's doc comment.
+const Annotation = "//nab:allocfree"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !Annotated(fd) {
+				continue
+			}
+			(&checker{pass: pass}).block(fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// Annotated reports whether fd's doc comment carries the
+// //nab:allocfree marker.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, Annotation); ok {
+			if text == "" || text[0] == ' ' || text[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// block walks statements; cold is true inside return/panic subtrees,
+// where allocation is the acceptable price of bailing out.
+func (c *checker) block(n ast.Node, cold bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				c.block(r, true)
+			}
+			return false
+		case *ast.GoStmt:
+			c.pass.Report(m.Pos(), "go statement (goroutine start allocates)")
+			return false
+		case *ast.DeferStmt:
+			// defer with a func literal allocates the closure; method
+			// and function defers of named funcs are fine.
+			if _, lit := m.Call.Fun.(*ast.FuncLit); lit {
+				c.pass.Report(m.Pos(), "deferred function literal (closure allocates)")
+			}
+			return false
+		case *ast.FuncLit:
+			c.pass.Report(m.Pos(), "function literal (closure may allocate)")
+			return false
+		case *ast.CallExpr:
+			c.call(m, cold)
+			return false
+		case *ast.CompositeLit:
+			c.composite(m, cold)
+			return false
+		case *ast.BinaryExpr:
+			c.concat(m, cold)
+			return true
+		case *ast.UnaryExpr:
+			if m.Op.String() == "&" {
+				if _, lit := ast.Unparen(m.X).(*ast.CompositeLit); lit && !cold {
+					c.pass.Report(m.Pos(), "&T{...} (heap allocation)")
+					return false
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr, cold bool) {
+	for _, a := range call.Args {
+		c.block(a, cold || isPanic(c.pass.TypesInfo, call))
+	}
+	// Conversions: string(b)/[]byte(s)/[]rune(s) copy.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if !cold && converts(c.pass.TypesInfo, call) {
+			c.pass.Reportf(call.Pos(), "%s conversion copies (allocates)", types.ExprString(call.Fun))
+		}
+		return
+	}
+	switch fn := callee(c.pass.TypesInfo, call).(type) {
+	case *types.Builtin:
+		switch fn.Name() {
+		case "make", "new":
+			if !cold {
+				c.pass.Reportf(call.Pos(), "%s (heap allocation)", fn.Name())
+			}
+		case "append":
+			if !cold && !c.growsInPlace(call) {
+				c.pass.Report(call.Pos(), "append not assigned back to the slice it extends (growth allocates untracked)")
+			}
+		}
+	case *types.Func:
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && !cold {
+			c.pass.Reportf(call.Pos(), "fmt.%s allocates (format machinery and boxed arguments)", fn.Name())
+			return
+		}
+		if !cold {
+			c.boxing(call, fn)
+		}
+	}
+}
+
+// growsInPlace reports whether an append call is in one of the two
+// accepted shapes: `x = append(x, ...)` (the caller owns regrowth) or
+// `return append(...)` (ownership transfers out, covered where it
+// lands). Detection is syntactic: the parent statement is recovered by
+// re-walking, so the rule is approximated as "the call is the sole RHS
+// of an assignment whose sole LHS prints like the first argument".
+func (c *checker) growsInPlace(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	first := types.ExprString(call.Args[0])
+	ok := false
+	for _, f := range c.pass.Files {
+		if c.pass.Fset.File(f.Pos()) != c.pass.Fset.File(call.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, isAssign := n.(*ast.AssignStmt)
+			if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			if ast.Unparen(as.Rhs[0]) == call && types.ExprString(as.Lhs[0]) == first {
+				ok = true
+			}
+			return true
+		})
+	}
+	return ok
+}
+
+func (c *checker) composite(lit *ast.CompositeLit, cold bool) {
+	for _, e := range lit.Elts {
+		c.block(e, cold)
+	}
+	if cold {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Report(lit.Pos(), "slice literal (heap allocation)")
+	case *types.Map:
+		c.pass.Report(lit.Pos(), "map literal (heap allocation)")
+	}
+}
+
+func (c *checker) concat(be *ast.BinaryExpr, cold bool) {
+	if cold || be.Op.String() != "+" {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[be]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+		c.pass.Report(be.Pos(), "non-constant string concatenation (allocates)")
+	}
+}
+
+// boxing flags concrete non-pointer arguments passed into interface
+// parameters — the conversion heap-allocates the value's box.
+func (c *checker) boxing(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || tv.Value != nil { // constants box from read-only storage
+			continue
+		}
+		at := tv.Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue // pointer-shaped: fits the iface word without copying
+		}
+		c.pass.Reportf(arg.Pos(), "%s boxed into interface %s (allocates)", types.ExprString(arg), pt.String())
+	}
+}
+
+func converts(info *types.Info, call *ast.CallExpr) bool {
+	to := info.TypeOf(call.Fun)
+	from := info.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+		return false // constant conversion
+	}
+	return stringish(to) != stringish(from) && (stringish(to) || stringish(from)) && bytesOrString(to) && bytesOrString(from)
+}
+
+func stringish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func bytesOrString(t types.Type) bool {
+	if stringish(t) {
+		return true
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"nab/tools/nabvet/internal/allocfree"
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{allocfree.Analyzer})
+}

@@ -1,0 +1,89 @@
+// Package allocfreedata seeds one violation of every construct the
+// allocfree analyzer rejects inside //nab:allocfree functions, next to
+// the legitimate shapes (assign-back appends, cold error paths,
+// unannotated functions) that must stay silent.
+package allocfreedata
+
+import "fmt"
+
+//nab:allocfree
+func hot(buf []byte, n int) []byte {
+	s := fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+	_ = s
+	buf = append(buf, byte(n)) // assign-back: growth is the caller's, tracked
+	tmp := append(buf, 0)      // want `append not assigned back`
+	_ = tmp
+	m := make([]byte, n) // want `make \(heap allocation\)`
+	_ = m
+	return buf
+}
+
+// coldError's allocation sits on the bail-out branch: anything inside a
+// return or panic is exempt.
+//
+//nab:allocfree
+func coldError(buf []byte, n int) ([]byte, error) {
+	if n > len(buf) {
+		return nil, fmt.Errorf("n %d exceeds %d", n, len(buf))
+	}
+	return buf[:n], nil
+}
+
+// free is unannotated: the analyzer has no opinion.
+func free(n int) []byte {
+	return make([]byte, n)
+}
+
+//nab:allocfree
+func boxed(v int) {
+	sink(v) // want `v boxed into interface`
+	sinkInt(v)
+	sinkPtr(&v)
+}
+
+func sink(any)     {}
+func sinkInt(int)  {}
+func sinkPtr(*int) {}
+
+//nab:allocfree
+func closure(n int) int {
+	f := func() int { return n } // want `function literal`
+	return f()
+}
+
+//nab:allocfree
+func spawn() {
+	go work() // want `go statement`
+}
+
+func work() {}
+
+//nab:allocfree
+func concat(a, b string) string {
+	s := a + b          // want `non-constant string concatenation`
+	const c = "x" + "y" // constant-folded: free
+	return s + c        // on the return path: exempt
+}
+
+//nab:allocfree
+func convert(s string) []byte {
+	b := []byte(s) // want `\[\]byte conversion copies`
+	return b
+}
+
+//nab:allocfree
+func literal() {
+	s := []int{1, 2, 3} // want `slice literal \(heap allocation\)`
+	_ = s
+	m := map[int]int{} // want `map literal \(heap allocation\)`
+	_ = m
+}
+
+// justified shows an accepted suppression with a reason.
+//
+//nab:allocfree
+func justified(n int) []byte {
+	//nab:ignore allocfree -- fixture: cold fallback past an inline budget
+	b := make([]byte, n)
+	return b
+}

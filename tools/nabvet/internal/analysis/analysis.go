@@ -1,0 +1,237 @@
+// Package analysis is nabvet's analyzer framework: a deliberately small,
+// dependency-free mirror of golang.org/x/tools/go/analysis (which this
+// repo does not vendor), just large enough to host the five project
+// analyzers in both driver modes — the standalone CLI and the `go vet
+// -vettool` unitchecker protocol.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. There is no cross-package fact store: the repo's analyzers
+// are written against stable stdlib signatures plus in-package fixpoints,
+// which keeps every package's analysis independent and cacheable by the
+// go command.
+//
+// # Suppression
+//
+// A finding can be silenced only with a justification, on the offending
+// line or the line above it:
+//
+//	l.f.Sync() //nab:ignore lockedblock -- rotation must seal the old segment before appends resume
+//
+// The comment names the analyzers being suppressed (comma-separated) and
+// the text after “--” is the mandatory reason; an ignore directive with
+// no reason is itself reported, so silent suppressions cannot accrete.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //nab:ignore
+	// directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `nabvet -help`.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and types through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report records one finding at pos.
+func (p *Pass) Report(pos token.Pos, message string) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  message,
+	})
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The repo's invariants are production-path properties; analyzers use
+// this to stay out of test scaffolding, which deliberately sleeps, races
+// and corrupts.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Filename returns the base filename containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	name := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// ignoreDirective is one parsed //nab:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers map[string]bool
+	reason    string
+	pos       token.Pos
+	used      bool
+}
+
+const ignorePrefix = "//nab:ignore"
+
+// parseIgnores collects the //nab:ignore directives of every file,
+// keyed by filename.
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]*ignoreDirective {
+	out := map[string][]*ignoreDirective{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				dir := &ignoreDirective{analyzers: map[string]bool{}, pos: c.Pos()}
+				if i := strings.Index(rest, "--"); i >= 0 {
+					dir.reason = strings.TrimSpace(rest[i+2:])
+					rest = rest[:i]
+				}
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						dir.analyzers[name] = true
+					}
+				}
+				p := fset.Position(c.Pos())
+				dir.line = p.Line
+				out[p.Filename] = append(out[p.Filename], dir)
+			}
+		}
+	}
+	return out
+}
+
+// Unit is the per-package input to Run: parsed syntax plus type
+// information, however it was produced (source loader or vet.cfg).
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies analyzers to one package and returns the surviving
+// diagnostics in file/line order: suppressed findings are dropped,
+// directives with no justification or naming no known analyzer are
+// themselves reported.
+func Run(unit *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := parseIgnores(unit.Fset, unit.Files)
+	known := map[string]bool{}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Pkg,
+			TypesInfo: unit.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if dir := match(ignores[d.Pos.Filename], d.Pos.Line, d.Analyzer); dir != nil {
+				dir.used = true
+				if dir.reason == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: d.Analyzer,
+						Pos:      unit.Fset.Position(dir.pos),
+						Message:  "//nab:ignore without a justification (append “-- reason”)",
+					})
+				}
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", unit.Pkg.Path(), a.Name, err)
+		}
+	}
+	// An ignore naming only unknown analyzers is a typo that would
+	// silently do nothing; with a partial analyzer set (driver flags)
+	// the directive may legitimately target a disabled check, so only
+	// unused directives whose names are all unknown are flagged.
+	for file, dirs := range ignores {
+		_ = file
+		for _, dir := range dirs {
+			if dir.used {
+				continue
+			}
+			unknown := len(dir.analyzers) > 0
+			for name := range dir.analyzers {
+				if known[name] {
+					unknown = false
+				}
+			}
+			if unknown {
+				diags = append(diags, Diagnostic{
+					Analyzer: "nabvet",
+					Pos:      unit.Fset.Position(dir.pos),
+					Message:  fmt.Sprintf("//nab:ignore names no known analyzer (have %s)", names(dir.analyzers)),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+func match(dirs []*ignoreDirective, line int, analyzer string) *ignoreDirective {
+	for _, dir := range dirs {
+		if (dir.line == line || dir.line == line-1) && dir.analyzers[analyzer] {
+			return dir
+		}
+	}
+	return nil
+}
+
+func names(set map[string]bool) string {
+	var out []string
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}

@@ -1,0 +1,128 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+)
+
+// flagBad reports every call to a function literally named bad, giving
+// the suppression machinery something deterministic to silence.
+var flagBad = &analysis.Analyzer{
+	Name: "flagbad",
+	Doc:  "test analyzer: report calls to bad()",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						p.Report(c.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func unit(t *testing.T, src string) *analysis.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("fix", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Unit{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func messages(t *testing.T, src string) []string {
+	t.Helper()
+	diags, err := analysis.Run(unit(t, src), []*analysis.Analyzer{flagBad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+const body = "package fix\nfunc bad() {}\n"
+
+func TestUnsuppressedFinding(t *testing.T) {
+	got := messages(t, body+"func f() { bad() }\n")
+	if len(got) != 1 || got[0] != "call to bad" {
+		t.Fatalf("got %q, want the one finding", got)
+	}
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	got := messages(t, body+"func f() { bad() } //nab:ignore flagbad -- reviewed\n")
+	if len(got) != 0 {
+		t.Fatalf("got %q, want silence", got)
+	}
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	got := messages(t, body+"func f() {\n\t//nab:ignore flagbad -- reviewed\n\tbad()\n}\n")
+	if len(got) != 0 {
+		t.Fatalf("got %q, want silence", got)
+	}
+}
+
+func TestSuppressionNeedsReason(t *testing.T) {
+	got := messages(t, body+"func f() { bad() } //nab:ignore flagbad\n")
+	if len(got) != 1 || !strings.Contains(got[0], "without a justification") {
+		t.Fatalf("got %q, want the missing-reason finding", got)
+	}
+}
+
+func TestSuppressionWrongAnalyzer(t *testing.T) {
+	// A directive naming only a nonexistent analyzer suppresses nothing
+	// and is reported as a typo; the underlying finding survives too.
+	got := messages(t, body+"func f() { bad() } //nab:ignore nosuch -- reviewed\n")
+	if len(got) != 2 {
+		t.Fatalf("got %q, want the finding plus the unknown-analyzer report", got)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "call to bad") || !strings.Contains(joined, "names no known analyzer") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSuppressionMultipleNames(t *testing.T) {
+	got := messages(t, body+"func f() { bad() } //nab:ignore other,flagbad -- reviewed\n")
+	if len(got) != 0 {
+		t.Fatalf("got %q, want silence", got)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	diags, err := analysis.Run(unit(t, body+"func f() { bad() }\nfunc g() { bad() }\n"), []*analysis.Analyzer{flagBad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %v, want two findings", diags)
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Fatalf("diagnostics out of line order: %v", diags)
+	}
+}

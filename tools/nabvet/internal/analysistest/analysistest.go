@@ -1,0 +1,118 @@
+// Package analysistest runs a nabvet analyzer over a testdata source
+// tree and checks its diagnostics against expectations embedded in the
+// fixtures, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Sleep(time.Millisecond) // want `time\.Sleep .* while .* is held`
+//
+// Every line carrying a `// want` comment must produce diagnostics
+// matching each backquoted regexp exactly once, and every diagnostic
+// must be wanted. Fixtures therefore pin both halves of an analyzer's
+// contract: the seeded violation is reported, and the legitimate idiom
+// beside it is not.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/load"
+)
+
+// wantRe extracts the backquoted patterns of one want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the testdata tree rooted at dir (dir/src/<importpath>/*.go)
+// and applies analyzers to every package whose import path is in
+// targets (all packages in the tree when targets is empty), diffing
+// diagnostics against the tree's want comments.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, targets ...string) {
+	t.Helper()
+	pkgs, err := load.Testdata(dir)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	want := map[string]bool{}
+	for _, tg := range targets {
+		want[tg] = true
+	}
+	ran := 0
+	for _, pkg := range pkgs {
+		if len(targets) > 0 && !want[pkg.Path] {
+			continue
+		}
+		ran++
+		expected := collectWants(t, pkg.Unit.Fset, pkg.Unit.Files)
+		diags, err := analysis.Run(pkg.Unit, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			if !claim(expected, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", pkg.Path, d)
+			}
+		}
+		for _, e := range expected {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.pattern)
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatalf("no testdata packages matched %v", targets)
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// that its message satisfies.
+func claim(expected []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expected {
+		if e.matched || e.line != d.Pos.Line || e.file != d.Pos.Filename {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(text[i:], -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment with no backquoted pattern: %s", pos, text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}

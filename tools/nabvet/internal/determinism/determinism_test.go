@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/analysistest"
+	"nab/tools/nabvet/internal/determinism"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{determinism.Analyzer})
+}

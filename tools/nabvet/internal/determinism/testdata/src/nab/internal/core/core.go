@@ -1,0 +1,75 @@
+// Package core impersonates the repo's nab/internal/core import path so
+// the determinism analyzer's package scoping applies to these fixtures.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type emitter struct {
+	out []int
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic code`
+}
+
+func backoff() {
+	<-time.After(time.Millisecond) // want `time\.After in deterministic code`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the shared global stream`
+}
+
+// drawSeeded is the sanctioned form: an explicit seeded stream.
+func drawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func collectUnsorted(m map[int]int, e *emitter) {
+	for k := range m {
+		e.out = append(e.out, k) // want `append to e\.out inside map iteration without a later sort`
+	}
+}
+
+// collectSorted is the repo's range-then-sort idiom: iteration order is
+// laundered through the sort before anything observes it.
+func collectSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collectLocal appends to a slice born inside the loop body; its order
+// cannot escape the iteration.
+func collectLocal(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+func fanOut(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+// anchored shows a justified suppression: construction-time wall-clock
+// anchoring with seeded decisions, the chaos-epoch idiom.
+func anchored() time.Time {
+	//nab:ignore determinism -- fixture: construction-time anchor; no decision consumes it
+	return time.Now()
+}

@@ -1,0 +1,299 @@
+// Package load turns Go packages into analysis.Units without
+// golang.org/x/tools/go/packages: module packages are enumerated with
+// `go list -export -deps -json`, parsed from source, and type-checked
+// with dependencies imported from the build cache's export data — the
+// same artifacts the compiler itself consumes, so loading needs no
+// network and no pre-installed archives.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nab/tools/nabvet/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Export     string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path string
+	Unit *analysis.Unit
+}
+
+// Packages runs `go list -export -deps -json` in dir and loads every
+// package matching patterns (dependencies feed the importer only).
+// Pattern matching and build constraints are entirely the go command's;
+// _test.go files are not loaded — the repo's analyzers are
+// production-path checks (and under `go vet -vettool` they skip test
+// files by name for the same reason).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard,DepOnly,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Incomplete || len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		unit, err := Check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Unit: unit})
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a gc-compiled-export-data importer: resolve maps
+// a package path to its export file (from `go list -export` or a
+// vet.cfg's PackageFile table).
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Check parses files and type-checks them as package path, resolving
+// imports through imp.
+func Check(fset *token.FileSet, path string, files []string, imp types.Importer) (*analysis.Unit, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Unit{Fset: fset, Files: syntax, Pkg: pkg, Info: info}, nil
+}
+
+// Testdata loads an analysistest-style source tree: root is a directory
+// whose src/ subdirectory holds packages by import path (src/a/b is
+// importable as "a/b"), so fixtures can impersonate the real repo paths
+// an analyzer scopes to. Imports resolve first inside the tree, then to
+// the standard library via export data. Every package in the tree is
+// returned, in dependency order.
+func Testdata(root string) ([]*Package, error) {
+	src := filepath.Join(root, "src")
+	dirs := map[string][]string{} // import path -> files
+	err := filepath.Walk(src, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(src, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := filepath.ToSlash(rel)
+		dirs[ip] = append(dirs[ip], path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("walking %s: %w", src, err)
+	}
+	for _, files := range dirs {
+		sort.Strings(files)
+	}
+
+	// Collect every import named by the tree that the tree itself does
+	// not provide; those must come from the standard library.
+	fset := token.NewFileSet()
+	parsed := map[string][]*ast.File{}
+	stdNeeded := map[string]bool{}
+	imports := map[string][]string{}
+	for ip, files := range dirs {
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			parsed[ip] = append(parsed[ip], f)
+			for _, spec := range f.Imports {
+				dep, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					return nil, err
+				}
+				imports[ip] = append(imports[ip], dep)
+				if _, intree := dirs[dep]; !intree {
+					stdNeeded[dep] = true
+				}
+			}
+		}
+	}
+	exports, err := stdExports(stdNeeded)
+	if err != nil {
+		return nil, err
+	}
+	stdImp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	// Type-check in dependency order, letting in-tree imports resolve to
+	// the already-checked packages.
+	checked := map[string]*analysis.Unit{}
+	var order []string
+	var visit func(ip string, stack []string) error
+	visit = func(ip string, stack []string) error {
+		if _, done := checked[ip]; done {
+			return nil
+		}
+		for _, s := range stack {
+			if s == ip {
+				return fmt.Errorf("import cycle through %q", ip)
+			}
+		}
+		for _, dep := range imports[ip] {
+			if _, intree := dirs[dep]; intree {
+				if err := visit(dep, append(stack, ip)); err != nil {
+					return err
+				}
+			}
+		}
+		imp := importerFunc(func(path string) (*types.Package, error) {
+			if u, ok := checked[path]; ok {
+				return u.Pkg, nil
+			}
+			return stdImp.Import(path)
+		})
+		unit, err := Check(fset, ip, dirs[ip], imp)
+		if err != nil {
+			return fmt.Errorf("testdata package %s: %w", ip, err)
+		}
+		checked[ip] = unit
+		order = append(order, ip)
+		return nil
+	}
+	var ips []string
+	for ip := range dirs {
+		ips = append(ips, ip)
+	}
+	sort.Strings(ips)
+	for _, ip := range ips {
+		if err := visit(ip, nil); err != nil {
+			return nil, err
+		}
+	}
+	var pkgs []*Package
+	for _, ip := range order {
+		pkgs = append(pkgs, &Package{Path: ip, Unit: checked[ip]})
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdExports resolves standard-library import paths to export-data files
+// with one go list invocation.
+func stdExports(paths map[string]bool) (map[string]string, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Export"}
+	var sorted []string
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	cmd := exec.Command("go", append(args, sorted...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(sorted, " "), err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

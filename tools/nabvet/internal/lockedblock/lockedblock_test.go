@@ -1,0 +1,13 @@
+package lockedblock_test
+
+import (
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/analysistest"
+	"nab/tools/nabvet/internal/lockedblock"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{lockedblock.Analyzer})
+}

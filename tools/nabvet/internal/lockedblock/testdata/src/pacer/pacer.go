@@ -1,0 +1,38 @@
+// Package pacer reproduces the PR 7 pacer-stall bug class: the token
+// bucket charged its pacing debt by sleeping with p.mu held, so every
+// concurrent sender on the link (and the metrics scraper walking the
+// same mutex) queued behind the nap. chargeStalled is that original
+// shape and must be flagged; charge is the shipped fix and must not.
+package pacer
+
+import (
+	"sync"
+	"time"
+)
+
+type pacer struct {
+	mu   sync.Mutex
+	debt time.Duration
+}
+
+// chargeStalled is the pre-fix shape: compute the debt and nap without
+// releasing the lock.
+func (p *pacer) chargeStalled(d time.Duration) {
+	p.mu.Lock()
+	p.debt += d
+	wait := p.debt
+	time.Sleep(wait) // want `time\.Sleep while p\.mu is held`
+	p.debt = 0
+	p.mu.Unlock()
+}
+
+// charge is the fixed shape: the debt is computed and cleared under the
+// lock, the nap happens outside it.
+func (p *pacer) charge(d time.Duration) {
+	p.mu.Lock()
+	p.debt += d
+	wait := p.debt
+	p.debt = 0
+	p.mu.Unlock()
+	time.Sleep(wait)
+}

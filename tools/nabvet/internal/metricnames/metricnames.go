@@ -1,0 +1,157 @@
+// Package metricnames enforces the metric naming conventions at every
+// nab/internal/metrics registration site. The runtime registry already
+// panics on names outside nab_[a-z0-9_]+, but that check fires at
+// daemon startup; this analyzer moves it to vet time and adds what the
+// runtime cannot know — the metric kind. Counters must read as
+// monotonic totals (_total) and histograms must carry their unit
+// (_seconds, _records or _bytes), because Prometheus queries are
+// written against the suffix, not the help string.
+//
+// Names are resolved by constant propagation: the first argument of a
+// registration call must fold to a compile-time string constant. A name
+// computed at runtime defeats grep, dashboards and this analyzer at
+// once, so non-constant names are themselves findings.
+package metricnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"nab/tools/nabvet/internal/analysis"
+)
+
+// Analyzer is the metricnames check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "metric registration sites must use constant nab_* snake_case names with kind-correct suffixes",
+	Run:  run,
+}
+
+// metricsPath is the registry package whose constructors are vetted.
+const metricsPath = "nab/internal/metrics"
+
+// constructors maps registration functions to the suffix rule of the
+// metric kind they create. Both the package-level helpers and the
+// (*Registry) methods share these names.
+var constructors = map[string]func(name string) string{
+	"NewCounter":      counterRule,
+	"NewCounterVec":   counterRule,
+	"NewGauge":        func(string) string { return "" },
+	"NewHistogram":    histogramRule,
+	"NewHistogramVec": histogramRule,
+}
+
+var nameRe = regexp.MustCompile(`^nab_[a-z0-9_]+$`)
+var labelRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func counterRule(name string) string {
+	if !strings.HasSuffix(name, "_total") {
+		return "counter %q must end in _total"
+	}
+	return ""
+}
+
+func histogramRule(name string) string {
+	for _, suf := range []string{"_seconds", "_records", "_bytes"} {
+		if strings.HasSuffix(name, suf) {
+			return ""
+		}
+	}
+	return "histogram %q must carry a unit suffix (_seconds, _records or _bytes)"
+}
+
+func run(pass *analysis.Pass) error {
+	// The registry package itself necessarily handles names as runtime
+	// values (its package-level helpers forward their name parameter);
+	// the constant-name convention binds the registration sites outside.
+	if pass.Pkg.Path() == metricsPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != metricsPath {
+				return true
+			}
+			rule, isCtor := constructors[fn.Name()]
+			if !isCtor || len(call.Args) == 0 {
+				return true
+			}
+			name, isConst := constString(pass.TypesInfo, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(), "metric name is not a compile-time constant (dashboards and vetting need a greppable literal)")
+				return true
+			}
+			if !nameRe.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric %q must match nab_[a-z0-9_]+", name)
+			} else if msg := rule(name); msg != "" {
+				pass.Reportf(call.Args[0].Pos(), msg, name)
+			}
+			checkLabels(pass, fn.Name(), call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLabels vets the label-name arguments of Vec constructors:
+// constant snake_case, and never "le" (reserved by histogram buckets).
+func checkLabels(pass *analysis.Pass, ctor string, call *ast.CallExpr) {
+	if !strings.HasSuffix(ctor, "Vec") || len(call.Args) < 3 {
+		return
+	}
+	// Signature shapes: NewCounterVec(name, help, labels...) and
+	// NewHistogramVec(name, help, buckets, labels...); label args are the
+	// trailing string constants after the first two.
+	for _, arg := range call.Args[2:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !stringType(t) {
+			continue // buckets slice or non-string
+		}
+		label, isConst := constString(pass.TypesInfo, arg)
+		if !isConst {
+			pass.Reportf(arg.Pos(), "metric label is not a compile-time constant")
+			continue
+		}
+		if label == "le" {
+			pass.Reportf(arg.Pos(), "label \"le\" is reserved for histogram buckets")
+		} else if !labelRe.MatchString(label) {
+			pass.Reportf(arg.Pos(), "label %q must be snake_case ([a-z][a-z0-9_]*)", label)
+		}
+	}
+}
+
+func stringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/analysistest"
+	"nab/tools/nabvet/internal/metricnames"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{metricnames.Analyzer})
+}

@@ -1,0 +1,25 @@
+// Package metricsuser registers metrics against the stub registry: one
+// well-formed registration per kind beside every naming violation the
+// analyzer must catch.
+package metricsuser
+
+import "nab/internal/metrics"
+
+const frameCount = "nab_frames_total"
+
+var (
+	good     = metrics.NewCounter(frameCount, "frames moved") // constant-folded through the const: fine
+	goodG    = metrics.NewGauge("nab_inflight", "in-flight instances")
+	goodHist = metrics.NewHistogram("nab_fsync_seconds", "fsync latency", nil)
+	goodVec  = metrics.NewCounterVec("nab_link_frames_total", "per-link frames", "link")
+
+	badPrefix = metrics.NewCounter("frames_total", "no namespace")                  // want `metric "frames_total" must match nab_`
+	badSuffix = metrics.NewCounter("nab_frames", "not a total")                     // want `counter "nab_frames" must end in _total`
+	badCase   = metrics.NewGauge("nab_inFlight", "camel case")                      // want `metric "nab_inFlight" must match nab_`
+	badHist   = metrics.NewHistogram("nab_fsync_time", "no unit", nil)              // want `histogram "nab_fsync_time" must carry a unit suffix`
+	badLabel  = metrics.NewCounterVec("nab_rx_total", "bad label", "Link")          // want `label "Link" must be snake_case`
+	leLabel   = metrics.NewHistogramVec("nab_delay_seconds", "reserved", nil, "le") // want `label "le" is reserved for histogram buckets`
+	dynamic   = metrics.NewCounter(pick(), "computed name")                         // want `metric name is not a compile-time constant`
+)
+
+func pick() string { return "nab_x_total" }

@@ -1,0 +1,22 @@
+// Package metrics is a signature-compatible stub of the repo's
+// nab/internal/metrics registry, so fixtures register against the exact
+// constructor shapes the analyzer matches by package path and name.
+package metrics
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type CounterVec struct{}
+type HistogramVec struct{}
+
+func NewCounter(name, help string) *Counter { return &Counter{} }
+func NewGauge(name, help string) *Gauge     { return &Gauge{} }
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}

@@ -1,0 +1,82 @@
+// Package transport impersonates the repo's nab/internal/transport
+// import path so the wirebounds analyzer's package scoping applies.
+// Every decoder here handles untrusted wire bytes; the fixtures pair
+// each accepted guard (len/cap comparison, Varint result check, range)
+// with the unguarded access the analyzer must flag.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// DecodeHeader length-checks before touching raw: fine.
+func DecodeHeader(raw []byte) (uint32, byte, bool) {
+	if len(raw) < 5 {
+		return 0, 0, false
+	}
+	n := binary.BigEndian.Uint32(raw[0:4])
+	return n, raw[4], true
+}
+
+// decodeNaked trusts its input.
+func decodeNaked(raw []byte) byte {
+	return raw[0] // want `index into raw without a preceding length check`
+}
+
+// decodeNakedSlice trusts its input's length.
+func decodeNakedSlice(raw []byte) []byte {
+	return raw[2:] // want `slice of raw without a preceding length check`
+}
+
+// DecodeVarint relies on the Varint contract: n <= 0 on short input.
+func DecodeVarint(b []byte) ([]byte, int64, bool) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return b, 0, false
+	}
+	return b[n:], v, true
+}
+
+// readSum indexes under a range over the same slice: bounded.
+func readSum(b []byte) (s int) {
+	for i := range b {
+		s += int(b[i])
+	}
+	return s
+}
+
+// readFixed decodes from a fixed-size array: the compiler already
+// proved those bounds.
+func readFixed(hdr [8]byte) uint32 {
+	return binary.BigEndian.Uint32(hdr[4:8])
+}
+
+// helper is not decoder-shaped; unguarded access is its caller's
+// problem, not this analyzer's.
+func helper(raw []byte) byte {
+	return raw[0]
+}
+
+// decoder mirrors the WAL record codec type: every method is in scope
+// by receiver name alone.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) flag() bool {
+	if len(d.b) < 1 {
+		d.err = errShort
+		return false
+	}
+	v := d.b[0] != 0
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) peek() byte {
+	return d.b[0] // want `index into d\.b without a preceding length check`
+}
+
+var errShort = errors.New("transport: short buffer")

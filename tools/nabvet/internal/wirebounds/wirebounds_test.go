@@ -1,0 +1,13 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/analysistest"
+	"nab/tools/nabvet/internal/wirebounds"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{wirebounds.Analyzer})
+}

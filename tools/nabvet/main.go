@@ -1,0 +1,230 @@
+// Command nabvet is the repo's static-analysis multichecker: five
+// project-specific analyzers over the nab module's invariants —
+//
+//	lockedblock   blocking calls while a sync.Mutex/RWMutex is held
+//	determinism   nondeterminism inside oracle-deterministic packages
+//	allocfree     allocations in //nab:allocfree-annotated functions
+//	metricnames   nab_* naming conventions at metric registration sites
+//	wirebounds    unguarded slice access in wire and WAL decoders
+//
+// It runs in two modes. Standalone, it loads packages itself:
+//
+//	nabvet ./...
+//	nabvet -lockedblock=false nab/internal/wal
+//
+// And as a vet tool, the go command drives it one package at a time
+// with full export data for dependencies:
+//
+//	go vet -vettool=$(which nabvet) ./...
+//
+// Findings are suppressed only by an annotated justification; see
+// package nab/tools/nabvet/internal/analysis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/load"
+
+	"nab/tools/nabvet/internal/allocfree"
+	"nab/tools/nabvet/internal/determinism"
+	"nab/tools/nabvet/internal/lockedblock"
+	"nab/tools/nabvet/internal/metricnames"
+	"nab/tools/nabvet/internal/wirebounds"
+)
+
+// version is what `nabvet -V=full` reports; the go command hashes this
+// line into its vet cache key, so bump it when analyzer behavior
+// changes to invalidate stale "package is clean" verdicts.
+const version = "nabvet version v1"
+
+// All is the full analyzer suite, in reporting order.
+var All = []*analysis.Analyzer{
+	lockedblock.Analyzer,
+	determinism.Analyzer,
+	allocfree.Analyzer,
+	metricnames.Analyzer,
+	wirebounds.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("nabvet", flag.ExitOnError)
+	fs.Usage = usage(fs)
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
+	vFlag := fs.String("V", "", "print version and exit (vettool protocol: -V=full)")
+	enabled := map[string]*bool{}
+	for _, a := range All {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Protocol handshakes, in the order cmd/go performs them.
+	if *vFlag != "" {
+		fmt.Println(version)
+		return 0
+	}
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range All {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer"})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(data))
+		return 0
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range All {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], active)
+	}
+	return standalone(rest, active)
+}
+
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintf(fs.Output(), "usage: nabvet [flags] [packages]\n       go vet -vettool=$(which nabvet) [packages]\n\nAnalyzers:\n")
+		for _, a := range All {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+}
+
+// standalone loads patterns (default ./...) from the current directory
+// and prints findings to stderr, exiting nonzero if there are any.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nabvet:", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg.Unit, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nabvet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			found++
+		}
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON file the go command hands a vet
+// tool (see cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile. Findings
+// go to stderr with a nonzero exit, matching the convention the go
+// command expects from vet tools.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nabvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nabvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires the vetx output to exist for caching, and
+	// runs the tool over dependencies (VetxOnly) purely to produce it.
+	// nabvet keeps no cross-package facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "nabvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	unit, err := load.Check(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "nabvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := analysis.Run(unit, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nabvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

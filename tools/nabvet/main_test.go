@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"nab/tools/nabvet/internal/analysis"
+	"nab/tools/nabvet/internal/load"
+)
+
+// TestRepoClean runs the full analyzer suite over every package of the
+// module — the same sweep CI performs with `go vet -vettool` — and
+// fails on any finding. A legitimate new idiom the analyzers misread
+// gets a //nab:ignore with a reason, not an exclusion here.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide sweep type-checks every package")
+	}
+	pkgs, err := load.Packages(".", "nab/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module sweep should cover all of nab/...", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg.Unit, All)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestVersionLine pins the -V=full handshake format the go command
+// parses: "<name> version <anything>".
+func TestVersionLine(t *testing.T) {
+	if got, want := version, "nabvet version v1"; got != want {
+		t.Fatalf("version line %q, want %q", got, want)
+	}
+}
