@@ -36,6 +36,16 @@
 // output stream is complete). Without -wal, supervise processes
 // externally and restart the run.
 //
+// State sync: a process whose WAL is LOST (disk replacement, host
+// rebuild) restarts blank with -join. Instead of replaying history it
+// announces itself, fetches the newest snapshot at an agreed boundary
+// from f+1 peers over the control plane — chunked transfer with digest
+// cross-validation, so up to f Byzantine snapshot servers cannot forge
+// state — folds the peers' WAL tail up to the rewind watermark, and
+// enters the stream there. Rolling restarts (drain, snapshot, restart,
+// join every process in sequence) keep the cluster byte-identical to an
+// uninterrupted run.
+//
 // Observability: -admin ADDR (node mode) serves /metrics (Prometheus
 // text exposition), /healthz (engine liveness + WAL sync lag) and
 // /debug/pprof; -admin-base PORT (spawn mode) gives node v's child the
@@ -134,6 +144,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 7, "spawn mode: seed for coding matrices and workload")
 	out := fs.String("out", "", "spawn mode: write the generated cluster.json here (default: temp file)")
 	walDir := fs.String("wal", "", "durable WAL directory: node mode appends this process's log there and recovers from it on restart; spawn mode gives each child <dir>/node-<id>")
+	join := fs.Bool("join", false, "node mode: join the live cluster as a blank process — fetch a digest-validated snapshot from f+1 peers instead of replaying local history (requires -wal with an empty directory)")
+	snapEvery := fs.Int("snapshot-interval", 0, "spawn mode: join-round snapshot boundary granularity written into the generated cluster.json (0 = default)")
 	chaosPath := fs.String("chaos", "", "spawn mode: chaos physics spec (JSON ChaosConfig) injected into every child via the generated cluster.json")
 	adminAddr := fs.String("admin", "", "node mode: serve /metrics (Prometheus text), /healthz and /debug/pprof on this address")
 	adminBase := fs.Int("admin-base", 0, "spawn mode: give each child an admin endpoint on 127.0.0.1:<base+id>")
@@ -148,13 +160,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, advs, chaos)
+		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, *snapEvery, advs, chaos)
 	}
 	if *chaosPath != "" {
 		return fmt.Errorf("-chaos is a spawn-mode flag; node mode inherits the spec from cluster.json")
 	}
+	if *snapEvery != 0 {
+		return fmt.Errorf("-snapshot-interval is a spawn-mode flag; node mode inherits the boundary from cluster.json")
+	}
 	if *cfgPath == "" {
 		return fmt.Errorf("either -cluster with -id (node mode) or -spawn-local is required")
+	}
+	if *join && *walDir == "" {
+		return fmt.Errorf("-join requires -wal: the joined state must land in a durable log")
 	}
 	cfg, err := cluster.Load(*cfgPath)
 	if err != nil {
@@ -164,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir, *adminAddr)
+	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir, *adminAddr, *join)
 }
 
 // inheritedListeners rebuilds the listeners a -spawn-local parent handed
@@ -212,10 +230,18 @@ func inheritedListeners(cfg *cluster.Config, id graph.NodeID) (*cluster.Reservat
 // node id, feed it the configured workload, relay commits as JSON lines,
 // print the summary. A non-empty walDir makes the session durable: a
 // restarted process recovers its log (already-committed instances are
-// re-emitted) and rejoins the cluster mid-stream.
-func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir, adminAddr string) error {
+// re-emitted) and rejoins the cluster mid-stream. With join set the
+// process starts blank instead — it announces itself, fetches a
+// digest-validated snapshot (plus WAL-fold tail) from f+1 peers over the
+// control plane, and enters the stream at the snapshot boundary without
+// replaying history; the whole round rewinds there, so the joiner
+// re-executes the short tail live and its re-built commit chain is
+// checked against the quorum's digest. Instances below the boundary are
+// never emitted by this process; peers that committed them carry the
+// record.
+func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir, adminAddr string, join bool) error {
 	ctx := context.Background()
-	opts := []nab.SessionOption{nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv})}
+	opts := []nab.SessionOption{nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv, Join: join})}
 	if walDir != "" {
 		opts = append(opts, nab.Recover(walDir))
 	}
@@ -310,7 +336,7 @@ func childExtras(rsv *cluster.Reservation, cfg *cluster.Config, v graph.NodeID) 
 // endpoint as a held listener and hands the sockets to the children as
 // inherited descriptors, so no port can be lost between reservation and
 // boot.
-func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase int, advs adversaryFlags, chaos *nab.ChaosConfig) error {
+func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase, snapEvery int, advs adversaryFlags, chaos *nab.ChaosConfig) error {
 	g, err := loadGraph(file, topoName)
 	if err != nil {
 		return err
@@ -325,8 +351,9 @@ func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenB
 	cfg := &cluster.Config{
 		Topology: g.Marshal(), Source: graph.NodeID(source), F: f,
 		LenBytes: lenBytes, Seed: seed, Window: window, Instances: q,
-		CtrlAddr: addrs[len(nodes)],
-		Chaos:    chaos,
+		CtrlAddr:         addrs[len(nodes)],
+		SnapshotInterval: snapEvery,
+		Chaos:            chaos,
 	}
 	for i, v := range nodes {
 		cfg.Nodes = append(cfg.Nodes, cluster.NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})

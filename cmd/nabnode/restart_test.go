@@ -33,11 +33,13 @@ type nodeProc struct {
 }
 
 // startNode spawns one nabnode child. files/env carry inherited listener
-// descriptors (nil on a restart, which rebinds its configured addresses).
-func startNode(t *testing.T, self, cfgPath string, id graph.NodeID, walDir string, files []*os.File, env []string) *nodeProc {
+// descriptors (nil on a restart, which rebinds its configured addresses);
+// extra appends flags such as -join.
+func startNode(t *testing.T, self, cfgPath string, id graph.NodeID, walDir string, files []*os.File, env []string, extra ...string) *nodeProc {
 	t.Helper()
 	np := &nodeProc{id: id, exited: make(chan struct{})}
 	args := []string{"-cluster", cfgPath, "-id", fmt.Sprint(id), "-wal", walDir}
+	args = append(args, extra...)
 	np.cmd = exec.Command(self, args...)
 	np.cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)
 	np.cmd.ExtraFiles = files
@@ -92,7 +94,7 @@ func (np *nodeProc) output() string {
 // restartConfig builds a per-node-process cluster config over g with WAL
 // directories under a fresh temp root. chaos (optional) rides inside the
 // shared cluster.json, so every child injects the same physics.
-func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, window int, advs map[graph.NodeID]string, chaos *transport.ChaosConfig) (*cluster.Config, string, *cluster.Reservation, string) {
+func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, window, snapEvery int, advs map[graph.NodeID]string, chaos *transport.ChaosConfig) (*cluster.Config, string, *cluster.Reservation, string) {
 	t.Helper()
 	nodes := g.Nodes()
 	rsv, err := cluster.ReserveAddrs(len(nodes) + 1)
@@ -104,8 +106,9 @@ func restartConfig(t *testing.T, g *graph.Directed, source graph.NodeID, f, q, w
 	cfg := &cluster.Config{
 		Topology: g.Marshal(), Source: source, F: f,
 		LenBytes: 24, Seed: 13, Window: window, Instances: q,
-		CtrlAddr: addrs[len(nodes)],
-		Chaos:    chaos,
+		CtrlAddr:         addrs[len(nodes)],
+		SnapshotInterval: snapEvery,
+		Chaos:            chaos,
 	}
 	for i, v := range nodes {
 		cfg.Nodes = append(cfg.Nodes, cluster.NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})
@@ -168,7 +171,7 @@ func mergeInstanceLines(t *testing.T, id graph.NodeID, outs []string) (map[int]i
 // sequence (and dispute set) byte-identical to the lockstep oracle.
 func runKillRestart(t *testing.T, g *graph.Directed, source graph.NodeID, f, q int, advs map[graph.NodeID]string, victim graph.NodeID, killAfter int, chaos *transport.ChaosConfig) {
 	t.Helper()
-	cfg, path, rsv, dir := restartConfig(t, g, source, f, q, 2, advs, chaos)
+	cfg, path, rsv, dir := restartConfig(t, g, source, f, q, 2, 0, advs, chaos)
 
 	coreCfg, err := cfg.CoreConfig()
 	if err != nil {

@@ -16,9 +16,14 @@
 // are write-ahead logged, and a daemon killed mid-stream resumes on
 // restart — dispute state, instance numbering and uncommitted requests
 // included — instead of starting the broadcast sequence over. Add
+// -snapshot-interval N to snapshot the engine state every N commits and
+// compact the log behind it, so disk use and restart replay stay
+// bounded by the live suffix no matter how long the daemon runs. Add
 // -admin ADDR to expose /metrics (Prometheus text exposition), /healthz
 // (engine liveness, drain state, WAL sync lag) and /debug/pprof on a
-// private HTTP endpoint.
+// private HTTP endpoint; durable daemons additionally mount
+// POST /snapshot, which forces a snapshot + compaction on demand — the
+// "drain, snapshot, restart" step of a rolling restart.
 //
 // Client (sends -q framed requests, prints the replies):
 //
@@ -134,7 +139,8 @@ func run(args []string, w io.Writer) error {
 	q := fs.Int("q", 8, "client mode: number of requests to stream")
 	netTransport := fs.Bool("net-transport", false, "run node links over loopback TCP instead of the in-process bus")
 	walDir := fs.String("wal", "", "durable WAL directory: accepted requests and commits are logged there, and a restarted daemon resumes the stream (dispute state included) instead of starting over")
-	adminAddr := fs.String("admin", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof on this address")
+	snapEvery := fs.Int("snapshot-interval", 0, "write a full engine-state snapshot every N commits and compact the WAL behind it, bounding disk use and restart replay to the live suffix (0 = default; requires -wal)")
+	adminAddr := fs.String("admin", "", "serve /metrics (Prometheus text), /healthz, /debug/pprof and POST /snapshot (durable daemons) on this address")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "node=strategy (repeatable): flip, coded, alarm, crash, random")
 	if err := fs.Parse(args); err != nil {
@@ -154,8 +160,14 @@ func run(args []string, w io.Writer) error {
 		LenBytes: *lenBytes, Seed: *seed, Adversaries: advs,
 	}
 	opts := []nab.SessionOption{nab.WithWindow(*window)}
+	if *snapEvery != 0 && *walDir == "" {
+		return fmt.Errorf("-snapshot-interval requires -wal")
+	}
 	if *walDir != "" {
 		opts = append(opts, nab.Recover(*walDir))
+		if *snapEvery != 0 {
+			opts = append(opts, nab.WithSnapshotInterval(*snapEvery))
+		}
 	}
 	if *netTransport {
 		tr, err := nab.NewTCPTransport(g)
@@ -172,7 +184,20 @@ func run(args []string, w io.Writer) error {
 
 	srv := &server{sess: sess, lenBytes: *lenBytes, w: w}
 	if *adminAddr != "" {
-		adm, err := admin.Serve(*adminAddr, admin.Options{Checks: adminChecks(srv)})
+		admOpts := admin.Options{Checks: adminChecks(srv)}
+		if *walDir != "" {
+			// POST /snapshot forces a snapshot + compaction now — the
+			// "drain, snapshot, restart" step of a rolling restart, so the
+			// next boot replays only the live suffix.
+			admOpts.Actions = []admin.Action{{Path: "/snapshot", Run: func() (string, error) {
+				info, err := sess.Snapshot()
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("snapshot at instance %d (gen %d, digest %016x)", info.K, info.Gen, info.Digest), nil
+			}}}
+		}
+		adm, err := admin.Serve(*adminAddr, admOpts)
 		if err != nil {
 			return err
 		}

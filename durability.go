@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"nab/internal/core"
-	"nab/internal/dispute"
 	"nab/internal/graph"
 	"nab/internal/obs"
 	"nab/internal/wal"
@@ -21,7 +20,7 @@ var recoveryLog = obs.New("recovery", "NAB_RECOVERY_DEBUG", "NAB_REJOIN_DEBUG")
 type durabilityOptions struct {
 	dir       string
 	resume    bool
-	ckptEvery int
+	snapEvery int
 	// segmentBytes overrides the WAL segment size — internal tests use a
 	// tiny value to force rotation and cross-segment compaction.
 	segmentBytes int64
@@ -45,13 +44,15 @@ func WithDurability(dir string) SessionOption {
 
 // Recover opens the session over an existing WAL in dir (or a fresh one,
 // making Recover a restart-safe default): the engine is restored to the
-// logged committed prefix, logged-but-uncommitted submissions re-enter
-// the stream automatically, and every logged commit is re-delivered on
-// Commits with Replayed set before live traffic starts. For WithCluster
-// sessions the restart additionally runs the rejoin protocol: the
-// process re-pins its mesh links, the cluster rolls back to its common
-// committed watermark, and the stream resumes mid-flight — byte-identical
-// to the uninterrupted run.
+// logged committed prefix — directly from the latest snapshot record
+// when one anchors the log, with no per-instance replay below it — the
+// logged-but-uncommitted submissions re-enter the stream automatically,
+// and every logged commit above the snapshot is re-delivered on Commits
+// with Replayed set before live traffic starts. For WithCluster sessions
+// the restart additionally runs the rejoin protocol: the process re-pins
+// its mesh links, the cluster rolls back to its common committed
+// watermark, and the stream resumes mid-flight — byte-identical to the
+// uninterrupted run.
 func Recover(dir string) SessionOption {
 	return func(o *sessionOptions) {
 		if o.durability == nil {
@@ -62,26 +63,44 @@ func Recover(dir string) SessionOption {
 	}
 }
 
-// WithCheckpointInterval makes a durable single-process session write a
-// dispute-state checkpoint every n commits and compact the log's
-// segments behind it, bounding recovery replay to the live suffix.
-// Default 256; cluster sessions ignore checkpoints (a rejoin rollback
-// may need any instance above the cluster-wide watermark, so their logs
-// keep the full committed history).
-func WithCheckpointInterval(n int) SessionOption {
+// WithSnapshotInterval makes a durable single-process session write a
+// full engine-state snapshot every n commits and compact the log's
+// segments behind it, bounding both the on-disk log size and recovery
+// work to the live suffix. Default 256. Cluster sessions ignore the
+// interval for their own logs — a rejoin rollback may need any instance
+// above the cluster-wide floor, so they snapshot (and compact) only at
+// rollback floors, where the whole cluster is provably past the
+// watermark.
+func WithSnapshotInterval(n int) SessionOption {
 	return func(o *sessionOptions) {
 		if o.durability == nil {
 			o.durability = &durabilityOptions{}
 		}
-		o.durability.ckptEvery = n
+		o.durability.snapEvery = n
 	}
 }
 
-const defaultCheckpointEvery = 256
+// WithCheckpointInterval is the former name of WithSnapshotInterval,
+// kept for compatibility. Snapshots carry strictly more state than the
+// dispute checkpoints they replaced (generation, launch epoch, sequence
+// digest); old logs with checkpoint records still recover.
+func WithCheckpointInterval(n int) SessionOption { return WithSnapshotInterval(n) }
+
+const defaultSnapshotEvery = 256
+
+// SnapshotInfo describes one written snapshot record.
+type SnapshotInfo struct {
+	// K is the commit watermark the snapshot captured.
+	K int
+	// Gen is the dispute-state generation at K.
+	Gen int
+	// Digest is the committed-sequence chain digest at K.
+	Digest uint64
+}
 
 // sessionLog couples the WAL with the session's append state: the
 // encoding scratch, the submit/commit ordering handshake, and the
-// dispute-state mirror checkpoints snapshot.
+// dispute-state mirror snapshots serialize.
 type sessionLog struct {
 	log     *wal.Log
 	cluster bool
@@ -94,32 +113,38 @@ type sessionLog struct {
 	failed    error // first WAL failure; releases logCommit's submit wait
 
 	// meta is the session's identity record, re-appended ahead of every
-	// checkpoint so compaction can never drop the log's last copy.
+	// snapshot so compaction can never drop the log's last copy.
 	meta wal.Meta
 
-	// Checkpoint mirror of the engine's dispute folds (single-process).
-	ckptEvery int
-	g         *graph.Directed
-	disputes  *dispute.Set
-	faulty    []graph.NodeID
-	faultyIn  map[graph.NodeID]bool
-	sinceCkpt int
+	// Snapshot mirror of the engine's dispute folds (single-process;
+	// cluster processes mirror in the cluster node, where rollbacks are
+	// visible). The digest chains full commit-record payloads — a
+	// process-lineage digest, reset to the anchor's value on recovery.
+	snapEvery int
+	builder   *core.SnapshotBuilder
+	digest    uint64
+	lastK     int
+	sinceSnap int
+	snapCount int64
 	// subSeg tracks the segment of each not-yet-committed submission:
 	// compaction must never drop a segment holding a submission the
 	// engine still has to execute.
 	subSeg map[int]uint64
 }
 
-func newSessionLog(log *wal.Log, g *graph.Directed, cluster bool, ckptEvery int) *sessionLog {
+func newSessionLog(log *wal.Log, g *graph.Directed, cluster bool, snapEvery int) *sessionLog {
 	sl := &sessionLog{
-		log: log, cluster: cluster, ckptEvery: ckptEvery,
-		g: g, disputes: dispute.NewSet(), faultyIn: map[graph.NodeID]bool{},
+		log: log, cluster: cluster, snapEvery: snapEvery,
+		digest: wal.DigestSeed,
 		subSeg: map[int]uint64{},
 	}
 	if cluster {
-		sl.ckptEvery = 0 // rejoin rollbacks need the full history
-	} else if sl.ckptEvery == 0 {
-		sl.ckptEvery = defaultCheckpointEvery
+		sl.snapEvery = 0 // floor snapshots only; see WithSnapshotInterval
+	} else {
+		sl.builder = core.NewSnapshotBuilder(g)
+		if sl.snapEvery == 0 {
+			sl.snapEvery = defaultSnapshotEvery
+		}
 	}
 	sl.cond = sync.NewCond(&sl.mu)
 	return sl
@@ -188,43 +213,54 @@ func (sl *sessionLog) logCommit(ir *core.InstanceResult) error {
 		return err
 	}
 	delete(sl.subSeg, ir.K)
-	if sl.ckptEvery <= 0 {
+	if sl.builder == nil {
 		return nil
 	}
-	// Mirror the engine's fold so a checkpoint can snapshot the dispute
+	// Mirror the engine's fold so a snapshot can serialize the dispute
 	// state without reaching into the (busy) engine.
-	if ir.Phase3 {
-		for _, p := range ir.NewDisputes {
-			sl.disputes.Add(p[0], p[1])
-		}
-		for _, v := range ir.NewFaulty {
-			if !sl.faultyIn[v] {
-				sl.faultyIn[v] = true
-				sl.faulty = append(sl.faulty, v)
-			}
-			sl.disputes.MarkFaulty(sl.g, v)
-		}
+	sl.digest = wal.Chain(sl.digest, sl.buf)
+	if err := sl.builder.Fold(ir); err != nil {
+		return err
 	}
-	sl.sinceCkpt++
-	if sl.sinceCkpt < sl.ckptEvery {
+	sl.lastK = ir.K
+	sl.sinceSnap++
+	if sl.snapEvery <= 0 || sl.sinceSnap < sl.snapEvery {
 		return nil
 	}
-	sl.sinceCkpt = 0
-	// Re-assert the session identity ahead of the checkpoint: the kept
+	sl.sinceSnap = 0
+	_, err := sl.writeSnapshotLocked(sl.mirrorSnapshot())
+	return err
+}
+
+// mirrorSnapshot captures the mirror's state as a snapshot record.
+// Callers hold sl.mu and own a non-nil builder.
+func (sl *sessionLog) mirrorSnapshot() wal.Snapshot {
+	st := sl.builder.State()
+	return wal.Snapshot{
+		K: st.K, Gen: st.Gen, Disputes: st.Disputes, Faulty: st.Faulty,
+		Digest: sl.digest,
+	}
+}
+
+// writeSnapshotLocked appends a meta + snapshot pair, makes both durable
+// and compacts the segments behind them (bounded by uncommitted
+// submissions). Callers hold sl.mu.
+func (sl *sessionLog) writeSnapshotLocked(s wal.Snapshot) (SnapshotInfo, error) {
+	// Re-assert the session identity ahead of the snapshot: the kept
 	// tail must still carry a meta record once older segments (including
 	// the original one) are compacted away.
 	sl.buf = wal.AppendMeta(sl.buf[:0], sl.meta)
 	pos, err := sl.log.Append(wal.TypeMeta, sl.buf)
 	if err != nil {
-		return err
+		return SnapshotInfo{}, err
 	}
-	cp := wal.Checkpoint{K: ir.K, Disputes: sl.disputes.Pairs(), Faulty: append([]graph.NodeID(nil), sl.faulty...)}
-	sl.buf = wal.AppendCheckpoint(sl.buf[:0], cp)
-	if _, err := sl.log.Append(wal.TypeCheckpoint, sl.buf); err != nil {
-		return err
+	s.Canonicalize()
+	sl.buf = wal.AppendSnapshot(sl.buf[:0], s)
+	if _, err := sl.log.Append(wal.TypeSnapshot, sl.buf); err != nil {
+		return SnapshotInfo{}, err
 	}
 	if err := sl.log.Sync(); err != nil {
-		return err
+		return SnapshotInfo{}, err
 	}
 	// Never compact past a submission the engine has yet to execute —
 	// recovery must be able to re-feed every uncommitted instance.
@@ -234,7 +270,56 @@ func (sl *sessionLog) logCommit(ir *core.InstanceResult) error {
 			keep.Seg = seg
 		}
 	}
-	return sl.log.Compact(keep)
+	if err := sl.log.Compact(keep); err != nil {
+		return SnapshotInfo{}, err
+	}
+	sl.snapCount++
+	return SnapshotInfo{K: s.K, Gen: s.Gen, Digest: s.Digest}, nil
+}
+
+// snapshotNow forces a snapshot of the mirror's current state —
+// Session.Snapshot's backend (single-process sessions only).
+func (sl *sessionLog) snapshotNow() (SnapshotInfo, error) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.failed != nil {
+		return SnapshotInfo{}, sl.failed
+	}
+	if sl.builder == nil {
+		return SnapshotInfo{}, fmt.Errorf("nab: Snapshot: cluster sessions snapshot at rollback floors, not on demand")
+	}
+	sl.sinceSnap = 0
+	return sl.writeSnapshotLocked(sl.mirrorSnapshot())
+}
+
+// persistFloor writes a cluster-provided snapshot record (a join base or
+// a rollback-floor capture) and compacts behind it. The snapshot content
+// comes from the cluster node, which tracks state across rollbacks; the
+// session log only frames and compacts.
+func (sl *sessionLog) persistFloor(s wal.Snapshot) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.failed != nil {
+		return sl.failed
+	}
+	// Submissions at or below the floor can never be re-executed again;
+	// dropping them from the compaction ledger is what lets the log shrink
+	// past them (a joiner's pre-floor backlog would otherwise pin its
+	// first segment forever).
+	for k := range sl.subSeg {
+		if k <= s.K {
+			delete(sl.subSeg, k)
+		}
+	}
+	_, err := sl.writeSnapshotLocked(s)
+	return err
+}
+
+// snapshots reports how many snapshot records this session wrote.
+func (sl *sessionLog) snapshots() int64 {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.snapCount
 }
 
 func (sl *sessionLog) close() error {
@@ -245,13 +330,34 @@ func (sl *sessionLog) close() error {
 	return sl.log.Close()
 }
 
+// Snapshot forces a durable engine-state snapshot at the current
+// committed watermark and compacts the log behind it — the "drain →
+// snapshot" half of a rolling restart: stop submitting, drain Commits,
+// call Snapshot, and the next Recover boots from the snapshot with no
+// per-instance replay. Needs WithDurability/Recover; cluster sessions
+// refuse (their logs snapshot at rollback floors, where the whole
+// cluster is provably past the watermark).
+func (s *Session) Snapshot() (SnapshotInfo, error) {
+	if s.slog == nil {
+		return SnapshotInfo{}, fmt.Errorf("nab: Snapshot needs WithDurability or Recover")
+	}
+	return s.slog.snapshotNow()
+}
+
 // recovery is the state replayed out of a WAL at Open.
 type recovery struct {
 	k        int                    // committed watermark
 	tail     int                    // highest logged submission
-	foldList []*core.InstanceResult // restore history (synthetic checkpoint + live commits)
+	foldList []*core.InstanceResult // restore history above the anchor
 	replayed []*core.InstanceResult // commits present in the log, for re-delivery
 	inputs   map[int][]byte         // logged submissions by instance
+	// base is the anchoring snapshot when one survives in the log: the
+	// engine restores from it directly instead of folding foldList from
+	// instance 1. baseEpoch/baseDigest carry its launch epoch and chain
+	// digest for the cluster layer.
+	base       *core.SnapshotState
+	baseEpoch  uint64
+	baseDigest uint64
 	// resumed reports a non-empty log: a previous incarnation existed,
 	// even if nothing it did survived the crash window. A cluster session
 	// must announce a rejoin in that case — its peers may be stalled.
@@ -287,14 +393,16 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 	rec := &recovery{inputs: map[int][]byte{}}
 	subSegs := map[int]uint64{} // submission K -> segment, for the compaction floor
 	sawMeta, sawCkpt := false, false
+	var snap *wal.Snapshot
 	firstCommit := 0
+	digest := wal.DigestSeed
 	empty := true
 	err = log.Replay(func(typ byte, payload []byte, pos wal.Pos) error {
 		empty = false
 		switch typ {
 		case wal.TypeMeta:
 			// Meta opens a fresh log and is re-asserted at every
-			// checkpoint, so a compacted tail still carries one (not
+			// snapshot, so a compacted tail still carries one (not
 			// necessarily first).
 			m, err := wal.DecodeMeta(payload)
 			if err != nil {
@@ -327,8 +435,8 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 			}
 			if firstCommit == 0 {
 				// A compacted log's surviving tail starts mid-history;
-				// the checkpoint record that follows carries the folded
-				// state of everything dropped before it.
+				// the snapshot (or legacy checkpoint) record carries the
+				// folded state of everything dropped before it.
 				firstCommit = ir.K
 				rec.k = ir.K - 1
 			}
@@ -338,9 +446,13 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 			rec.k = ir.K
 			rec.foldList = append(rec.foldList, ir)
 			rec.replayed = append(rec.replayed, ir)
+			digest = wal.Chain(digest, payload)
 		case wal.TypeCheckpoint:
 			if cluster {
 				return fmt.Errorf("nab: recover: checkpoint record in a cluster log")
+			}
+			if snap != nil {
+				return fmt.Errorf("nab: recover: legacy checkpoint after a snapshot record")
 			}
 			cp, err := wal.DecodeCheckpoint(payload)
 			if err != nil {
@@ -357,6 +469,28 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 			}
 			rec.foldList = []*core.InstanceResult{synth}
 			sawCkpt = true
+		case wal.TypeSnapshot:
+			if sawCkpt {
+				return fmt.Errorf("nab: recover: snapshot after a legacy checkpoint record")
+			}
+			s, err := wal.DecodeSnapshot(payload)
+			if err != nil {
+				return err
+			}
+			if firstCommit == 0 {
+				// No commit survives before it: the snapshot IS the log's
+				// base (a compacted log, or a joiner's transferred state).
+				if s.K < rec.k {
+					return fmt.Errorf("nab: recover: snapshot at %d behind snapshot watermark %d", s.K, rec.k)
+				}
+				rec.k = s.K
+			} else if s.K < firstCommit-1 || s.K > rec.k {
+				// A floor snapshot may land after live commits past its
+				// watermark (cluster rollbacks); it must still fall inside
+				// the surviving committed range to anchor the fold.
+				return fmt.Errorf("nab: recover: snapshot at %d outside committed range [%d, %d]", s.K, firstCommit-1, rec.k)
+			}
+			snap = &s
 		default:
 			return fmt.Errorf("nab: recover: unknown record type %#x", typ)
 		}
@@ -369,7 +503,7 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 		return fail(fmt.Errorf("nab: WithDurability(%q): log is not empty; use Recover to resume it", o.dir))
 	}
 	if empty {
-		sl := newSessionLog(log, g, cluster, o.ckptEvery)
+		sl := newSessionLog(log, g, cluster, o.snapEvery)
 		sl.meta = wal.Meta{Fingerprint: fp, Node: node}
 		sl.buf = wal.AppendMeta(sl.buf[:0], sl.meta)
 		if _, err := log.AppendSync(wal.TypeMeta, sl.buf); err != nil {
@@ -379,15 +513,31 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 		return sl, &recovery{inputs: map[int][]byte{}}, nil
 	}
 	rec.resumed = true
-	recoveryLog.Info("wal-recovered",
-		"dir", o.dir, "k", rec.k, "tail", rec.tail,
-		"replayed", len(rec.replayed), "checkpointed", sawCkpt, "cluster", cluster)
 	if !sawMeta {
 		return fail(fmt.Errorf("nab: recover: log carries no meta record"))
 	}
-	if firstCommit > 1 && !sawCkpt {
-		return fail(fmt.Errorf("nab: recover: commits start at %d with no checkpoint carrying the prefix", firstCommit))
+	if snap != nil {
+		// Anchor the restore at the snapshot: only commits above it fold.
+		rec.base = &core.SnapshotState{
+			K: snap.K, Gen: snap.Gen, Disputes: snap.Disputes, Faulty: snap.Faulty,
+		}
+		rec.baseEpoch, rec.baseDigest = snap.Epoch, snap.Digest
+		if firstCommit > 0 {
+			rec.foldList = rec.foldList[snap.K-(firstCommit-1):]
+		} else {
+			rec.foldList = nil
+		}
+		digest = snap.Digest
+		for _, ir := range rec.foldList {
+			buf := wal.AppendCommit(nil, ir)
+			digest = wal.Chain(digest, buf)
+		}
+	} else if firstCommit > 1 && !sawCkpt {
+		return fail(fmt.Errorf("nab: recover: commits start at %d with no snapshot or checkpoint carrying the prefix", firstCommit))
 	}
+	recoveryLog.Info("wal-recovered",
+		"dir", o.dir, "k", rec.k, "tail", rec.tail,
+		"replayed", len(rec.replayed), "snapshot", snap != nil, "checkpointed", sawCkpt, "cluster", cluster)
 	// Submissions of committed instances may have been compacted away
 	// with their segments; only the uncommitted range must survive
 	// (validated by uncommitted()), and sequence numbering continues from
@@ -395,34 +545,34 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 	if rec.tail < rec.k {
 		rec.tail = rec.k
 	}
-	// The first commit after a compacted prefix continues from the
-	// checkpoint; older replay entries were dropped with their segments.
-	sl := newSessionLog(log, g, cluster, o.ckptEvery)
+	sl := newSessionLog(log, g, cluster, o.snapEvery)
 	sl.meta = wal.Meta{Fingerprint: fp, Node: node}
 	sl.maxSubmit = rec.tail
+	sl.digest = digest
+	sl.lastK = rec.k
 	// Seed the compaction floor with the recovered-but-uncommitted
-	// backlog: a checkpoint fired before those instances commit must not
+	// backlog: a snapshot fired before those instances commit must not
 	// compact away the segments holding their submissions.
 	for k := rec.k + 1; k <= rec.tail; k++ {
 		if seg, ok := subSegs[k]; ok {
 			sl.subSeg[k] = seg
 		}
 	}
-	// Seed the checkpoint mirror from the recovered history.
-	if sl.ckptEvery > 0 {
+	// Seed the snapshot mirror exactly the way the engine restores, so
+	// mirror and engine stay generation-identical.
+	if sl.builder != nil {
+		seed := core.SnapshotState{K: rec.k}
+		if rec.base != nil {
+			seed = *rec.base
+		} else if len(rec.foldList) > 0 {
+			seed = core.SnapshotState{K: rec.foldList[0].K - 1}
+		}
+		if _, err := sl.builder.Seed(seed); err != nil {
+			return fail(err)
+		}
 		for _, ir := range rec.foldList {
-			if !ir.Phase3 {
-				continue
-			}
-			for _, p := range ir.NewDisputes {
-				sl.disputes.Add(p[0], p[1])
-			}
-			for _, v := range ir.NewFaulty {
-				if !sl.faultyIn[v] {
-					sl.faultyIn[v] = true
-					sl.faulty = append(sl.faulty, v)
-				}
-				sl.disputes.MarkFaulty(sl.g, v)
+			if err := sl.builder.Fold(ir); err != nil {
+				return fail(err)
 			}
 		}
 	}

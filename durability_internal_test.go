@@ -39,7 +39,7 @@ func TestRecoveryAcrossSegmentCompaction(t *testing.T) {
 
 	dir := t.TempDir()
 	tiny := func(o *sessionOptions) {
-		o.durability = &durabilityOptions{dir: dir, resume: true, ckptEvery: 3, segmentBytes: 512}
+		o.durability = &durabilityOptions{dir: dir, resume: true, snapEvery: 3, segmentBytes: 512}
 	}
 	ctx := context.Background()
 
@@ -113,4 +113,55 @@ func TestRecoveryAcrossSegmentCompaction(t *testing.T) {
 		t.Errorf("recovered dispute set %q, want %q", got, want)
 	}
 	sess.Close()
+}
+
+// TestSnapshotCompactionBoundsLog pins the point of snapshot-anchored
+// compaction: the on-disk log size is a function of the snapshot interval
+// and segment size, NOT of stream length. Tripling the workload must not
+// grow the surviving segment count — without compaction it would triple.
+func TestSnapshotCompactionBoundsLog(t *testing.T) {
+	run := func(q int) int {
+		cfg := Config{Graph: topo.CompleteBi(4, 1), Source: 1, F: 1, LenBytes: 24, Seed: 11}
+		payloads := make([][]byte, q)
+		for i := range payloads {
+			payloads[i] = bytes.Repeat([]byte{byte(i + 1)}, cfg.LenBytes)
+		}
+		dir := t.TempDir()
+		tiny := func(o *sessionOptions) {
+			o.durability = &durabilityOptions{dir: dir, resume: true, snapEvery: 4, segmentBytes: 256}
+		}
+		ctx := context.Background()
+		sess, err := Open(ctx, cfg, WithLockstep(), tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		go func() {
+			for _, p := range payloads {
+				if _, err := sess.Submit(ctx, p); err != nil {
+					return
+				}
+			}
+			sess.Drain(ctx)
+		}()
+		for range sess.Commits() {
+		}
+		if err := sess.Err(); err != nil {
+			t.Fatalf("q=%d session failed: %v", q, err)
+		}
+		if n := sess.Snapshots(); n < int64(q/4) {
+			t.Errorf("q=%d: session wrote %d snapshots, want >= %d at interval 4", q, n, q/4)
+		}
+		sess.Close()
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("q=%d: no segments: %v", q, err)
+		}
+		return len(segs)
+	}
+	short, long := run(32), run(96)
+	t.Logf("32 instances leave %d segments, 96 leave %d", short, long)
+	if long > short+1 {
+		t.Errorf("log grew with history (%d segments at q=32, %d at q=96); compaction is not bounding the on-disk size", short, long)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nab"
 )
@@ -226,6 +227,63 @@ func TestSessionCheckpointRecovery(t *testing.T) {
 		t.Errorf("second recovery restored seq %d, want %d", got, len(payloads))
 	}
 	sess.Close()
+}
+
+// TestSessionRecoverRacingClose hammers the teardown path: Close lands
+// while recovery replay and live commits are still streaming, at a
+// different point every iteration. No schedule may race (the CI -race
+// variant is the point), deadlock, or corrupt the log — a final clean
+// recovery must still reproduce the oracle byte for byte.
+func TestSessionRecoverRacingClose(t *testing.T) {
+	cfg := durableCfg()
+	payloads := mkPayloads(12, cfg.LenBytes)
+	want := oracleRun(t, cfg, payloads)
+	dir := t.TempDir()
+	crashSession(t, dir, cfg, payloads, 4)
+
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		sess, err := nab.Open(ctx, cfg, nab.Recover(dir))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		go func() {
+			skip := int(sess.RecoveredSeq())
+			for _, p := range payloads[skip:] {
+				if _, err := sess.Submit(ctx, p); err != nil {
+					return // the session is closing under us; expected
+				}
+			}
+		}()
+		closed := make(chan struct{})
+		fire := func() {
+			go func() {
+				defer close(closed)
+				sess.Close()
+			}()
+		}
+		// Iterations sweep the close point from before the first commit
+		// deep into the replayed prefix (at least 4 instances replay).
+		stop := i % 5
+		if stop == 0 {
+			fire()
+		}
+		n := 0
+		for range sess.Commits() {
+			n++
+			if n == stop {
+				fire()
+			}
+		}
+		select {
+		case <-closed:
+		case <-time.After(time.Minute):
+			t.Fatalf("iteration %d: Close never returned", i)
+		}
+	}
+
+	all := recoverAndFinish(t, dir, cfg, payloads)
+	assertSameCommits(t, all, want)
 }
 
 func TestDurabilityGuards(t *testing.T) {

@@ -5,6 +5,9 @@
 //	/healthz       200 "ok" when all registered checks pass, 503 otherwise
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
+// plus any operator-triggered Actions a daemon registers (POST-only
+// endpoints such as a durable daemon's /snapshot).
+//
 // The server is deliberately tiny: a private mux (so pprof is not mounted
 // on http.DefaultServeMux), no TLS, no auth — bind it to loopback.
 package admin
@@ -28,12 +31,22 @@ type Check struct {
 	Probe func() error
 }
 
+// Action is one operator-triggered endpoint, mounted at its Path and
+// accepting POST only. Run returns a one-line summary reported with the
+// 200, or an error reported verbatim with a 500.
+type Action struct {
+	Path string
+	Run  func() (string, error)
+}
+
 // Options configures Serve.
 type Options struct {
 	// Registry defaults to metrics.Default().
 	Registry *metrics.Registry
 	// Checks are evaluated on every /healthz request.
 	Checks []Check
+	// Actions are mounted at their paths alongside the standard set.
+	Actions []Action
 }
 
 // Server is a running admin endpoint.
@@ -64,6 +77,22 @@ func Serve(addr string, opts Options) (*Server, error) {
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", s.healthz)
+	for _, a := range opts.Actions {
+		run := a.Run
+		mux.HandleFunc(a.Path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			out, err := run()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, out)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -12,6 +12,7 @@ import (
 	"nab/internal/obs"
 	"nab/internal/runtime"
 	"nab/internal/transport"
+	"nab/internal/wal"
 )
 
 // Options tunes one process's cluster endpoint.
@@ -57,6 +58,33 @@ type Options struct {
 	// rollback for a peer that crashed near the end. Default 2 minutes
 	// (durable mode only).
 	RejoinLinger time.Duration
+
+	// Join marks a blank-WAL process entering a live cluster: instead of
+	// replaying history it announces a join round, fetches a snapshot
+	// (cross-validated against F+1 peers) plus the WAL-fold tail over the
+	// control plane, and enters the stream at the cluster's rewind
+	// watermark. Requires Durable (the transferred state is persisted so
+	// the process's own restarts recover) and a genuinely blank WAL —
+	// combining Join with Rejoining is an error.
+	Join bool
+	// RecoveredBase is the snapshot the WAL is anchored on (nil for a
+	// full-history log): this process's floor. Rollbacks below the floor
+	// are impossible by the floor-safety rule — every process fsyncs its
+	// WAL before acknowledging a rewind, so no later round can target a
+	// watermark below any persisted floor.
+	RecoveredBase *core.SnapshotState
+	// RecoveredEpoch is the launch epoch stored with RecoveredBase.
+	RecoveredEpoch uint64
+	// RecoveredDigest is the commit-chain digest at the floor.
+	RecoveredDigest uint64
+	// PersistFloor (set by the session layer) writes a snapshot record
+	// into this process's WAL and compacts behind it — called with a join
+	// base and after rollback rounds establish a new floor.
+	PersistFloor func(wal.Snapshot) error
+	// SyncWAL (set by the session layer) fsyncs the WAL; called before a
+	// rewind ack so every process's durable watermark provably reaches
+	// the round's floor.
+	SyncWAL func() error
 }
 
 // Node is one process's membership in a cluster: the transport endpoint,
@@ -76,8 +104,33 @@ type Node struct {
 	epoch         uint64                 // launch epoch agreed by the last rollback
 	lastRound     int                    // last rollback round this process acked
 	rejoinPending bool                   // announce a rejoin when the supervisor starts
-	committed     []*core.InstanceResult // full committed prefix, recovery + live
+	committed     []*core.InstanceResult // committed results above the floor, recovery + live
 	inputs        *inputBuffer           // retained submissions for re-execution
+
+	// Snapshot state-sync bookkeeping (Durable mode). The floor is the
+	// watermark of the base snapshot everything below is folded into;
+	// committed[i] holds instance floor+1+i. chain[i] is the commit-chain
+	// digest (over AppendCommitFold payloads) at instance floor+i, with
+	// chain[0] the base digest — identical across honest processes, the
+	// substance of join-round cross-validation.
+	blank   bool // a joiner that has not completed its join round yet
+	lead    int64
+	floor   int
+	base    core.SnapshotState
+	chain   []uint64
+	encBuf  []byte      // AppendCommitFold scratch
+	pending *joinResult // transferred state awaiting the rewind
+
+	// Re-execution tripwire armed by a join rewind: once the chain reaches
+	// checkK, its digest must equal checkDigest — the f+1 quorum's value at
+	// the pre-join watermark. Zero checkK means disarmed.
+	checkK      int
+	checkDigest uint64
+
+	// testServeTamper lets in-package tests play a Byzantine snapshot
+	// server: it mutates the serve state after the honest digests are
+	// computed (see buildServe).
+	testServeTamper func(*serveState)
 
 	stopOnce sync.Once
 	stop     chan struct{} // releases the context watchdog
@@ -148,7 +201,7 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		if opt.Reservation != nil {
 			cl = opt.Reservation.Take(cfg.CtrlAddr)
 		}
-		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs), cl, opt.Durable)
+		ctrl, err = newCoordinator(cfg.CtrlAddr, len(procs), cl, opt.Durable, cfg.F+1, cfg.SnapshotInterval)
 	} else {
 		ctrl, err = newFollower(ctx, cfg.CtrlAddr, opt.BootTimeout, opt.Durable)
 	}
@@ -173,10 +226,38 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		log:  rejoinLog.With("node", fmt.Sprint(locals)),
 		stop: make(chan struct{}),
 	}
+	if opt.Join && !opt.Durable {
+		ctrl.Close()
+		rt.Close()
+		return nil, fmt.Errorf("cluster: Join requires Durable")
+	}
+	if opt.Join && (opt.Rejoining || opt.RecoveredBase != nil || len(opt.Recovered) > 0) {
+		ctrl.Close()
+		rt.Close()
+		return nil, fmt.Errorf("cluster: Join requires a blank WAL; a process with history rejoins with Recover")
+	}
 	if opt.Durable {
+		n.lead = int64(cfg.Lead(spec.Addr))
+		n.base = core.SnapshotState{}
+		n.chain = append(n.chain, wal.DigestSeed)
+		if opt.RecoveredBase != nil {
+			n.base = *opt.RecoveredBase
+			n.floor = n.base.K
+			n.epoch = opt.RecoveredEpoch
+			n.chain[0] = opt.RecoveredDigest
+		}
 		n.committed = append(n.committed, opt.Recovered...)
+		for i, ir := range n.committed {
+			if ir.K != n.floor+1+i {
+				ctrl.Close()
+				rt.Close()
+				return nil, fmt.Errorf("cluster: recovered commit %d does not continue floor %d", ir.K, n.floor)
+			}
+			n.encBuf = wal.AppendCommitFold(n.encBuf[:0], ir)
+			n.chain = append(n.chain, wal.Chain(n.chain[len(n.chain)-1], n.encBuf))
+		}
 		n.inputs = newInputBuffer(opt.RecoveredInputs)
-		if err := rt.Restore(0, len(n.committed), n.committed); err != nil {
+		if err := rt.RestoreSnapshot(0, n.base, n.committed); err != nil {
 			ctrl.Close()
 			rt.Close()
 			return nil, err
@@ -185,8 +266,10 @@ func StartContext(ctx context.Context, cfg *Config, id graph.NodeID, opt Options
 		// supervisor (streamDurable), where a control link that dies under
 		// the announcement — e.g. a dial that landed in the dead
 		// coordinator's lingering accept backlog and gets reset on first
-		// write — is retried like any other control-plane loss.
-		n.rejoinPending = opt.Rejoining
+		// write — is retried like any other control-plane loss. A blank
+		// joiner announces the same way; blankness rides its sync ack.
+		n.blank = opt.Join
+		n.rejoinPending = opt.Rejoining || opt.Join
 	}
 	// The watchdog force-closes the endpoints on cancellation, so actors
 	// blocked in link dials (a peer process that never came up) or paced

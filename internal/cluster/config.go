@@ -64,6 +64,13 @@ type Config struct {
 	// process hosting Source): followers whose local nodes fall out of
 	// the instance graph fetch the agreed mismatch/audit decisions there.
 	CtrlAddr string `json:"ctrlAddr"`
+	// SnapshotInterval is the snapshot boundary granularity for join
+	// rounds: a blank process fetches the newest snapshot at a multiple
+	// of the interval at or below the rewind watermark, plus the WAL-fold
+	// tail above it. Shared config because the boundary must be the same
+	// in every process for digest cross-validation. 0 means
+	// DefaultSnapshotInterval.
+	SnapshotInterval int `json:"snapshotInterval,omitempty"`
 	// Chaos optionally scripts hostile network physics for the scenario:
 	// seeded per-link latency/jitter, reorder windows, asymmetric
 	// partitions with scheduled heal times, slow-link throttles. Living
@@ -148,6 +155,9 @@ func (c *Config) Validate() error {
 	if c.CtrlAddr == "" {
 		return fmt.Errorf("cluster: no control-plane address")
 	}
+	if c.SnapshotInterval < 0 {
+		return fmt.Errorf("cluster: snapshotInterval = %d must be non-negative", c.SnapshotInterval)
+	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
@@ -204,6 +214,27 @@ func (c *Config) Colocated(id graph.NodeID) []graph.NodeID {
 		}
 	}
 	return out
+}
+
+// DefaultSnapshotInterval is the join-round snapshot boundary used when
+// the config leaves SnapshotInterval zero.
+const DefaultSnapshotInterval = 64
+
+// defaultJoinBoundary is DefaultSnapshotInterval under its
+// control-plane-internal name.
+const defaultJoinBoundary = DefaultSnapshotInterval
+
+// Lead returns the smallest node id hosted at addr — the stable process
+// identity state-transfer messages route by (order-independent, so every
+// process derives the same lead for every peer).
+func (c *Config) Lead(addr string) graph.NodeID {
+	lead, found := graph.NodeID(0), false
+	for _, ns := range c.Nodes {
+		if ns.Addr == addr && (!found || ns.ID < lead) {
+			lead, found = ns.ID, true
+		}
+	}
+	return lead
 }
 
 // Adversaries builds the full scripted-adversary map.

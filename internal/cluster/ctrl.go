@@ -49,6 +49,24 @@ type ctrlMsg struct {
 	// Rollback-round coordinates (rejoin protocol).
 	Round int    `json:"round,omitempty"`
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Join-round coordinates (snapshot state transfer). A blank process
+	// announcing itself turns the rollback round into a join round: the
+	// coordinator inserts a "fetch" phase between sync and rewind, during
+	// which the joiner pulls a boundary snapshot plus the WAL-fold tail
+	// from serving peers ("pull"/"chunk", coordinator-relayed broadcasts
+	// addressed by lead node id) and acknowledges with "joined".
+	Blank      bool    `json:"blank,omitempty"`      // synced: the acker is a blank joiner
+	Floor      int     `json:"floor,omitempty"`      // synced: acker's rewind floor
+	Peer       int64   `json:"peer,omitempty"`       // lead node id of the sender/addressee
+	M          int     `json:"m,omitempty"`          // fetch/pull: watermark the tail runs to
+	Kind       string  `json:"kind,omitempty"`       // pull/chunk: "digest", "snap" or "tail"
+	Server     int64   `json:"server,omitempty"`     // pull/chunk: lead node id of the server
+	Off        int     `json:"off,omitempty"`        // chunk byte offset
+	N          int     `json:"n,omitempty"`          // chunk: total transfer bytes
+	Data       []byte  `json:"data,omitempty"`       // chunk payload
+	SnapDigest uint64  `json:"snapDigest,omitempty"` // digest chunk: snapshot payload hash at K
+	TailDigest uint64  `json:"tailDigest,omitempty"` // digest chunk: chain digest at M
+	Servers    []int64 `json:"servers,omitempty"`    // fetch: eligible serving processes
 }
 
 // decisionKey identifies one execution: barrier replays of instance k run
@@ -202,11 +220,19 @@ type ctrlPlane struct {
 	// Coordinator rollback-round state.
 	rbMu     sync.Mutex
 	rbRound  int
-	rbPhase  int // 0 idle, 1 awaiting synced, 2 awaiting rewound
+	rbPhase  int // 0 idle, 1 awaiting synced, 2 awaiting rewound, 3 awaiting joined
 	rbAcks   int
 	rbMinK   int
 	rbEpoch  uint64 // max epoch reported this round
 	rbTarget ctrlMsg
+	// Join-round state: the per-round sync acks (eligibility of serving
+	// peers is judged on their reported floors), the number of blank
+	// joiners and their "joined" acks, and the snapshot parameters.
+	rbSynced  []ctrlMsg
+	rbJoins   int
+	rbJoined  int
+	snapNeed  int // f+1: matching snapshot copies a joiner must see
+	snapEvery int // snapshot boundary interval for join bases
 
 	// Follower side.
 	conn    net.Conn
@@ -238,7 +264,7 @@ func (p *ctrlPlane) Execution(k, gen int) runtime.ExecutionView {
 // from a reservation) and starts serving decision streams to followers.
 // expect is the number of processes the shutdown barrier waits for (the
 // coordinator included).
-func newCoordinator(addr string, expect int, l net.Listener, durable bool) (*ctrlPlane, error) {
+func newCoordinator(addr string, expect int, l net.Listener, durable bool, snapNeed, snapEvery int) (*ctrlPlane, error) {
 	if l == nil {
 		var err error
 		l, err = net.Listen("tcp", addr)
@@ -249,6 +275,7 @@ func newCoordinator(addr string, expect int, l net.Listener, durable bool) (*ctr
 	p := &ctrlPlane{
 		d: newDecisions(), durable: durable, addr: addr,
 		events: make(chan ctrlMsg, 64), listener: l, expect: expect,
+		snapNeed: snapNeed, snapEvery: snapEvery,
 		allDone: make(chan struct{}), closed: make(chan struct{}),
 	}
 	go p.acceptLoop()
@@ -304,6 +331,15 @@ func (p *ctrlPlane) acceptLoop() {
 					p.onSynced(m)
 				case "rewound":
 					p.onRewound(m)
+				case "joined":
+					p.onJoined(m)
+				case "pull", "chunk":
+					// State-transfer messages are addressed by lead node
+					// id but routed by rebroadcast: the coordinator fans
+					// them to every process (followers filter), which
+					// keeps the anonymous-follower control plane free of
+					// identity bookkeeping.
+					p.broadcastCtl(m)
 				}
 			}
 		}()
@@ -354,6 +390,9 @@ func (p *ctrlPlane) startRollback() {
 	p.rbAcks = 0
 	p.rbMinK = -1
 	p.rbEpoch = 0
+	p.rbSynced = nil
+	p.rbJoins = 0
+	p.rbJoined = 0
 	round := p.rbRound
 	p.rbMu.Unlock()
 	// Every process re-announces "done" after its post-rollback stream,
@@ -375,8 +414,16 @@ func (p *ctrlPlane) onSynced(m ctrlMsg) {
 		return
 	}
 	p.rbAcks++
-	if p.rbMinK < 0 || m.K < p.rbMinK {
-		p.rbMinK = m.K
+	p.rbSynced = append(p.rbSynced, m)
+	if m.Blank {
+		// A blank joiner has no history: its zero watermark must not drag
+		// the rewind target down (its peers pruned re-execution inputs
+		// below their past floors), and it cannot serve state.
+		p.rbJoins++
+	} else {
+		if p.rbMinK < 0 || m.K < p.rbMinK {
+			p.rbMinK = m.K
+		}
 	}
 	if m.Epoch > p.rbEpoch {
 		p.rbEpoch = m.Epoch
@@ -385,15 +432,92 @@ func (p *ctrlPlane) onSynced(m ctrlMsg) {
 		p.rbMu.Unlock()
 		return
 	}
+	if p.rbMinK < 0 {
+		p.rbMinK = 0 // every process is blank: a fresh cluster
+	}
+	p.rbTarget = ctrlMsg{Type: "rewind", Round: p.rbRound, K: p.rbMinK, Epoch: p.rbEpoch + 1}
+	if p.rbJoins > 0 && p.rbJoins < p.rbAcks {
+		// Join round: insert the fetch phase, and rewind the whole cluster
+		// to the snapshot boundary rather than the minimum watermark. The
+		// joiner re-executes (boundary, minimum] live — that re-drive is
+		// what re-emits the commits a dead incarnation took to its grave —
+		// while the fold tail it fetched extends the f+1 digest
+		// cross-validation to the minimum watermark, pinning the
+		// re-execution it is about to do.
+		fetch := p.fetchTargetLocked()
+		p.rbTarget.K = fetch.K
+		p.rbPhase = 3
+		p.rbJoined = 0
+		p.rbMu.Unlock()
+		p.broadcastCtl(fetch)
+		return
+	}
 	p.rbPhase = 2
 	p.rbAcks = 0
-	p.rbTarget = ctrlMsg{Type: "rewind", Round: p.rbRound, K: p.rbMinK, Epoch: p.rbEpoch + 1}
 	target := p.rbTarget
 	p.rbMu.Unlock()
 	// Decisions at or below the target are never consulted again and
 	// later ones are re-made identically by the re-execution; dropping
 	// the log keeps replay to future re-subscribers from growing without
 	// bound across rollbacks.
+	p.subMu.Lock()
+	p.log = nil
+	p.subMu.Unlock()
+	p.broadcastCtl(target)
+}
+
+// fetchTargetLocked computes the join round's "fetch" broadcast: the
+// snapshot boundary J the whole round rewinds to, the pre-join minimum
+// watermark m the fold tail must reach, and the serving processes. The
+// boundary starts at the newest snapshot granule at or below m and is
+// raised to the highest non-blank floor: no process can rewind below its
+// own floor, and floors never exceed m (each is a previous round's
+// target, and watermarks only grow), so after the clamp every non-blank
+// process is an eligible server. Callers hold rbMu.
+func (p *ctrlPlane) fetchTargetLocked() ctrlMsg {
+	m := p.rbMinK
+	every := p.snapEvery
+	if every <= 0 {
+		every = defaultJoinBoundary
+	}
+	j := m - m%every
+	for _, ack := range p.rbSynced {
+		if !ack.Blank && ack.Floor > j {
+			j = ack.Floor
+		}
+	}
+	return ctrlMsg{Type: "fetch", Round: p.rbRound, K: j, M: m, Servers: p.serversLocked(j)}
+}
+
+// serversLocked lists the non-blank processes whose floor allows serving
+// a snapshot at watermark j. Callers hold rbMu.
+func (p *ctrlPlane) serversLocked(j int) []int64 {
+	var out []int64
+	for _, ack := range p.rbSynced {
+		if !ack.Blank && ack.Floor <= j {
+			out = append(out, ack.Peer)
+		}
+	}
+	return out
+}
+
+// onJoined counts blank joiners that finished their state transfer; the
+// last one lets the round proceed to the rewind phase.
+func (p *ctrlPlane) onJoined(m ctrlMsg) {
+	p.rbMu.Lock()
+	if m.Round != p.rbRound || p.rbPhase != 3 {
+		p.rbMu.Unlock()
+		return
+	}
+	p.rbJoined++
+	if p.rbJoined < p.rbJoins {
+		p.rbMu.Unlock()
+		return
+	}
+	p.rbPhase = 2
+	p.rbAcks = 0
+	target := p.rbTarget
+	p.rbMu.Unlock()
 	p.subMu.Lock()
 	p.log = nil
 	p.subMu.Unlock()
@@ -453,12 +577,35 @@ func (p *ctrlPlane) Rejoin() error {
 	return p.sendCtl(ctrlMsg{Type: "rejoin"})
 }
 
-// AckSync reports this process's committed watermark and launch epoch
-// for one rollback round.
-func (p *ctrlPlane) AckSync(round, watermark int, epoch uint64) error {
-	m := ctrlMsg{Type: "synced", Round: round, K: watermark, Epoch: epoch}
+// AckSync reports this process's committed watermark, launch epoch,
+// rewind floor and blankness for one rollback round. peer is the
+// process's lead node id, the address state-transfer messages route by.
+func (p *ctrlPlane) AckSync(round, watermark int, epoch uint64, floor int, blank bool, peer int64) error {
+	m := ctrlMsg{Type: "synced", Round: round, K: watermark, Epoch: epoch, Floor: floor, Blank: blank, Peer: peer}
 	if p.listener != nil {
 		p.onSynced(m)
+		return nil
+	}
+	return p.sendCtl(m)
+}
+
+// AckJoined reports a blank joiner's completed state transfer.
+func (p *ctrlPlane) AckJoined(round int, peer int64) error {
+	m := ctrlMsg{Type: "joined", Round: round, Peer: peer}
+	if p.listener != nil {
+		p.onJoined(m)
+		return nil
+	}
+	return p.sendCtl(m)
+}
+
+// sendTransfer ships a pull or chunk: followers send up to the
+// coordinator (which rebroadcasts); the coordinator broadcasts directly.
+// Either way every process — the addressee included — sees the message
+// on its event stream and filters by Server/Peer.
+func (p *ctrlPlane) sendTransfer(m ctrlMsg) error {
+	if p.listener != nil {
+		p.broadcastCtl(m)
 		return nil
 	}
 	return p.sendCtl(m)
@@ -613,7 +760,7 @@ func (p *ctrlPlane) readLoop() {
 		switch m.Type {
 		case "alldone":
 			p.doneOnce.Do(func() { close(p.allDone) })
-		case "sync", "rewind", "resume":
+		case "sync", "rewind", "resume", "fetch", "pull", "chunk":
 			p.pushEvent(m)
 		default:
 			p.d.put(m)

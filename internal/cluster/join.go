@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"nab/internal/core"
+	"nab/internal/wal"
+)
+
+// This file is the join round's state transfer: the machinery that brings
+// a blank-WAL process into a live cluster without replaying the whole
+// committed history.
+//
+// A blank process announces an ordinary rejoin, but its sync ack carries
+// Blank, so the coordinator inserts a "fetch" phase between sync and
+// rewind (see ctrlPlane.onSynced). During that phase every process is
+// parked inside its rollback round — streams canceled, sockets open — so
+// non-blank processes double as snapshot servers. The joiner pulls, over
+// the coordinator-relayed control plane:
+//
+//  1. digests: each eligible server's hash of the canonical snapshot at
+//     the boundary J plus the commit-chain digest at the rewind target m.
+//     The joiner needs f+1 matching pairs before trusting any content —
+//     with at most f Byzantine processes, a winning vote always contains
+//     an honest server, so the agreed digests are the honest state's.
+//  2. the snapshot bytes at J, from one winning voter. Content that does
+//     not hash to the agreed digest convicts the server (it voted for
+//     bytes it will not produce) and the joiner moves to the next voter.
+//  3. the fold tail: the cross-process commit projections for (J, m],
+//     chained from the snapshot's digest and checked against the agreed
+//     chain digest at m. The tail is validation, not state: a join round
+//     rewinds the whole cluster to J (not m), so the joiner re-executes
+//     (J, m] live — that re-drive re-emits any commits a dead
+//     incarnation's local outputs took with it. The agreed digest at m is
+//     kept as a tripwire: when the joiner's own re-executed chain reaches
+//     m it must land on exactly that digest, extending the f+1
+//     cross-validation over everything it replays.
+//
+// The transferred snapshot is installed at the round's rewind (the
+// joiner's floor becomes J) and persisted into its WAL at resume, when
+// every process has provably fsynced past the target — so no future
+// rollback can strand an instance below any process's log.
+
+// transferChunk bounds one chunk's payload on the control plane.
+const transferChunk = 32 << 10
+
+// maxTransferBytes bounds a whole snapshot or tail transfer — a Byzantine
+// server must not balloon the joiner's memory.
+const maxTransferBytes = 64 << 20
+
+// joinResult is the state a blank process fetched during a join round,
+// held until the rewind installs it as the process's floor.
+type joinResult struct {
+	base       core.SnapshotState // the snapshot at the boundary J, installed as the floor
+	baseDigest uint64             // commit-chain digest at J (the snapshot's Digest)
+	m          int                // the fold tail's end: the round's pre-join minimum watermark
+	mDigest    uint64             // agreed chain digest at m, checked once re-execution reaches it
+}
+
+// serveState is a non-blank process's materialized join transfer: the
+// canonical snapshot bytes at the boundary and the framed fold tail up to
+// the rewind target, built once per fetch phase and chunked out on demand.
+type serveState struct {
+	snapBytes  []byte
+	tailBytes  []byte
+	snapDigest uint64 // fnv64a over snapBytes
+	tailDigest uint64 // commit-chain digest at m
+}
+
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// stateAt folds this process's base and committed prefix to the snapshot
+// state at watermark m.
+func (n *Node) stateAt(m int) (core.SnapshotState, error) {
+	if m < n.floor || m > n.floor+len(n.committed) {
+		return core.SnapshotState{}, fmt.Errorf("cluster: snapshot watermark %d outside [floor %d, watermark %d]", m, n.floor, n.floor+len(n.committed))
+	}
+	if m == n.floor {
+		return n.base, nil
+	}
+	g, err := n.cfg.Graph()
+	if err != nil {
+		return core.SnapshotState{}, err
+	}
+	b, err := core.NewSnapshotBuilder(g).Seed(n.base)
+	if err != nil {
+		return core.SnapshotState{}, err
+	}
+	for _, ir := range n.committed[:m-n.floor] {
+		if err := b.Fold(ir); err != nil {
+			return core.SnapshotState{}, err
+		}
+	}
+	return b.State(), nil
+}
+
+// buildServe materializes this process's serve state for one fetch phase,
+// or nil when it is not among the round's eligible servers. The snapshot
+// is encoded with Epoch 0: epochs are per-process until the round's
+// rewind agrees on a new one, and the transfer bytes must be identical on
+// every honest server.
+func (n *Node) buildServe(ev ctrlMsg) (*serveState, error) {
+	eligible := false
+	for _, s := range ev.Servers {
+		if s == n.lead {
+			eligible = true
+		}
+	}
+	if !eligible {
+		return nil, nil
+	}
+	j, m := ev.K, ev.M
+	if j > m {
+		return nil, fmt.Errorf("cluster: fetch boundary %d above rewind target %d", j, m)
+	}
+	st, err := n.stateAt(j)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.stateAt(m); err != nil { // bounds check the tail end
+		return nil, err
+	}
+	snap := wal.Snapshot{K: st.K, Gen: st.Gen, Disputes: st.Disputes, Faulty: st.Faulty, Digest: n.chain[j-n.floor]}
+	snap.Canonicalize()
+	sv := &serveState{snapBytes: wal.AppendSnapshot(nil, snap), tailDigest: n.chain[m-n.floor]}
+	for _, ir := range n.committed[j-n.floor : m-n.floor] {
+		p := wal.AppendCommitFold(nil, ir)
+		sv.tailBytes = binary.AppendUvarint(sv.tailBytes, uint64(len(p)))
+		sv.tailBytes = append(sv.tailBytes, p...)
+	}
+	sv.snapDigest = fnvSum(sv.snapBytes)
+	if n.testServeTamper != nil {
+		// Test hook: a Byzantine snapshot server. Tampering with the bytes
+		// alone makes content validation convict it; tampering with the
+		// digests makes the quorum outvote it.
+		n.testServeTamper(sv)
+	}
+	n.log.Info("serve-join", "j", j, "m", m, "snapBytes", len(sv.snapBytes), "tailBytes", len(sv.tailBytes))
+	return sv, nil
+}
+
+// servePull answers one pull addressed to this process with a chunk.
+func (n *Node) servePull(sv *serveState, ev ctrlMsg) error {
+	reply := ctrlMsg{Type: "chunk", Round: ev.Round, Kind: ev.Kind, Server: n.lead, Peer: ev.Peer}
+	switch ev.Kind {
+	case "digest":
+		reply.SnapDigest, reply.TailDigest = sv.snapDigest, sv.tailDigest
+	case "snap", "tail":
+		data := sv.snapBytes
+		if ev.Kind == "tail" {
+			data = sv.tailBytes
+		}
+		off := ev.Off
+		if off < 0 || off > len(data) {
+			off = len(data)
+		}
+		end := off + transferChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		reply.Off, reply.N, reply.Data = off, len(data), data[off:end]
+	default:
+		return nil
+	}
+	return n.ctrl.sendTransfer(reply)
+}
+
+// pullFn transfers one complete item of kind from server: returns the
+// raw bytes (snap/tail kinds) or the digest pair (digest kind). A non-nil
+// abort event means the round was restarted (or the control link died)
+// mid-transfer; an error convicts the server or reports a fatal wait
+// failure.
+type pullFn func(server int64, kind string) (data []byte, snapDigest, tailDigest uint64, abort *ctrlMsg, err error)
+
+// joinFetch runs the blank process's side of one fetch phase: digest
+// quorum, content fetch with Byzantine fallback, fold to the rewind
+// target, and the "joined" ack. The fetched state lands in n.pending for
+// the rewind to install.
+func (n *Node) joinFetch(round int, fetch ctrlMsg, next func() (ctrlMsg, error)) (*ctrlMsg, error) {
+	j, m, servers := fetch.K, fetch.M, fetch.Servers
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("cluster: join round offers no serving peers")
+	}
+	need := n.cfg.F + 1
+	if need > len(servers) {
+		// Fewer eligible processes than f+1 (small or mostly-blank
+		// cluster): cross-validate against everything there is.
+		need = len(servers)
+	}
+	n.log.Info("join-fetch", "j", j, "m", m, "servers", fmt.Sprint(servers), "need", need)
+
+	pull := func(server int64, kind string) ([]byte, uint64, uint64, *ctrlMsg, error) {
+		var buf []byte
+		off := 0
+		for {
+			req := ctrlMsg{Type: "pull", Round: round, Kind: kind, Server: server, Peer: n.lead, K: j, M: m, Off: off}
+			if err := n.ctrl.sendTransfer(req); err != nil {
+				ev := n.ctrl.ctrldownNow()
+				return nil, 0, 0, &ev, nil
+			}
+			for {
+				ev, err := next()
+				if err != nil {
+					return nil, 0, 0, nil, err
+				}
+				if ev.Type == "sync" || ev.Type == "ctrldown" {
+					return nil, 0, 0, &ev, nil
+				}
+				if ev.Type != "chunk" || ev.Round != round || ev.Server != server || ev.Peer != n.lead || ev.Kind != kind {
+					continue // someone else's transfer, or decision noise
+				}
+				if kind == "digest" {
+					return nil, ev.SnapDigest, ev.TailDigest, nil, nil
+				}
+				if ev.Off != off || ev.N < 0 || ev.N > maxTransferBytes || (len(ev.Data) == 0 && off < ev.N) {
+					return nil, 0, 0, nil, fmt.Errorf("cluster: server %d: malformed %s chunk (off %d n %d)", server, kind, ev.Off, ev.N)
+				}
+				buf = append(buf, ev.Data...)
+				off += len(ev.Data)
+				if off >= ev.N {
+					return buf, 0, 0, nil, nil
+				}
+				break // pull the next chunk
+			}
+		}
+	}
+
+	// Digest quorum: collect (snapshot hash, chain digest) votes until one
+	// pair reaches need matching copies.
+	type vote struct{ snap, tail uint64 }
+	votes := map[vote][]int64{}
+	var winner *vote
+	for _, sv := range servers {
+		_, sd, td, abort, err := pull(sv, "digest")
+		if abort != nil || err != nil {
+			return abort, err
+		}
+		v := vote{sd, td}
+		votes[v] = append(votes[v], sv)
+		if len(votes[v]) >= need {
+			winner = &v
+			break
+		}
+	}
+	if winner == nil {
+		return nil, fmt.Errorf("cluster: no snapshot digest reached %d matching copies across %d servers", need, len(servers))
+	}
+
+	// Content, from the winning voters in turn: a server whose bytes fail
+	// the agreed digests (or do not parse, chain or fold) is Byzantine —
+	// it voted for state it will not produce — and the next voter is tried.
+	var firstErr error
+	for _, sv := range votes[*winner] {
+		res, abort, err := n.fetchFrom(pull, sv, j, m, winner.snap, winner.tail)
+		if abort != nil {
+			return abort, nil
+		}
+		if err != nil {
+			n.log.Error("join-server-rejected", "server", sv, "err", err)
+			mJoinServerRejects.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n.pending = res
+		mJoinRounds.Inc()
+		n.log.Info("join-fetched", "j", j, "m", m, "gen", res.base.Gen, "digest", fmt.Sprintf("%x", res.mDigest))
+		if err := n.ctrl.AckJoined(round, n.lead); err != nil {
+			ev := n.ctrl.ctrldownNow()
+			return &ev, nil
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("cluster: every digest-matching server failed content validation: %w", firstErr)
+}
+
+// fetchFrom pulls and validates one server's snapshot + fold tail against
+// the quorum-agreed digests. The snapshot becomes the joiner's base at J;
+// the tail is folded only to prove it parses, chains from the snapshot,
+// and lands on the agreed digest at m — the instances it covers are
+// re-executed live after the rewind, not installed.
+func (n *Node) fetchFrom(pull pullFn, server int64, j, m int, wantSnap, wantTail uint64) (*joinResult, *ctrlMsg, error) {
+	snapBytes, _, _, abort, err := pull(server, "snap")
+	if abort != nil || err != nil {
+		return nil, abort, err
+	}
+	if fnvSum(snapBytes) != wantSnap {
+		return nil, nil, fmt.Errorf("cluster: server %d: snapshot bytes do not hash to the agreed digest", server)
+	}
+	snap, err := wal.DecodeSnapshot(snapBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: server %d: %w", server, err)
+	}
+	if snap.K != j {
+		return nil, nil, fmt.Errorf("cluster: server %d: snapshot at %d, want %d", server, snap.K, j)
+	}
+	tailBytes, _, _, abort, err := pull(server, "tail")
+	if abort != nil || err != nil {
+		return nil, abort, err
+	}
+	g, err := n.cfg.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	seed := core.SnapshotState{K: snap.K, Gen: snap.Gen, Disputes: snap.Disputes, Faulty: snap.Faulty}
+	b, err := core.NewSnapshotBuilder(g).Seed(seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: server %d: %w", server, err)
+	}
+	digest := snap.Digest
+	rest := tailBytes
+	for k := j + 1; k <= m; k++ {
+		ln, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < ln {
+			return nil, nil, fmt.Errorf("cluster: server %d: truncated fold tail at instance %d", server, k)
+		}
+		payload := rest[sz : sz+int(ln)]
+		rest = rest[sz+int(ln):]
+		ir, err := wal.DecodeCommitFold(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: server %d: %w", server, err)
+		}
+		if ir.K != k {
+			return nil, nil, fmt.Errorf("cluster: server %d: fold tail carries instance %d, want %d", server, ir.K, k)
+		}
+		digest = wal.Chain(digest, payload)
+		if err := b.Fold(ir); err != nil {
+			return nil, nil, fmt.Errorf("cluster: server %d: %w", server, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("cluster: server %d: %d trailing bytes after the fold tail", server, len(rest))
+	}
+	if digest != wantTail {
+		return nil, nil, fmt.Errorf("cluster: server %d: fold tail chains to %x, agreed digest is %x", server, digest, wantTail)
+	}
+	return &joinResult{base: seed, baseDigest: snap.Digest, m: m, mDigest: digest}, nil, nil
+}
+
+// applyRewind rewinds this process to the round's floor m on the agreed
+// epoch: a blank joiner first installs its fetched state as its floor,
+// then every durable process restores its runtime, prunes its input
+// retention, re-pins the mesh and fsyncs its WAL — the fsync is the floor
+// safety rule: when the round completes, the whole cluster is durably at
+// or past m, so a floor snapshot persisted at resume can never strand a
+// future rollback below someone's log.
+func (n *Node) applyRewind(m int, epoch uint64) error {
+	n.epoch = epoch
+	if n.blank {
+		if n.pending != nil {
+			if n.pending.base.K != m {
+				return fmt.Errorf("cluster: rewind to %d but the join fetch anchored at %d", m, n.pending.base.K)
+			}
+			n.floor = n.pending.base.K
+			n.base = n.pending.base
+			n.chain = append(n.chain[:0], n.pending.baseDigest)
+			n.committed = nil
+			if n.pending.m > n.floor {
+				// Arm the re-execution tripwire: when this process's own
+				// chain reaches the pre-join watermark, it must land on the
+				// quorum-agreed digest.
+				n.checkK, n.checkDigest = n.pending.m, n.pending.mDigest
+			}
+		} else if m != 0 {
+			return fmt.Errorf("cluster: blank process rewound to %d with no fetched state", m)
+		}
+		n.blank = false
+		n.pending = nil
+	}
+	if m < n.floor || m > n.floor+len(n.committed) {
+		return fmt.Errorf("cluster: rewind to %d outside [floor %d, watermark %d]", m, n.floor, n.floor+len(n.committed))
+	}
+	n.log.Info("rewind", "k", m, "epoch", epoch, "floor", n.floor)
+	if err := n.rt.RestoreSnapshot(n.epoch<<32, n.base, n.committed[:m-n.floor]); err != nil {
+		return err
+	}
+	n.inputs.prune(m)
+	// Re-pin every outbound mesh link before acknowledging: a connection
+	// to the restarted peer can look healthy until the first post-resume
+	// write discovers the dead socket.
+	if err := n.tr.Reestablish(); err != nil {
+		return fmt.Errorf("cluster: re-pin mesh links: %w", err)
+	}
+	if n.opt.SyncWAL != nil {
+		if err := n.opt.SyncWAL(); err != nil {
+			return fmt.Errorf("cluster: wal sync before rewound ack: %w", err)
+		}
+	}
+	return nil
+}
+
+// persistFloorAt writes the round's floor snapshot into this process's
+// WAL (compacting the log behind it) once the round has resumed — only
+// then has every process provably fsynced past m.
+func (n *Node) persistFloorAt(m int) error {
+	if n.opt.PersistFloor == nil {
+		return nil
+	}
+	st, err := n.stateAt(m)
+	if err != nil {
+		return err
+	}
+	s := wal.Snapshot{K: st.K, Epoch: n.epoch, Gen: st.Gen, Disputes: st.Disputes, Faulty: st.Faulty, Digest: n.chain[m-n.floor]}
+	if err := n.opt.PersistFloor(s); err != nil {
+		return fmt.Errorf("cluster: persist floor snapshot: %w", err)
+	}
+	mFloorSnapshots.Inc()
+	n.log.Info("floor-persisted", "k", m, "gen", st.Gen)
+	return nil
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nab/internal/core"
+	"nab/internal/graph"
+	"nab/internal/runtime"
+	"nab/internal/topo"
+	"nab/internal/wal"
+)
+
+// joinConfig assembles a one-node-per-process K4 loopback cluster with a
+// join snapshot boundary small enough that mid-stream joins fetch a real
+// (non-empty) snapshot.
+func joinConfig(t *testing.T, q, snapEvery int, advs map[graph.NodeID]string) (*Config, *Reservation) {
+	t.Helper()
+	g := topo.CompleteBi(4, 1)
+	nodes := g.Nodes()
+	rsv, err := ReserveAddrs(len(nodes) + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsv.Close() })
+	addrs := rsv.Addrs()
+	cfg := &Config{
+		Topology: g.Marshal(), Source: 1, F: 1,
+		LenBytes: 24, Seed: 9, Window: 2, Instances: q,
+		CtrlAddr:         addrs[len(nodes)],
+		SnapshotInterval: snapEvery,
+	}
+	for i, v := range nodes {
+		cfg.Nodes = append(cfg.Nodes, NodeSpec{ID: v, Addr: addrs[i], Adversary: advs[v]})
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, rsv
+}
+
+// durableRun is one in-process stand-in for a durable OS process: a
+// started Node plus its supervised stream.
+type durableRun struct {
+	n      *Node
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	commits []*core.InstanceResult
+	res     *runtime.Result
+	err     error
+}
+
+// stream launches the run's Stream over the full workload; killAt > 0
+// cancels the stream's context from inside the commit callback once that
+// many fresh commits have been delivered (a deterministic mid-stream
+// crash).
+func (dr *durableRun) stream(cfg *Config, killAt int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	dr.cancel = cancel
+	dr.done = make(chan struct{})
+	subs := make(chan []byte, cfg.Instances)
+	for _, in := range cfg.Inputs() {
+		subs <- in
+	}
+	close(subs)
+	go func() {
+		defer close(dr.done)
+		res, err := dr.n.Stream(ctx, subs, func(ir *core.InstanceResult) error {
+			dr.mu.Lock()
+			dr.commits = append(dr.commits, ir)
+			cnt := len(dr.commits)
+			dr.mu.Unlock()
+			if killAt > 0 && cnt >= killAt {
+				cancel()
+			}
+			return nil
+		})
+		dr.mu.Lock()
+		dr.res, dr.err = res, err
+		dr.mu.Unlock()
+	}()
+}
+
+// runJoinScenario drives the in-process join round: boot a durable
+// 4-process cluster, crash the victim after killAt commits, start a
+// blank replacement with Join, and verify the union of everyone's
+// commits (and final dispute state) is byte-identical to the lockstep
+// oracle. tamper, when non-nil, is installed on the coordinator's node
+// as a Byzantine snapshot server before any stream starts.
+//
+// The parameters are chosen so the join boundary is deterministic: with
+// snapshot granularity 8, pipeline window 2 and the kill at 10 delivered
+// commits, every survivor watermark lies in [8, 14] (the victim's frame
+// dependencies bound the skew to the window on each side), so the round's
+// boundary is exactly 8 — and 8 never exceeds the victim's delivered
+// count, so the joiner's re-execution covers every output the dead
+// incarnation left unemitted.
+func runJoinScenario(t *testing.T, q, killAt int, tamper func(*serveState)) {
+	t.Helper()
+	cfg, rsv := joinConfig(t, q, 8, map[graph.NodeID]string{3: "alarm"})
+	coreCfg, err := cfg.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := core.NewRunner(coreCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lock.Run(cfg.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = graph.NodeID(2)
+	opts := Options{BootTimeout: 30 * time.Second, Reservation: rsv, Durable: true,
+		RejoinLinger: 2 * time.Minute}
+	runs := map[graph.NodeID]*durableRun{}
+	// The coordinator first, so follower control dials land immediately.
+	order := []graph.NodeID{1, 2, 3, 4}
+	for _, v := range order {
+		n, err := Start(cfg, v, opts)
+		if err != nil {
+			t.Fatalf("start node %d: %v", v, err)
+		}
+		t.Cleanup(func() { n.Close() })
+		runs[v] = &durableRun{n: n}
+	}
+	if tamper != nil {
+		runs[1].n.testServeTamper = tamper
+	}
+	for _, v := range order {
+		kill := 0
+		if v == victim {
+			kill = killAt
+		}
+		runs[v].stream(cfg, kill)
+	}
+
+	// The victim crashes itself at killAt; reap it and close its sockets.
+	vr := runs[victim]
+	select {
+	case <-vr.done:
+	case <-time.After(time.Minute):
+		t.Fatal("victim never reached its kill point")
+	}
+	if vr.err == nil {
+		t.Fatal("victim finished the workload before the kill point; raise q")
+	}
+	vr.n.Close()
+	t.Logf("killed victim after %d commits", len(vr.commits))
+
+	// The blank replacement: no reservation (the victim's listener died
+	// with it; the joiner rebinds the configured address itself).
+	jopt := Options{BootTimeout: 30 * time.Second, Durable: true, Join: true,
+		RejoinLinger: 2 * time.Minute}
+	jn, err := Start(cfg, victim, jopt)
+	if err != nil {
+		t.Fatalf("start joiner: %v", err)
+	}
+	t.Cleanup(func() { jn.Close() })
+	joiner := &durableRun{n: jn}
+	joiner.stream(cfg, 0)
+	runs[victim] = joiner
+
+	for _, v := range order {
+		select {
+		case <-runs[v].done:
+		case <-time.After(3 * time.Minute):
+			t.Fatalf("node %d did not finish after the join", v)
+		}
+		if err := runs[v].err; err != nil {
+			t.Fatalf("node %d stream failed: %v", v, err)
+		}
+	}
+
+	// The joiner entered at the snapshot boundary, never replaying history.
+	floor := joiner.n.floor
+	if floor != 8 {
+		t.Fatalf("joiner floor = %d; want the deterministic boundary 8", floor)
+	}
+	if first := joiner.commits[0].K; first != floor+1 {
+		t.Fatalf("joiner's first commit is instance %d, want %d (floor %d)", first, floor+1, floor)
+	}
+	if last := joiner.commits[len(joiner.commits)-1].K; last != q {
+		t.Fatalf("joiner's last commit is instance %d, want %d", last, q)
+	}
+	t.Logf("joiner entered at floor %d (%d live commits)", floor, len(joiner.commits))
+
+	// Union of all processes' commit streams vs the lockstep oracle. The
+	// victim's pre-crash commits were delivered (instances the joiner's
+	// floor hides from its own stream), so its first incarnation merges
+	// alongside the replacement.
+	merged := make([]map[graph.NodeID][]byte, q)
+	for i := range merged {
+		merged[i] = map[graph.NodeID][]byte{}
+	}
+	streams := map[graph.NodeID]*durableRun{}
+	for v, dr := range runs {
+		streams[v] = dr
+	}
+	streams[victim+100] = vr // distinct key; node ids are 1..4
+	for v, dr := range streams {
+		if v > 100 {
+			v -= 100
+		}
+		prev := 0
+		for _, ir := range dr.commits {
+			if prev > 0 && ir.K != prev+1 {
+				t.Errorf("node %d: commit %d after %d (duplicated or skipped)", v, ir.K, prev)
+			}
+			prev = ir.K
+			w := want.Instances[ir.K-1]
+			if ir.Mismatch != w.Mismatch || ir.Phase3 != w.Phase3 {
+				t.Errorf("node %d instance %d: schedule diverged from lockstep", v, ir.K)
+			}
+			for nv, out := range ir.Outputs {
+				if old, dup := merged[ir.K-1][nv]; dup && !bytes.Equal(old, out) {
+					t.Errorf("instance %d: node %d output reported twice with different values", ir.K, nv)
+				}
+				merged[ir.K-1][nv] = out
+			}
+		}
+	}
+	// The live processes (the joiner included) must end at the oracle's
+	// dispute state; the crashed incarnation's is frozen mid-run.
+	for v, dr := range runs {
+		if got, wantD := dr.n.Runtime().Disputes().String(), lock.Disputes().String(); got != wantD {
+			t.Errorf("node %d dispute set %q, want %q", v, got, wantD)
+		}
+	}
+	for i, w := range want.Instances {
+		if len(merged[i]) != len(w.Outputs) {
+			t.Errorf("instance %d: cluster committed %d outputs, lockstep %d", i+1, len(merged[i]), len(w.Outputs))
+		}
+		for nv, out := range w.Outputs {
+			if !bytes.Equal(merged[i][nv], out) {
+				t.Errorf("instance %d: node %d output %x, want %x", i+1, nv, merged[i][nv], out)
+			}
+		}
+	}
+}
+
+// TestClusterJoinMidStream crashes one process of a live durable cluster
+// and replaces it with a blank joiner: the joiner fetches a snapshot +
+// fold tail over the control plane, enters at the rewind floor without
+// replaying history, and the cluster-wide commit union stays
+// byte-identical to the lockstep oracle (dispute evolution included —
+// the workload excludes a false alarmer before the crash).
+func TestClusterJoinMidStream(t *testing.T) {
+	runJoinScenario(t, 20, 10, nil)
+}
+
+// TestClusterJoinByzantineDigests makes the coordinator's own node a
+// Byzantine snapshot server: it votes corrupted digests during the
+// fetch phase. With f = 1 the joiner demands 2 matching copies, the two
+// honest survivors outvote the liar, and the join completes
+// byte-identically anyway.
+func TestClusterJoinByzantineDigests(t *testing.T) {
+	var fired atomic.Bool
+	runJoinScenario(t, 20, 10, func(sv *serveState) {
+		fired.Store(true)
+		sv.snapDigest ^= 0xdead
+		sv.tailDigest ^= 0xbeef
+	})
+	if !fired.Load() {
+		t.Fatal("the Byzantine server was never asked to serve; the scenario did not exercise the fetch phase")
+	}
+}
+
+// fakeTransfer builds an honest server's transfer for [j, m] out of
+// crafted fold records, returning the serve bytes and agreed digests.
+func fakeTransfer(t *testing.T, j, m int, irs []*core.InstanceResult) (snapBytes, tailBytes []byte, snapDigest, tailDigest uint64) {
+	t.Helper()
+	snap := wal.Snapshot{K: j, Digest: wal.DigestSeed}
+	snap.Canonicalize()
+	snapBytes = wal.AppendSnapshot(nil, snap)
+	digest := snap.Digest
+	for _, ir := range irs {
+		p := wal.AppendCommitFold(nil, ir)
+		tailBytes = binary.AppendUvarint(tailBytes, uint64(len(p)))
+		tailBytes = append(tailBytes, p...)
+		digest = wal.Chain(digest, p)
+	}
+	return snapBytes, tailBytes, fnvSum(snapBytes), digest
+}
+
+// TestJoinFetchValidation unit-tests the joiner's content validation
+// against a scripted server: the honest transfer folds to the target,
+// and every Byzantine variation — corrupted snapshot bytes, wrong
+// anchor, truncated or re-keyed tail, trailing junk, broken chain — is
+// convicted with a descriptive error.
+func TestJoinFetchValidation(t *testing.T) {
+	cfg, _ := joinConfig(t, 4, 0, nil)
+	n := &Node{cfg: cfg}
+	irs := []*core.InstanceResult{{K: 1}, {K: 2}}
+	snapBytes, tailBytes, snapDigest, tailDigest := fakeTransfer(t, 0, 2, irs)
+
+	mkPull := func(snap, tail []byte) pullFn {
+		return func(server int64, kind string) ([]byte, uint64, uint64, *ctrlMsg, error) {
+			switch kind {
+			case "snap":
+				return append([]byte(nil), snap...), 0, 0, nil, nil
+			case "tail":
+				return append([]byte(nil), tail...), 0, 0, nil, nil
+			}
+			t.Fatalf("unexpected pull kind %q", kind)
+			return nil, 0, 0, nil, nil
+		}
+	}
+
+	res, abort, err := n.fetchFrom(mkPull(snapBytes, tailBytes), 1, 0, 2, snapDigest, tailDigest)
+	if err != nil || abort != nil {
+		t.Fatalf("honest transfer rejected: %v (abort %v)", err, abort)
+	}
+	if res.base.K != 0 || res.baseDigest != wal.DigestSeed || res.mDigest != tailDigest || res.m != 2 {
+		t.Fatalf("honest transfer: base K=%d baseDigest=%x mDigest=%x m=%d", res.base.K, res.baseDigest, res.mDigest, res.m)
+	}
+
+	flippedSnap := append([]byte(nil), snapBytes...)
+	flippedSnap[len(flippedSnap)-1] ^= 1
+	cases := []struct {
+		name string
+		snap []byte
+		tail []byte
+		want string
+	}{
+		{"flipped snapshot byte", flippedSnap, tailBytes, "do not hash"},
+		{"truncated tail", snapBytes, tailBytes[:len(tailBytes)-1], "truncated fold tail"},
+		{"trailing junk", snapBytes, append(append([]byte(nil), tailBytes...), 0xff), "trailing bytes"},
+	}
+	for _, tc := range cases {
+		_, abort, err := n.fetchFrom(mkPull(tc.snap, tc.tail), 1, 0, 2, snapDigest, tailDigest)
+		if abort != nil {
+			t.Fatalf("%s: unexpected abort", tc.name)
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Wrong anchor: a snapshot encoded at K=1 offered for boundary 0.
+	wrongSnap := wal.Snapshot{K: 1, Digest: wal.DigestSeed}
+	wrongSnap.Canonicalize()
+	wb := wal.AppendSnapshot(nil, wrongSnap)
+	if _, _, err := n.fetchFrom(mkPull(wb, nil), 1, 0, 0, fnvSum(wb), wrongSnap.Digest); err == nil || !strings.Contains(err.Error(), "snapshot at 1, want 0") {
+		t.Errorf("wrong anchor: error %v", err)
+	}
+
+	// Re-keyed tail: the second fold claims instance 3.
+	_, badTail, _, _ := fakeTransfer(t, 0, 2, []*core.InstanceResult{{K: 1}, {K: 3}})
+	if _, _, err := n.fetchFrom(mkPull(snapBytes, badTail), 1, 0, 2, snapDigest, tailDigest); err == nil || !strings.Contains(err.Error(), "carries instance 3, want 2") {
+		t.Errorf("re-keyed tail: error %v", err)
+	}
+
+	// Chain break: honest-looking bytes that chain to a different digest.
+	if _, _, err := n.fetchFrom(mkPull(snapBytes, tailBytes), 1, 0, 2, snapDigest, tailDigest^1); err == nil || !strings.Contains(err.Error(), "chains to") {
+		t.Errorf("chain break: error %v", err)
+	}
+}

@@ -13,6 +13,12 @@ var (
 		"Rollback rounds this process has been pulled through.")
 	mRejoinDuration = metrics.NewHistogram("nab_cluster_rejoin_seconds",
 		"Duration of completed rollback rounds, sync to resume.", metrics.LatencyBuckets)
+	mJoinRounds = metrics.NewCounter("nab_cluster_join_fetches_total",
+		"Join-round state transfers this process completed as the joiner.")
+	mJoinServerRejects = metrics.NewCounter("nab_cluster_join_server_rejects_total",
+		"Serving peers rejected during a join fetch (content failed digest cross-validation).")
+	mFloorSnapshots = metrics.NewCounter("nab_cluster_floor_snapshots_total",
+		"Rollback-floor snapshots persisted into this process's WAL.")
 
 	rejoinLog = obs.New("rejoin", "NAB_REJOIN_DEBUG")
 	ctrlLog   = obs.New("ctrl", "NAB_REJOIN_DEBUG")

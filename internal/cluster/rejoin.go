@@ -8,6 +8,7 @@ import (
 
 	"nab/internal/core"
 	"nab/internal/runtime"
+	"nab/internal/wal"
 )
 
 // This file is the process-side half of the cluster's crash-recovery: a
@@ -164,13 +165,28 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 
 	events := n.ctrl.Events()
 	commitFn := func(ir *core.InstanceResult) error {
-		if ir.K <= len(n.committed) {
+		if ir.K <= n.floor+len(n.committed) {
 			// Re-execution below the delivered watermark: the wire
 			// traffic is the point; the commit was delivered (and
 			// persisted) before the rollback.
 			return nil
 		}
 		n.committed = append(n.committed, ir)
+		// Extend the commit-chain digest over the cross-process fold
+		// projection — the cheap per-commit work that makes this process a
+		// valid snapshot server for any future join round.
+		n.encBuf = wal.AppendCommitFold(n.encBuf[:0], ir)
+		n.chain = append(n.chain, wal.Chain(n.chain[len(n.chain)-1], n.encBuf))
+		if n.checkK == ir.K {
+			// The join-round tripwire: this process's own re-execution of
+			// the fetched tail just reached the pre-join watermark, and its
+			// chain must land on the digest f+1 servers agreed on.
+			if got := n.chain[len(n.chain)-1]; got != n.checkDigest {
+				return fmt.Errorf("cluster: re-executed chain digest %016x at instance %d diverges from the join quorum's %016x", got, ir.K, n.checkDigest)
+			}
+			n.checkK = 0
+			n.log.Info("join-reexec-verified", "k", ir.K)
+		}
 		if commit != nil {
 			return commit(ir)
 		}
@@ -183,7 +199,7 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 	// re-enters through the ctrldown path instead of failing the boot.
 	if n.rejoinPending {
 		n.rejoinPending = false
-		n.log.Info("announce-rejoin", "watermark", len(n.committed))
+		n.log.Info("announce-rejoin", "watermark", n.floor+len(n.committed), "blank", n.blank)
 		if err := n.ctrl.Rejoin(); err != nil {
 			n.log.Error("announce-failed", "err", err, "action", "reconnect")
 			if err := n.rollback(ctx, n.ctrl.ctrldownNow(), linger); err != nil {
@@ -299,9 +315,10 @@ func (n *Node) park(ctx context.Context, events <-chan ctrlMsg, linger time.Dura
 }
 
 // rollback drives this process through one rollback round (possibly
-// restarted by further rejoins): ack the sync with our watermark, rewind
-// the runtime to the agreed floor on the agreed launch epoch, ack, and
-// wait for the cluster-wide resume.
+// restarted by further rejoins): ack the sync with our watermark, serve —
+// or, blank, run — the join round's state transfer if the coordinator
+// inserts one, rewind the runtime to the agreed floor on the agreed
+// launch epoch, ack, and wait for the cluster-wide resume.
 func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) error {
 	events := n.ctrl.Events()
 	deadline := time.After(linger)
@@ -352,53 +369,69 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 			round := ev.Round
 			n.lastRound = round
 			mRollbackRounds.Inc()
-			n.log.Info("ack-sync", "round", round, "watermark", len(n.committed), "epoch", n.epoch)
-			if err := n.ctrl.AckSync(round, len(n.committed), n.epoch); err != nil {
+			watermark := n.floor + len(n.committed)
+			n.log.Info("ack-sync", "round", round, "watermark", watermark, "floor", n.floor, "blank", n.blank, "epoch", n.epoch)
+			if err := n.ctrl.AckSync(round, watermark, n.epoch, n.floor, n.blank, n.lead); err != nil {
 				ev = n.ctrl.ctrldownNow()
 				continue
 			}
+			// The round's event loop: state-transfer traffic (a join round's
+			// fetch phase) flows between the sync ack and the rewind, and
+			// the resume only lands after our rewound ack. A fresh sync or a
+			// control loss at any point restarts the round via the outer
+			// dispatch.
+			var serve *serveState
 			var err error
-			if ev, err = next(); err != nil {
-				return err
-			}
-			if ev.Type == "rewind" && ev.Round == round {
-				m := ev.K
-				if m > len(n.committed) {
-					return fmt.Errorf("cluster: rewind to %d beyond local watermark %d", m, len(n.committed))
-				}
-				n.log.Info("rewind", "k", m, "epoch", ev.Epoch, "round", round)
-				n.epoch = ev.Epoch
-				if err := n.rt.Restore(n.epoch<<32, m, n.committed[:m]); err != nil {
+			m, rewound := 0, false
+		round:
+			for {
+				if ev, err = next(); err != nil {
 					return err
 				}
-				n.inputs.prune(m)
-				// Re-pin every outbound mesh link before acknowledging: a
-				// connection to the restarted peer can look healthy until
-				// the first post-resume write discovers the dead socket.
-				if err := n.tr.Reestablish(); err != nil {
-					return fmt.Errorf("cluster: re-pin mesh links: %w", err)
-				}
-				if err := n.ctrl.AckRewound(round); err != nil {
-					ev = n.ctrl.ctrldownNow()
-					continue
-				}
-				for {
-					if ev, err = next(); err != nil {
+				switch {
+				case ev.Type == "sync" || ev.Type == "ctrldown":
+					break round // round restarted under us, or dead coordinator
+				case ev.Round != round:
+					// A stale round's straggler; ignore.
+				case ev.Type == "fetch" && n.blank:
+					abort, err := n.joinFetch(round, ev, next)
+					if err != nil {
 						return err
 					}
-					if ev.Type == "resume" && ev.Round == round {
-						dur := time.Since(began)
-						mRejoinDuration.Observe(dur.Seconds())
-						n.log.Info("resume", "round", round, "dur", dur)
-						return nil
+					if abort != nil {
+						ev = *abort
+						break round
 					}
-					if ev.Type == "sync" || ev.Type == "ctrldown" {
-						break // round restarted under us
+				case ev.Type == "fetch":
+					if serve, err = n.buildServe(ev); err != nil {
+						return err
 					}
+				case ev.Type == "pull" && ev.Server == n.lead && serve != nil:
+					if err := n.servePull(serve, ev); err != nil {
+						ev = n.ctrl.ctrldownNow()
+						break round
+					}
+				case ev.Type == "rewind" && !rewound:
+					m = ev.K
+					if err := n.applyRewind(m, ev.Epoch); err != nil {
+						return err
+					}
+					rewound = true
+					if err := n.ctrl.AckRewound(round); err != nil {
+						ev = n.ctrl.ctrldownNow()
+						break round
+					}
+				case ev.Type == "resume" && rewound:
+					if err := n.persistFloorAt(m); err != nil {
+						return err
+					}
+					dur := time.Since(began)
+					mRejoinDuration.Observe(dur.Seconds())
+					n.log.Info("resume", "round", round, "dur", dur)
+					return nil
 				}
 			}
-			// Anything else: a restarted round or a dead coordinator;
-			// loop with the new event.
+			// Loop with the event that broke the round.
 		default:
 			var err error
 			if ev, err = next(); err != nil {

@@ -183,6 +183,35 @@ func (r *Runner) Restore(k int, committed []*InstanceResult) error {
 	return nil
 }
 
+// RestoreSnapshot boots a fresh runner directly at snap.K with no
+// per-instance replay: the dispute state (generation included) is
+// rebuilt from the snapshot, then any post-snapshot tail results are
+// folded in order, and the runner resumes at the tail's end + 1. A nil
+// tail resumes exactly at snap.K + 1.
+func (r *Runner) RestoreSnapshot(snap SnapshotState, tail []*InstanceResult) error {
+	if r.k != 0 {
+		return fmt.Errorf("core: RestoreSnapshot on a runner that already executed %d instances", r.k)
+	}
+	if snap.K < 0 {
+		return fmt.Errorf("core: RestoreSnapshot to negative instance %d", snap.K)
+	}
+	ds, err := r.proto.RestoreState(snap)
+	if err != nil {
+		return err
+	}
+	r.ds, r.k = ds, snap.K
+	for _, ir := range tail {
+		if ir.K != r.k+1 {
+			return fmt.Errorf("core: RestoreSnapshot: tail instance %d after watermark %d", ir.K, r.k)
+		}
+		if err := r.proto.Fold(r.ds, ir); err != nil {
+			return fmt.Errorf("core: RestoreSnapshot: %w", err)
+		}
+		r.k = ir.K
+	}
+	return nil
+}
+
 // Run executes one instance per input.
 func (r *Runner) Run(inputs [][]byte) (*RunResult, error) {
 	rr := &RunResult{LenBits: r.proto.lenBits}

@@ -278,6 +278,47 @@ func (rt *Runtime) Restore(launchBase uint64, k int, committed []*core.InstanceR
 	return nil
 }
 
+// RestoreSnapshot is Restore with a snapshot base instead of a full
+// committed history: the dispute state — generation included, which
+// keys the plan cache and the per-generation scheme RNG — is rebuilt
+// directly from snap, then the tail results (snap.K+1 onward, in order)
+// are folded, and the runtime resumes after the tail with no
+// per-instance replay below the snapshot. The same no-stream/no-flight
+// preconditions as Restore apply.
+func (rt *Runtime) RestoreSnapshot(launchBase uint64, snap core.SnapshotState, tail []*core.InstanceResult) error {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	if snap.K < 0 {
+		return fmt.Errorf("runtime: RestoreSnapshot to negative instance %d", snap.K)
+	}
+	ds, err := rt.proto.RestoreState(snap)
+	if err != nil {
+		return fmt.Errorf("runtime: RestoreSnapshot: %w", err)
+	}
+	k := snap.K
+	for _, ir := range tail {
+		if ir.K != k+1 {
+			return fmt.Errorf("runtime: RestoreSnapshot: tail instance %d after watermark %d", ir.K, k)
+		}
+		if err := rt.proto.Fold(ds, ir); err != nil {
+			return fmt.Errorf("runtime: RestoreSnapshot: %w", err)
+		}
+		k = ir.K
+	}
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	if len(rt.engines) != 0 {
+		return fmt.Errorf("runtime: RestoreSnapshot with %d executions in flight", len(rt.engines))
+	}
+	rt.ds = ds
+	rt.k = k
+	rt.entries = map[int]*planEntry{}
+	rt.nextLaunch = launchBase
+	rt.maxLaunch = launchBase
+	rt.pending = map[uint64][]*transport.Message{}
+	return nil
+}
+
 // pendingSlack bounds how far beyond the newest local launch a buffered
 // frame's launch number may run. An honest peer's scheduler is at most
 // one window of speculative launches past the oldest uncommitted

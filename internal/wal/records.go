@@ -146,9 +146,61 @@ func DecodeCheckpoint(b []byte) (Checkpoint, error) {
 	}
 	nf := d.count(1)
 	for i := uint64(0); i < nf && d.err == nil; i++ {
-		cp.Faulty = append(cp.Faulty, graph.NodeID(d.varint()))
+		// A node is proven faulty at most once; a duplicate is an encoder
+		// bug or corruption that must not inflate the restored set.
+		cp.Faulty = appendFaulty(cp.Faulty, graph.NodeID(d.varint()))
 	}
 	return cp, d.finish("checkpoint")
+}
+
+// AppendCommitFold appends the cross-process fold projection of a
+// commit: the fields every process of a cluster commits identically for
+// instance K — the schedule outcome and the Phase 3 findings that drive
+// dispute-state evolution. Per-process fields (local outputs, timings,
+// transfer accounting) are excluded, so the bytes — and the chain digest
+// built over them — agree across hosts and across restore bases.
+//
+//nab:allocfree
+func AppendCommitFold(buf []byte, ir *core.InstanceResult) []byte {
+	buf = binary.AppendVarint(buf, int64(ir.K))
+	buf = appendBool(buf, ir.Mismatch)
+	buf = appendBool(buf, ir.Phase3)
+	buf = binary.AppendUvarint(buf, uint64(len(ir.NewDisputes)))
+	for _, p := range ir.NewDisputes {
+		buf = binary.AppendVarint(buf, int64(p[0]))
+		buf = binary.AppendVarint(buf, int64(p[1]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ir.NewFaulty)))
+	for _, v := range ir.NewFaulty {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
+
+// DecodeCommitFold decodes an AppendCommitFold payload into a synthetic
+// InstanceResult carrying exactly the fold-relevant fields. It is what a
+// joiner reconstructs from a peer's WAL-tail transfer: enough to fold
+// dispute state forward and to serve future joins, with no per-process
+// residue.
+func DecodeCommitFold(b []byte) (*core.InstanceResult, error) {
+	d := decoder{b: b}
+	ir := &core.InstanceResult{K: int(d.varint())}
+	ir.Mismatch = d.bool()
+	ir.Phase3 = d.bool()
+	nd := d.count(2)
+	for i := uint64(0); i < nd && d.err == nil; i++ {
+		ir.NewDisputes = append(ir.NewDisputes, [2]graph.NodeID{
+			graph.NodeID(d.varint()), graph.NodeID(d.varint()),
+		})
+	}
+	nf := d.count(1)
+	for i := uint64(0); i < nf && d.err == nil; i++ {
+		ir.NewFaulty = append(ir.NewFaulty, graph.NodeID(d.varint()))
+	}
+	if err := d.finish("commit-fold"); err != nil {
+		return nil, err
+	}
+	return ir, nil
 }
 
 // maxInlineOutputs is the stack budget for sorting a commit's output keys

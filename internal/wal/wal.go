@@ -121,6 +121,26 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A crash between creating a fresh segment and making its first
+	// record durable leaves a trailing segment with no valid prefix; the
+	// preceding segment then still holds the true tail — possibly torn,
+	// if the rotation's seal fsync itself was lost. Anchoring the lenient
+	// scan to the empty trailing file would freeze torn records into an
+	// earlier segment, where replay is strict, so step backward past
+	// record-free trailing segments and re-anchor the tail scan.
+	for len(segs) > 1 {
+		end, err := scanSegment(l.segPath(segs[len(segs)-1]), true)
+		if err != nil {
+			return nil, err
+		}
+		if end != 0 {
+			break
+		}
+		if err := os.Remove(l.segPath(segs[len(segs)-1])); err != nil {
+			return nil, fmt.Errorf("wal: drop empty trailing segment: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+	}
 	if len(segs) == 0 {
 		if err := l.openSegment(1); err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -127,6 +128,118 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 		if err := os.WriteFile(seg, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestTornWriteAcrossSegments pins the crash mode where the rotation and
+// the tear land in different files: the process died after creating a
+// fresh segment but before its first record became durable, and the
+// previous segment's final record was torn mid-write (the rotation's
+// seal write was itself lost). Open must step backward past record-free
+// trailing segments, truncate the torn record in the file that really
+// holds the tail, and leave a cleanly appendable log — anchoring the
+// lenient tail scan to the empty trailing file would instead freeze the
+// torn record into a segment where replay is strict, and fail forever.
+func TestTornWriteAcrossSegments(t *testing.T) {
+	build := func(t *testing.T) (string, []Record, []uint64) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := l.Append(TypeCommit, bytes.Repeat([]byte{byte(i)}, 30)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var recs []Record
+		var segOf []uint64
+		err = l.Replay(func(typ byte, p []byte, pos Pos) error {
+			recs = append(recs, Record{Typ: typ, Payload: append([]byte(nil), p...)})
+			segOf = append(segOf, pos.Seg)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		return dir, recs, segOf
+	}
+
+	// trailing mutates the last segment (the one the crash left without a
+	// durable record) and returns how the surviving replay must look.
+	cases := []struct {
+		name     string
+		trailing func(t *testing.T, path string)
+	}{
+		{"empty trailing segment", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"trailing segment with torn first record", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:5], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, recs, segOf := build(t)
+			segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+			if err != nil || len(segs) < 3 {
+				t.Fatalf("need >= 3 segments, have %v (%v)", segs, err)
+			}
+			final, prev := segs[len(segs)-1], segs[len(segs)-2]
+			tc.trailing(t, final)
+			// Tear the true tail: chop into the previous segment's last
+			// record.
+			raw, err := os.ReadFile(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(prev, raw[:len(raw)-7], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Survivors: everything before the final segment, minus the
+			// previous segment's torn last record.
+			finalSeg := segOf[len(segOf)-1]
+			var want []Record
+			for i, r := range recs {
+				if segOf[i] < finalSeg {
+					want = append(want, r)
+				}
+			}
+			want = want[:len(want)-1]
+
+			l, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+			if err != nil {
+				t.Fatalf("open after cross-segment tear: %v", err)
+			}
+			defer l.Close()
+			if got := collect(t, l); !reflect.DeepEqual(got, want) {
+				t.Fatalf("replayed %d records, want %d (torn tail + dead trailing segment dropped)", len(got), len(want))
+			}
+			// The log must append and survive another reopen cleanly.
+			if _, err := l.AppendSync(TypeCommit, []byte("fresh")); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+			l2, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			got := collect(t, l2)
+			if len(got) != len(want)+1 || string(got[len(got)-1].Payload) != "fresh" {
+				t.Fatalf("append after recovery lost: %d records", len(got))
+			}
+		})
 	}
 }
 
@@ -342,6 +455,78 @@ func TestMetaSubmitCheckpointCodecs(t *testing.T) {
 	gc, err := DecodeCheckpoint(AppendCheckpoint(nil, cp))
 	if err != nil || !reflect.DeepEqual(gc, cp) {
 		t.Fatalf("checkpoint round trip: %+v %v", gc, err)
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := Snapshot{
+		K: 40, Epoch: 3, Gen: 5,
+		Disputes: [][2]graph.NodeID{{3, 1}, {1, 2}},
+		Faulty:   []graph.NodeID{4, 3},
+		Digest:   0xfeedbeefcafe,
+	}
+	s.Canonicalize()
+	if s.Disputes[0] != [2]graph.NodeID{1, 2} || s.Faulty[0] != 3 {
+		t.Fatalf("canonicalize did not sort: %+v", s)
+	}
+	got, err := DecodeSnapshot(AppendSnapshot(nil, s))
+	if err != nil || !reflect.DeepEqual(got, s) {
+		t.Fatalf("snapshot round trip: %+v vs %+v (%v)", got, s, err)
+	}
+	// Canonical bytes are order-independent: the digest a joiner compares
+	// must not depend on accumulation order.
+	shuffled := Snapshot{
+		K: 40, Epoch: 3, Gen: 5,
+		Disputes: [][2]graph.NodeID{{1, 2}, {3, 1}},
+		Faulty:   []graph.NodeID{3, 4},
+		Digest:   0xfeedbeefcafe,
+	}
+	if SnapshotDigest(shuffled) != SnapshotDigest(s) {
+		t.Fatal("snapshot digest depends on accumulation order")
+	}
+
+	// Duplicate-Faulty entries (hostile or corrupt encoder) are dropped on
+	// decode, never inflating the restored set.
+	dup := AppendSnapshot(nil, Snapshot{K: 2, Faulty: []graph.NodeID{4, 4, 2, 4}})
+	ds, err := DecodeSnapshot(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Faulty, []graph.NodeID{4, 2}) {
+		t.Fatalf("duplicate faulty entries survived decode: %v", ds.Faulty)
+	}
+	dcp, err := DecodeCheckpoint(AppendCheckpoint(nil, Checkpoint{K: 2, Faulty: []graph.NodeID{4, 4, 2, 4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dcp.Faulty, []graph.NodeID{4, 2}) {
+		t.Fatalf("duplicate faulty entries survived checkpoint decode: %v", dcp.Faulty)
+	}
+
+	// Negative watermark/generation are rejected outright.
+	if _, err := DecodeSnapshot(AppendSnapshot(nil, Snapshot{K: -1})); err == nil {
+		t.Fatal("negative watermark decoded")
+	}
+
+	// The standalone file container round-trips and rejects damage.
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := SaveSnapshotFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadSnapshotFile(path)
+	if err != nil || !reflect.DeepEqual(fromFile, s) {
+		t.Fatalf("snapshot file round trip: %+v (%v)", fromFile, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped snapshot file loaded: %v", err)
 	}
 }
 

@@ -43,6 +43,10 @@ type SessionMetrics struct {
 	// WALSyncLag is this session's appended-but-not-yet-durable record
 	// count (0 without durability).
 	WALSyncLag uint64
+	// Snapshots is how many engine-state snapshot records this session
+	// wrote (interval-driven and forced); each one anchored a segment
+	// compaction. 0 without durability.
+	Snapshots int64
 }
 
 // Metrics snapshots the session-visible instruments.
@@ -56,7 +60,18 @@ func (s *Session) Metrics() SessionMetrics {
 		WALFsyncP99:      secondsToDuration(wal.FsyncQuantile(0.99)),
 		WALAppendBytes:   wal.AppendedBytes(),
 		WALSyncLag:       s.WALSyncLag(),
+		Snapshots:        s.Snapshots(),
 	}
+}
+
+// Snapshots returns how many engine-state snapshot records this session
+// has written (see WithSnapshotInterval and the cluster's
+// SnapshotInterval). Sessions without durability report 0.
+func (s *Session) Snapshots() int64 {
+	if s.slog == nil {
+		return 0
+	}
+	return s.slog.snapshots()
 }
 
 // WALSyncLag returns how many of this session's WAL records are appended

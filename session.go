@@ -234,7 +234,7 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 	rec := &recovery{}
 	if o.durability != nil {
 		if o.durability.dir == "" {
-			return fail(errors.New("nab: WithCheckpointInterval needs WithDurability or Recover to name the log directory"))
+			return fail(errors.New("nab: WithSnapshotInterval needs WithDurability or Recover to name the log directory"))
 		}
 		var fp uint64
 		node := int64(-1)
@@ -278,11 +278,23 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 			return fail(errors.New("nab: WithCluster derives the configuration from the cluster config; pass a zero Config"))
 		}
 		copt := o.clusterOpts
+		if copt.Join && s.slog == nil {
+			return fail(errors.New("nab: ClusterOptions.Join needs WithDurability: the transferred state must be persisted"))
+		}
 		if s.slog != nil {
 			copt.Durable = true
-			copt.Recovered = rec.replayed
+			// The cluster node's history starts above the snapshot floor:
+			// foldList, not replayed (the surviving log tail may also carry
+			// commits below a floor snapshot persisted after them).
+			copt.Recovered = rec.foldList
 			copt.RecoveredInputs = rec.inputs
 			copt.Rejoining = rec.resumed
+			copt.RecoveredBase = rec.base
+			copt.RecoveredEpoch = rec.baseEpoch
+			copt.RecoveredDigest = rec.baseDigest
+			sl := s.slog
+			copt.PersistFloor = sl.persistFloor
+			copt.SyncWAL = sl.log.Sync
 		}
 		node, err := cluster.StartContext(sctx, o.cluster, o.clusterID, copt)
 		if err != nil {
@@ -316,7 +328,12 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 			return fail(err)
 		}
 		if s.slog != nil {
-			if err := runner.Restore(rec.k, rec.foldList); err != nil {
+			if rec.base != nil {
+				err = runner.RestoreSnapshot(*rec.base, rec.foldList)
+			} else {
+				err = runner.Restore(rec.k, rec.foldList)
+			}
+			if err != nil {
 				return fail(err)
 			}
 		}
@@ -341,7 +358,12 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 		}
 		s.closer = rt.Close
 		if s.slog != nil {
-			if err := rt.Restore(0, rec.k, rec.foldList); err != nil {
+			if rec.base != nil {
+				err = rt.RestoreSnapshot(0, *rec.base, rec.foldList)
+			} else {
+				err = rt.Restore(0, rec.k, rec.foldList)
+			}
+			if err != nil {
 				return fail(err)
 			}
 		}

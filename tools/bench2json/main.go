@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 
 	"nab"
 	"nab/internal/coding"
+	"nab/internal/core"
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/linalg"
@@ -100,6 +102,20 @@ type MetricsRow struct {
 	LinkBits map[string]int64 `json:"link_bits,omitempty"`
 }
 
+// SnapshotRow compares the two ways a blank process reconstructs the
+// engine state at watermark n during a join (present with -snapshot):
+// folding the full commit history record by record — the WAL-tail
+// fallback — versus decoding one snapshot and seeding the builder from
+// it. The byte columns are what the control plane would ship either way.
+type SnapshotRow struct {
+	Instances     int     `json:"instances"`
+	ReplayMs      float64 `json:"full_replay_ms"`
+	ReplayBytes   int     `json:"full_replay_bytes"`
+	SnapshotMs    float64 `json:"snapshot_restore_ms"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	Speedup       float64 `json:"speedup"`
+}
+
 // Output is the file's top-level shape.
 type Output struct {
 	Bench   string      `json:"bench"`
@@ -113,6 +129,9 @@ type Output struct {
 	// Metrics rows (present with -metrics) carry the latency trajectory:
 	// commit/submit-wait quantiles and per-link wire totals.
 	Metrics []MetricsRow `json:"metrics,omitempty"`
+	// Snapshot rows (present with -snapshot) compare join-time state
+	// reconstruction: snapshot restore vs full fold-record replay.
+	Snapshot []SnapshotRow `json:"snapshot,omitempty"`
 }
 
 func main() {
@@ -133,6 +152,7 @@ func run(args []string, w io.Writer) error {
 	withStream := fs.Bool("stream", false, "also measure sustained streaming-session throughput (open-loop submit vs commit rate)")
 	withWal := fs.Bool("wal", false, "also measure the durability subsystem: WAL append/fsync-batching rows, durable commit rate per topology, recovery replay time")
 	withMetrics := fs.Bool("metrics", false, "also record live-instrument rows per topology: commit-latency p50/p99, submit-wait p99, fsync p99 (with -wal) and per-link wire bits")
+	withSnapshot := fs.Bool("snapshot", false, "also measure join-time state reconstruction: snapshot restore vs full fold-record replay at 1k/10k/100k committed instances")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,6 +292,17 @@ func run(args []string, w io.Writer) error {
 		}
 		for _, kr := range res.Wal {
 			fmt.Fprintf(w, "%-34s %10.1f ns/op  %3d allocs/op\n", kr.Name, kr.NsPerOp, kr.AllocsPerOp)
+		}
+	}
+
+	if *withSnapshot {
+		res.Snapshot, err = snapshotRows()
+		if err != nil {
+			return err
+		}
+		for _, sr := range res.Snapshot {
+			fmt.Fprintf(w, "join-state @%-7d replay %9.3fms (%8d B)  snapshot %7.3fms (%4d B)  %.0fx\n",
+				sr.Instances, sr.ReplayMs, sr.ReplayBytes, sr.SnapshotMs, sr.SnapshotBytes, sr.Speedup)
 		}
 	}
 
@@ -673,6 +704,84 @@ func walRows(lenBytes int) ([]KernelRow, error) {
 		Name:    "session.Recover/replay-per-instance",
 		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(recoverRuns*recoverQ),
 	})
+	return rows, nil
+}
+
+// snapshotRows measures join-time state reconstruction at growing
+// watermarks: the blank joiner either folds the full commit history —
+// uvarint-framed fold records, exactly as the control plane's WAL-tail
+// fallback ships them — or decodes one snapshot and seeds the builder
+// from it. The history is synthetic but dispute-bearing (every 97th
+// instance runs dispute control), so the restored state is non-trivial.
+func snapshotRows() ([]SnapshotRow, error) {
+	g := nab.CompleteGraph(7, 2)
+	pairs := [][2]graph.NodeID{{2, 3}, {4, 5}, {2, 6}, {3, 7}, {5, 6}}
+	var rows []SnapshotRow
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b := core.NewSnapshotBuilder(g)
+		var tail, frame []byte
+		for k := 1; k <= n; k++ {
+			ir := &nab.InstanceResult{K: k}
+			if k%97 == 0 {
+				ir.Phase3 = true
+				ir.NewDisputes = [][2]graph.NodeID{pairs[(k/97)%len(pairs)]}
+			}
+			frame = wal.AppendCommitFold(frame[:0], ir)
+			tail = binary.AppendUvarint(tail, uint64(len(frame)))
+			tail = append(tail, frame...)
+			if err := b.Fold(ir); err != nil {
+				return nil, err
+			}
+		}
+		state := b.State()
+		snap := wal.Snapshot{K: state.K, Gen: state.Gen, Disputes: state.Disputes, Faulty: state.Faulty}
+		snap.Digest = wal.SnapshotDigest(snap)
+		snapBytes := wal.AppendSnapshot(nil, snap)
+
+		// Full replay: decode and fold every record into a fresh builder.
+		start := time.Now()
+		rb := core.NewSnapshotBuilder(g)
+		rest := tail
+		for len(rest) > 0 {
+			ln, sz := binary.Uvarint(rest)
+			if sz <= 0 || uint64(len(rest)-sz) < ln {
+				return nil, fmt.Errorf("snapshot bench: torn tail frame")
+			}
+			ir, err := wal.DecodeCommitFold(rest[sz : sz+int(ln)])
+			if err != nil {
+				return nil, err
+			}
+			if err := rb.Fold(ir); err != nil {
+				return nil, err
+			}
+			rest = rest[sz+int(ln):]
+		}
+		replayMs := float64(time.Since(start).Nanoseconds()) / 1e6
+		if rb.K() != state.K || rb.Gen() != state.Gen {
+			return nil, fmt.Errorf("snapshot bench: replayed state diverged at n=%d", n)
+		}
+
+		// Snapshot restore: decode and seed — the joiner's fetch path.
+		// Loop it; a single restore is microseconds.
+		const restores = 200
+		start = time.Now()
+		for i := 0; i < restores; i++ {
+			dec, err := wal.DecodeSnapshot(snapBytes)
+			if err != nil {
+				return nil, err
+			}
+			seed := core.SnapshotState{K: dec.K, Gen: dec.Gen, Disputes: dec.Disputes, Faulty: dec.Faulty}
+			if _, err := core.NewSnapshotBuilder(g).Seed(seed); err != nil {
+				return nil, err
+			}
+		}
+		snapMs := float64(time.Since(start).Nanoseconds()) / 1e6 / restores
+		rows = append(rows, SnapshotRow{
+			Instances: n, ReplayMs: replayMs, ReplayBytes: len(tail),
+			SnapshotMs: snapMs, SnapshotBytes: len(snapBytes),
+			Speedup: replayMs / snapMs,
+		})
+	}
 	return rows, nil
 }
 

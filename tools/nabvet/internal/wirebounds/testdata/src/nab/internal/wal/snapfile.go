@@ -1,0 +1,52 @@
+// Package wal impersonates the repo's nab/internal/wal import path so
+// the wirebounds analyzer's package scoping applies. The fixtures here
+// mirror the snapshot-transfer decoders: file containers (Load-prefixed)
+// and length-prefixed fold tails, each paired with the unguarded variant
+// the analyzer must flag.
+package wal
+
+import "encoding/binary"
+
+const magic = "NABSNAP1"
+
+// LoadContainer length-checks the header before slicing: fine.
+func LoadContainer(buf []byte) ([]byte, bool) {
+	if len(buf) < len(magic)+8 {
+		return nil, false
+	}
+	if string(buf[:len(magic)]) != magic {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(buf[len(magic):])
+	payload := buf[len(magic)+8:]
+	if uint32(len(payload)) != n {
+		return nil, false
+	}
+	return payload, true
+}
+
+// LoadNaked trusts the file header is present.
+func LoadNaked(buf []byte) byte {
+	return buf[8] // want `index into buf without a preceding length check`
+}
+
+// loadTail walks uvarint-framed records, re-checking before every frame:
+// the Uvarint result guards the prefix, the len comparison the body.
+func loadTail(rest []byte) int {
+	frames := 0
+	for len(rest) > 0 {
+		ln, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < ln {
+			return -1
+		}
+		rest = rest[sz+int(ln):]
+		frames++
+	}
+	return frames
+}
+
+// loadTailNaked slices the frame body on the encoder's word alone — no
+// Uvarint contract, no length comparison.
+func loadTailNaked(rest []byte) []byte {
+	return rest[1:9] // want `slice of rest without a preceding length check`
+}

@@ -5,7 +5,9 @@
 // torn WAL tail reaches them), so a missing length check is not a
 // latent bug but a remotely triggerable panic.
 //
-// Within a decoder-shaped function (Decode*/decode*/Read*/read*, or any
+// Within a decoder-shaped function (Decode*/decode*/Read*/read*/Load*/
+// load* — the Load prefix catches file-container decoders such as the
+// WAL's standalone snapshot files — or any
 // method on a type named "decoder"), each index or slice expression
 // over a []byte must be preceded, earlier in the same function, by a
 // guard on that same expression: a len()/cap() comparison, a
@@ -59,7 +61,7 @@ func run(pass *analysis.Pass) error {
 // a decoder/reader, or a method on the record-codec decoder type.
 func decoderShaped(fd *ast.FuncDecl) bool {
 	name := fd.Name.Name
-	for _, prefix := range []string{"Decode", "decode", "Read", "read"} {
+	for _, prefix := range []string{"Decode", "decode", "Read", "read", "Load", "load"} {
 		if strings.HasPrefix(name, prefix) {
 			return true
 		}
