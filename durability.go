@@ -130,13 +130,20 @@ type sessionLog struct {
 	// compaction must never drop a segment holding a submission the
 	// engine still has to execute.
 	subSeg map[int]uint64
+	// commitSeg tracks the segment of each commit record not yet covered
+	// by a snapshot: a floor snapshot may trail the committed watermark
+	// (cluster rollback floors), and compacting away a segment holding
+	// commits above the floor would orphan the (floor, watermark] range
+	// and leave the log unrecoverable.
+	commitSeg map[int]uint64
 }
 
 func newSessionLog(log *wal.Log, g *graph.Directed, cluster bool, snapEvery int) *sessionLog {
 	sl := &sessionLog{
 		log: log, cluster: cluster, snapEvery: snapEvery,
-		digest: wal.DigestSeed,
-		subSeg: map[int]uint64{},
+		digest:    wal.DigestSeed,
+		subSeg:    map[int]uint64{},
+		commitSeg: map[int]uint64{},
 	}
 	if cluster {
 		sl.snapEvery = 0 // floor snapshots only; see WithSnapshotInterval
@@ -209,10 +216,12 @@ func (sl *sessionLog) logCommit(ir *core.InstanceResult) error {
 		return sl.failed
 	}
 	sl.buf = wal.AppendCommit(sl.buf[:0], ir)
-	if _, err := sl.log.Append(wal.TypeCommit, sl.buf); err != nil {
+	pos, err := sl.log.Append(wal.TypeCommit, sl.buf)
+	if err != nil {
 		return err
 	}
 	delete(sl.subSeg, ir.K)
+	sl.commitSeg[ir.K] = pos.Seg
 	if sl.builder == nil {
 		return nil
 	}
@@ -228,7 +237,7 @@ func (sl *sessionLog) logCommit(ir *core.InstanceResult) error {
 		return nil
 	}
 	sl.sinceSnap = 0
-	_, err := sl.writeSnapshotLocked(sl.mirrorSnapshot())
+	_, err = sl.writeSnapshotLocked(sl.mirrorSnapshot())
 	return err
 }
 
@@ -267,6 +276,16 @@ func (sl *sessionLog) writeSnapshotLocked(s wal.Snapshot) (SnapshotInfo, error) 
 	keep := pos
 	for _, seg := range sl.subSeg {
 		if seg < keep.Seg {
+			keep.Seg = seg
+		}
+	}
+	// Nor past a commit above the snapshot's watermark: a floor snapshot
+	// trailing the committed watermark (cluster rollback floors) still
+	// needs the (floor, watermark] commits to anchor recovery's fold.
+	for k, seg := range sl.commitSeg {
+		if k <= s.K {
+			delete(sl.commitSeg, k)
+		} else if seg < keep.Seg {
 			keep.Seg = seg
 		}
 	}
@@ -391,7 +410,9 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 		return nil, nil, err
 	}
 	rec := &recovery{inputs: map[int][]byte{}}
-	subSegs := map[int]uint64{} // submission K -> segment, for the compaction floor
+	subSegs := map[int]uint64{}    // submission K -> segment, for the compaction floor
+	commitSegs := map[int]uint64{} // commit K -> segment, ditto (floor snapshots trail)
+	var commitBufs [][]byte        // raw commit payloads, parallel to rec.foldList
 	sawMeta, sawCkpt := false, false
 	var snap *wal.Snapshot
 	firstCommit := 0
@@ -434,11 +455,18 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 				return err
 			}
 			if firstCommit == 0 {
-				// A compacted log's surviving tail starts mid-history;
-				// the snapshot (or legacy checkpoint) record carries the
-				// folded state of everything dropped before it.
 				firstCommit = ir.K
-				rec.k = ir.K - 1
+				if snap == nil && !sawCkpt {
+					// A compacted log's surviving tail starts mid-history;
+					// the snapshot (or legacy checkpoint) record carries the
+					// folded state of everything dropped before it.
+					rec.k = ir.K - 1
+				} else if ir.K != rec.k+1 {
+					// An anchoring snapshot/checkpoint pins rec.k at its
+					// watermark; a first commit that does not extend it means
+					// compaction orphaned the (anchor, firstCommit) range.
+					return fmt.Errorf("nab: recover: first commit %d does not extend the anchor at %d", ir.K, rec.k)
+				}
 			}
 			if ir.K != rec.k+1 {
 				return fmt.Errorf("nab: recover: commit %d out of order (want %d)", ir.K, rec.k+1)
@@ -446,6 +474,8 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 			rec.k = ir.K
 			rec.foldList = append(rec.foldList, ir)
 			rec.replayed = append(rec.replayed, ir)
+			commitBufs = append(commitBufs, append([]byte(nil), payload...))
+			commitSegs[ir.K] = pos.Seg
 			digest = wal.Chain(digest, payload)
 		case wal.TypeCheckpoint:
 			if cluster {
@@ -522,14 +552,16 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 			K: snap.K, Gen: snap.Gen, Disputes: snap.Disputes, Faulty: snap.Faulty,
 		}
 		rec.baseEpoch, rec.baseDigest = snap.Epoch, snap.Digest
+		start := 0
 		if firstCommit > 0 {
-			rec.foldList = rec.foldList[snap.K-(firstCommit-1):]
-		} else {
-			rec.foldList = nil
+			start = snap.K - (firstCommit - 1)
 		}
+		rec.foldList = rec.foldList[start:]
+		// Chain the anchor's digest over the replayed payload bytes of the
+		// commits above it — the same bytes the write path chained — so the
+		// lineage digest never depends on decode->re-encode being canonical.
 		digest = snap.Digest
-		for _, ir := range rec.foldList {
-			buf := wal.AppendCommit(nil, ir)
+		for _, buf := range commitBufs[start:] {
 			digest = wal.Chain(digest, buf)
 		}
 	} else if firstCommit > 1 && !sawCkpt {
@@ -556,6 +588,13 @@ func openSessionLog(o *durabilityOptions, fp uint64, node int64, g *graph.Direct
 	for k := rec.k + 1; k <= rec.tail; k++ {
 		if seg, ok := subSegs[k]; ok {
 			sl.subSeg[k] = seg
+		}
+	}
+	// Likewise the recovered commits above the anchor: a future floor
+	// snapshot below rec.k must not compact away their segments.
+	for _, ir := range rec.foldList {
+		if seg, ok := commitSegs[ir.K]; ok {
+			sl.commitSeg[ir.K] = seg
 		}
 	}
 	// Seed the snapshot mirror exactly the way the engine restores, so

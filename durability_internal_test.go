@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nab/internal/adversary"
+	"nab/internal/core"
 	"nab/internal/graph"
 	"nab/internal/topo"
+	"nab/internal/wal"
 )
 
 // TestRecoveryAcrossSegmentCompaction forces the full compaction
@@ -113,6 +116,119 @@ func TestRecoveryAcrossSegmentCompaction(t *testing.T) {
 		t.Errorf("recovered dispute set %q, want %q", got, want)
 	}
 	sess.Close()
+}
+
+// TestRecoverAnchorGapErrors pins recovery's handling of a log whose
+// snapshot anchor is not extended by its first surviving commit — the
+// shape a buggy compaction leaves when it orphans the (anchor, commit)
+// range. A contiguous tail must recover; a gapped one must be a recover
+// error, never a slice-bound panic.
+func TestRecoverAnchorGapErrors(t *testing.T) {
+	g := topo.CompleteBi(4, 1)
+	const fp, node = uint64(42), int64(3)
+
+	build := func(firstK int) string {
+		dir := t.TempDir()
+		log, err := wal.Open(dir, wal.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.Append(wal.TypeMeta, wal.AppendMeta(nil, wal.Meta{Fingerprint: fp, Node: node})); err != nil {
+			t.Fatal(err)
+		}
+		snap := wal.Snapshot{K: 4, Digest: wal.DigestSeed}
+		snap.Canonicalize()
+		if _, err := log.Append(wal.TypeSnapshot, wal.AppendSnapshot(nil, snap)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.Append(wal.TypeCommit, wal.AppendCommit(nil, &core.InstanceResult{K: firstK})); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	sl, rec, err := openSessionLog(&durabilityOptions{dir: build(5), resume: true}, fp, node, g, true)
+	if err != nil {
+		t.Fatalf("contiguous anchored tail failed to recover: %v", err)
+	}
+	if rec.k != 5 || rec.base == nil || rec.base.K != 4 || len(rec.foldList) != 1 {
+		t.Fatalf("contiguous recovery: k=%d base=%v folds=%d, want k=5 base.K=4 folds=1", rec.k, rec.base, len(rec.foldList))
+	}
+	sl.close()
+
+	if _, _, err := openSessionLog(&durabilityOptions{dir: build(6), resume: true}, fp, node, g, true); err == nil || !strings.Contains(err.Error(), "does not extend the anchor") {
+		t.Fatalf("orphaned (anchor, commit) range recovered: err = %v", err)
+	}
+}
+
+// TestFloorSnapshotKeepsCommitTail drives a cluster-mode session log the
+// way a rollback floor does — a snapshot persisted well behind the
+// committed watermark — over tiny rotating segments. Compaction must keep
+// every segment holding a commit above the floor (dropping the prefix
+// below it), and recovery must restore the full (floor, watermark] fold
+// with the lineage digest chained from the floor over the replayed
+// payload bytes.
+func TestFloorSnapshotKeepsCommitTail(t *testing.T) {
+	g := topo.CompleteBi(4, 1)
+	const fp, node = uint64(7), int64(2)
+	const floorK, w = 4, 12
+	dir := t.TempDir()
+	o := &durabilityOptions{dir: dir, resume: true, segmentBytes: 256}
+	sl, _, err := openSessionLog(o, fp, node, g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	for k := 1; k <= w; k++ {
+		if err := sl.appendSubmit(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.logCommit(&core.InstanceResult{K: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sl.persistFloor(wal.Snapshot{K: floorK, Digest: 0xfee1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The floor did compact the prefix: the original first segment is gone.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	if filepath.Base(segs[0]) == "wal-0000000000000001.seg" {
+		t.Errorf("floor snapshot never compacted the pre-floor prefix (%d segments)", len(segs))
+	}
+
+	sl2, rec, err := openSessionLog(o, fp, node, g, true)
+	if err != nil {
+		t.Fatalf("recovery after a trailing floor snapshot: %v", err)
+	}
+	defer sl2.close()
+	if rec.base == nil || rec.base.K != floorK || rec.k != w {
+		t.Fatalf("recovered base=%v k=%d, want base.K=%d k=%d", rec.base, rec.k, floorK, w)
+	}
+	for i, ir := range rec.foldList {
+		if ir.K != floorK+1+i {
+			t.Fatalf("fold %d carries instance %d, want %d", i, ir.K, floorK+1+i)
+		}
+	}
+	if len(rec.foldList) != w-floorK {
+		t.Fatalf("recovered %d folds, want %d", len(rec.foldList), w-floorK)
+	}
+	want := uint64(0xfee1)
+	for k := floorK + 1; k <= w; k++ {
+		want = wal.Chain(want, wal.AppendCommit(nil, &core.InstanceResult{K: k}))
+	}
+	if sl2.digest != want {
+		t.Errorf("recovered lineage digest %x, want %x (floor digest chained over the replayed tail)", sl2.digest, want)
+	}
 }
 
 // TestSnapshotCompactionBoundsLog pins the point of snapshot-anchored

@@ -184,14 +184,15 @@ type pullFn func(server int64, kind string) (data []byte, snapDigest, tailDigest
 // the rewind to install.
 func (n *Node) joinFetch(round int, fetch ctrlMsg, next func() (ctrlMsg, error)) (*ctrlMsg, error) {
 	j, m, servers := fetch.K, fetch.M, fetch.Servers
-	if len(servers) == 0 {
-		return nil, fmt.Errorf("cluster: join round offers no serving peers")
-	}
 	need := n.cfg.F + 1
-	if need > len(servers) {
-		// Fewer eligible processes than f+1 (small or mostly-blank
-		// cluster): cross-validate against everything there is.
-		need = len(servers)
+	if len(servers) < need {
+		// With fewer than f+1 eligible servers, every digest vote could be
+		// Byzantine and a "quorum" would prove nothing — refusing the join
+		// is the only safe answer under the fault model. The operator must
+		// bring more non-blank processes up (or lower f) before a blank
+		// node can be trusted with transferred state.
+		mJoinQuorumShort.Inc()
+		return nil, fmt.Errorf("cluster: join needs %d eligible snapshot servers to cross-validate against up to %d Byzantine processes; the round offers %d", need, n.cfg.F, len(servers))
 	}
 	n.log.Info("join-fetch", "j", j, "m", m, "servers", fmt.Sprint(servers), "need", need)
 

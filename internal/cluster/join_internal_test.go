@@ -275,6 +275,21 @@ func TestClusterJoinByzantineDigests(t *testing.T) {
 	}
 }
 
+// TestJoinFetchRefusesShortQuorum pins the fault-model floor of the join
+// round: with fewer than f+1 eligible snapshot servers, every digest vote
+// could be Byzantine, so the joiner must refuse the transfer outright
+// rather than silently cross-validating against whatever is there.
+func TestJoinFetchRefusesShortQuorum(t *testing.T) {
+	cfg, _ := joinConfig(t, 4, 0, nil) // F = 1: the quorum needs 2 servers
+	n := &Node{cfg: cfg}
+	for _, servers := range [][]int64{nil, {7}} {
+		_, err := n.joinFetch(1, ctrlMsg{Type: "fetch", K: 0, M: 2, Servers: servers}, nil)
+		if err == nil || !strings.Contains(err.Error(), "eligible snapshot servers") {
+			t.Errorf("servers %v: err = %v, want a short-quorum refusal", servers, err)
+		}
+	}
+}
+
 // fakeTransfer builds an honest server's transfer for [j, m] out of
 // crafted fold records, returning the serve bytes and agreed digests.
 func fakeTransfer(t *testing.T, j, m int, irs []*core.InstanceResult) (snapBytes, tailBytes []byte, snapDigest, tailDigest uint64) {

@@ -17,6 +17,8 @@ var (
 		"Join-round state transfers this process completed as the joiner.")
 	mJoinServerRejects = metrics.NewCounter("nab_cluster_join_server_rejects_total",
 		"Serving peers rejected during a join fetch (content failed digest cross-validation).")
+	mJoinQuorumShort = metrics.NewCounter("nab_cluster_join_quorum_short_total",
+		"Join fetches refused because fewer than f+1 eligible snapshot servers existed.")
 	mFloorSnapshots = metrics.NewCounter("nab_cluster_floor_snapshots_total",
 		"Rollback-floor snapshots persisted into this process's WAL.")
 
