@@ -16,8 +16,8 @@ import (
 
 	"nab/internal/capacity"
 	"nab/internal/graph"
+	"nab/internal/texttab"
 	"nab/internal/topo"
-	"nab/internal/trace"
 )
 
 func main() {
@@ -46,7 +46,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	t := trace.New(fmt.Sprintf("Capacity analysis (n=%d, f=%d, source=%d)", rep.N, rep.F, rep.Source),
+	t := texttab.New(fmt.Sprintf("Capacity analysis (n=%d, f=%d, source=%d)", rep.N, rep.F, rep.Source),
 		"quantity", "value")
 	t.Addf("gamma_1 (broadcast mincut of G)", rep.Gamma1)
 	t.Addf("U_1 (min pairwise mincut over Omega_1)", rep.U1)

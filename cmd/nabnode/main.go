@@ -50,7 +50,12 @@
 // text exposition), /healthz (engine liveness + WAL sync lag) and
 // /debug/pprof; -admin-base PORT (spawn mode) gives node v's child the
 // admin endpoint 127.0.0.1:PORT+v, so a live cluster is scrapable per
-// process. Structured rejoin/recovery traces: NAB_REJOIN_DEBUG=1.
+// process. -flight N arms the per-process flight recorder (spawn mode
+// propagates it to every child): GET /debug/flight downloads the ring
+// as a binary dump, tools/nabtrace merges the per-process dumps into a
+// Chrome trace, and anomalies (dispute barriers, digest tripwires,
+// rejoin/join entry) drop black-box dumps next to each WAL. Structured
+// rejoin/recovery traces: NAB_REJOIN_DEBUG=1.
 package main
 
 import (
@@ -149,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	chaosPath := fs.String("chaos", "", "spawn mode: chaos physics spec (JSON ChaosConfig) injected into every child via the generated cluster.json")
 	adminAddr := fs.String("admin", "", "node mode: serve /metrics (Prometheus text), /healthz and /debug/pprof on this address")
 	adminBase := fs.Int("admin-base", 0, "spawn mode: give each child an admin endpoint on 127.0.0.1:<base+id>")
+	flightCap := fs.Int("flight", 0, "arm the flight recorder with a ring of N events per process (spawn mode propagates it to every child); dump via /debug/flight, anomalies drop black-box dumps in the WAL dir")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "spawn mode, node=strategy (repeatable): crash, flip, coded, alarm, suppress, random:<seed>")
 	if err := fs.Parse(args); err != nil {
@@ -160,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, *snapEvery, advs, chaos)
+		return spawnLocal(stdout, stderr, *topoName, *file, *source, *f, *lenBytes, *q, *window, *seed, *out, *walDir, *adminBase, *snapEvery, *flightCap, advs, chaos)
 	}
 	if *chaosPath != "" {
 		return fmt.Errorf("-chaos is a spawn-mode flag; node mode inherits the spec from cluster.json")
@@ -182,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir, *adminAddr, *join)
+	return runNode(cfg, graph.NodeID(*id), stdout, rsv, *walDir, *adminAddr, *join, *flightCap)
 }
 
 // inheritedListeners rebuilds the listeners a -spawn-local parent handed
@@ -239,11 +245,14 @@ func inheritedListeners(cfg *cluster.Config, id graph.NodeID) (*cluster.Reservat
 // checked against the quorum's digest. Instances below the boundary are
 // never emitted by this process; peers that committed them carry the
 // record.
-func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir, adminAddr string, join bool) error {
+func runNode(cfg *cluster.Config, id graph.NodeID, stdout io.Writer, rsv *cluster.Reservation, walDir, adminAddr string, join bool, flightCap int) error {
 	ctx := context.Background()
 	opts := []nab.SessionOption{nab.WithCluster(cfg, id, nab.ClusterOptions{Reservation: rsv, Join: join})}
 	if walDir != "" {
 		opts = append(opts, nab.Recover(walDir))
+	}
+	if flightCap > 0 {
+		opts = append(opts, nab.WithFlightRecorder(flightCap))
 	}
 	sess, err := nab.Open(ctx, nab.Config{}, opts...)
 	if err != nil {
@@ -336,7 +345,7 @@ func childExtras(rsv *cluster.Reservation, cfg *cluster.Config, v graph.NodeID) 
 // endpoint as a held listener and hands the sockets to the children as
 // inherited descriptors, so no port can be lost between reservation and
 // boot.
-func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase, snapEvery int, advs adversaryFlags, chaos *nab.ChaosConfig) error {
+func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenBytes, q, window int, seed int64, out, walDir string, adminBase, snapEvery, flightCap int, advs adversaryFlags, chaos *nab.ChaosConfig) error {
 	g, err := loadGraph(file, topoName)
 	if err != nil {
 		return err
@@ -396,6 +405,9 @@ func spawnLocal(stdout, stderr io.Writer, topoName, file string, source, f, lenB
 		if adminBase > 0 {
 			// Predictable per-node admin ports: node v scrapes at base+v.
 			args = append(args, "-admin", fmt.Sprintf("127.0.0.1:%d", adminBase+int(v)))
+		}
+		if flightCap > 0 {
+			args = append(args, "-flight", fmt.Sprint(flightCap))
 		}
 		cmd := exec.Command(self, args...)
 		cmd.Env = append(append(os.Environ(), "NABNODE_CHILD=1"), env...)

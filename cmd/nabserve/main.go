@@ -23,7 +23,10 @@
 // (engine liveness, drain state, WAL sync lag) and /debug/pprof on a
 // private HTTP endpoint; durable daemons additionally mount
 // POST /snapshot, which forces a snapshot + compaction on demand — the
-// "drain, snapshot, restart" step of a rolling restart.
+// "drain, snapshot, restart" step of a rolling restart. Add -flight N
+// to arm the flight recorder: GET /debug/flight downloads the ring as a
+// binary dump for tools/nabtrace, and anomalies (dispute barriers,
+// digest tripwires) drop black-box dumps next to the WAL.
 //
 // Client (sends -q framed requests, prints the replies):
 //
@@ -141,6 +144,7 @@ func run(args []string, w io.Writer) error {
 	walDir := fs.String("wal", "", "durable WAL directory: accepted requests and commits are logged there, and a restarted daemon resumes the stream (dispute state included) instead of starting over")
 	snapEvery := fs.Int("snapshot-interval", 0, "write a full engine-state snapshot every N commits and compact the WAL behind it, bounding disk use and restart replay to the live suffix (0 = default; requires -wal)")
 	adminAddr := fs.String("admin", "", "serve /metrics (Prometheus text), /healthz, /debug/pprof and POST /snapshot (durable daemons) on this address")
+	flightCap := fs.Int("flight", 0, "arm the flight recorder with a ring of N events (rounded up to a power of two); dump it via /debug/flight, black-box dumps land in the WAL dir on anomalies")
 	advs := adversaryFlags{}
 	fs.Var(advs, "adversary", "node=strategy (repeatable): flip, coded, alarm, crash, random")
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +164,9 @@ func run(args []string, w io.Writer) error {
 		LenBytes: *lenBytes, Seed: *seed, Adversaries: advs,
 	}
 	opts := []nab.SessionOption{nab.WithWindow(*window)}
+	if *flightCap > 0 {
+		opts = append(opts, nab.WithFlightRecorder(*flightCap))
+	}
 	if *snapEvery != 0 && *walDir == "" {
 		return fmt.Errorf("-snapshot-interval requires -wal")
 	}

@@ -20,8 +20,8 @@ import (
 	"nab/internal/adversary"
 	"nab/internal/core"
 	"nab/internal/graph"
+	"nab/internal/texttab"
 	"nab/internal/topo"
-	"nab/internal/trace"
 )
 
 type adversaryFlags map[graph.NodeID]core.Adversary
@@ -93,7 +93,7 @@ func run(args []string) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	t := trace.New(fmt.Sprintf("NAB run: %d instances of %d bytes (f=%d)", *q, *lenBytes, *f),
+	t := texttab.New(fmt.Sprintf("NAB run: %d instances of %d bytes (f=%d)", *q, *lenBytes, *f),
 		"k", "gamma", "rho", "phase1", "equality", "flags", "dispute", "total", "phase3", "new disputes", "new faulty")
 	var rr core.RunResult
 	rr.LenBits = 8 * *lenBytes
@@ -110,7 +110,7 @@ func run(args []string) error {
 	}
 	fmt.Print(t)
 	fmt.Printf("\nthroughput: %s bits/time unit over %d instances (%d dispute phases)\n",
-		trace.F(rr.Throughput()), *q, rr.DisputePhases())
+		texttab.F(rr.Throughput()), *q, rr.DisputePhases())
 	return nil
 }
 

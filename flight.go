@@ -1,0 +1,85 @@
+package nab
+
+import (
+	"strconv"
+	"time"
+
+	"nab/internal/flight"
+)
+
+// FlightEvent re-exports the flight recorder's event record for
+// embedders that want programmatic access to a trace (tools consume the
+// binary TraceDump form instead).
+type FlightEvent = flight.Event
+
+// WithFlightRecorder arms the process-global flight recorder with a
+// ring of at least capacity events (rounded up to a power of two,
+// minimum 1024; pass 0 for the 64k default). Every layer then records
+// causal events — instance launches, phase transitions, per-frame
+// send/recv with the cross-process stitch index, dispute barriers,
+// WAL appends/fsyncs, cluster rejoin/join rounds — into the ring at
+// zero allocations per event, and anomaly sites (dispute barrier
+// opened, join digest tripwire, rejoin/join entered) write black-box
+// dumps next to the WAL when the session is durable.
+//
+// Like the metrics registry, the recorder is process-wide: one enabled
+// session traces every engine in the process. Recording is passive —
+// commit sequences stay byte-identical with the recorder on.
+func WithFlightRecorder(capacity int) SessionOption {
+	return func(o *sessionOptions) {
+		if capacity <= 0 {
+			capacity = 1 << 16
+		}
+		o.flightCapacity = capacity
+	}
+}
+
+// WithFlightPredicate installs a user anomaly predicate on the flight
+// recorder: any recorded event it returns true for triggers a
+// black-box dump (reason "predicate"). The predicate runs on the
+// record hot path; keep it cheap and non-blocking. Implies
+// WithFlightRecorder's default capacity unless one was set.
+func WithFlightPredicate(f func(FlightEvent) bool) SessionOption {
+	return func(o *sessionOptions) {
+		if o.flightCapacity == 0 {
+			o.flightCapacity = 1 << 16
+		}
+		o.flightPredicate = f
+	}
+}
+
+// TraceDump serializes the flight recorder's current contents as a
+// binary dump (reason "manual") for tools/nabtrace. Returns nil when
+// no recorder is armed.
+func (s *Session) TraceDump() []byte {
+	return flight.Default().DumpBytes("manual", time.Now().UnixNano())
+}
+
+// FlightEvents snapshots the recorder's surviving events in record
+// order — the programmatic view of the same data TraceDump encodes.
+// Nil when no recorder is armed.
+func (s *Session) FlightEvents() []FlightEvent {
+	return flight.Default().Events()
+}
+
+// armFlight applies the session's flight options at Open: enable the
+// ring, label the process, and point black-box dumps at the WAL
+// directory when the session is durable.
+func armFlight(o *sessionOptions) {
+	if o.flightCapacity == 0 {
+		return
+	}
+	r := flight.Default()
+	r.Enable(o.flightCapacity)
+	label := "session"
+	if o.cluster != nil {
+		label = "node-" + strconv.Itoa(int(o.clusterID))
+	}
+	r.SetLabel(label)
+	if o.flightPredicate != nil {
+		r.SetPredicate(o.flightPredicate)
+	}
+	if o.durability != nil && o.durability.dir != "" {
+		r.SetAutodumpDir(o.durability.dir)
+	}
+}

@@ -1,0 +1,96 @@
+package nab_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"nab"
+	"nab/internal/flight"
+)
+
+// TestSessionDifferentialWithFlightRecorder pins the recorder's core
+// contract: it is a passive observer. The same dispute-heavy workload
+// runs on the lockstep oracle bare and on the pipelined engine with the
+// recorder armed, and the commits must stay byte-identical — then the
+// trace itself must be a decodable dump that actually captured the run
+// (launches, phases, commits, and barrier events when replays happened).
+func TestSessionDifferentialWithFlightRecorder(t *testing.T) {
+	defer flight.Default().Disable() // the recorder is process-global
+	ctx := context.Background()
+	mkCfg := func() nab.Config {
+		return nab.Config{
+			Graph: nab.CompleteGraph(7, 2), Source: 1, F: 2, LenBytes: 24, Seed: 7,
+			Adversaries: map[nab.NodeID]nab.Adversary{
+				3: nab.FalseAlarmAdversary(),
+				5: nab.BlockFlipperAdversary(),
+			},
+		}
+	}
+	payloads := mkPayloads(5, 24)
+
+	lockSess, err := nab.Open(ctx, mkCfg(), nab.WithLockstep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lockSess.Close()
+	want, wantDisputes := feedAndCollect(t, lockSess, payloads)
+
+	// K7 traffic is frame-heavy (thousands of EvFrameSend/Recv per
+	// instance), so the ring must be large enough not to lap the five
+	// launches this test counts.
+	pipeSess, err := nab.Open(ctx, mkCfg(), nab.WithWindow(4), nab.WithFlightRecorder(1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeSess.Close()
+	got, gotDisputes := feedAndCollect(t, pipeSess, payloads)
+
+	if gotDisputes != wantDisputes {
+		t.Errorf("recorded run dispute set %q, want %q", gotDisputes, wantDisputes)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Mismatch != w.Mismatch || g.Phase3 != w.Phase3 {
+			t.Errorf("instance %d: mismatch/phase3 = %v/%v, want %v/%v",
+				i+1, g.Mismatch, g.Phase3, w.Mismatch, w.Phase3)
+		}
+		for v, out := range w.Outputs {
+			if !bytes.Equal(g.Outputs[v], out) {
+				t.Errorf("instance %d: node %d output %x, want %x", i+1, v, g.Outputs[v], out)
+			}
+		}
+	}
+
+	// The trace must have watched the run it did not perturb.
+	raw := pipeSess.TraceDump()
+	if raw == nil {
+		t.Fatal("TraceDump returned nil with the recorder armed")
+	}
+	dump, err := flight.Decode(raw)
+	if err != nil {
+		t.Fatalf("TraceDump did not round-trip: %v", err)
+	}
+	counts := map[flight.EventType]int{}
+	for _, ev := range dump.Events {
+		counts[ev.Type]++
+	}
+	if counts[flight.EvCommit] != len(payloads) {
+		t.Errorf("trace has %d commits, want %d", counts[flight.EvCommit], len(payloads))
+	}
+	if counts[flight.EvLaunch] < len(payloads) {
+		t.Errorf("trace has %d launches, want at least %d", counts[flight.EvLaunch], len(payloads))
+	}
+	if counts[flight.EvPhase] == 0 {
+		t.Error("trace has no phase transitions")
+	}
+	if replays := pipeSess.Result().Replays; replays > 0 {
+		if counts[flight.EvBarrierOpen] == 0 || counts[flight.EvReplay] != replays {
+			t.Errorf("run replayed %d instances but trace has %d barrier-opens / %d replays",
+				replays, counts[flight.EvBarrierOpen], counts[flight.EvReplay])
+		}
+	}
+	if evs := pipeSess.FlightEvents(); len(evs) != len(dump.Events) {
+		t.Errorf("FlightEvents returned %d events, dump has %d", len(evs), len(dump.Events))
+	}
+}

@@ -4,6 +4,8 @@
 //	/metrics       Prometheus text exposition of the default registry
 //	/healthz       200 "ok" when all registered checks pass, 503 otherwise
 //	/debug/pprof/  the standard net/http/pprof handlers
+//	/debug/flight  the flight recorder's current ring as a binary dump
+//	               (404 while no recorder is armed; feed to tools/nabtrace)
 //
 // plus any operator-triggered Actions a daemon registers (POST-only
 // endpoints such as a durable daemon's /snapshot).
@@ -21,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"nab/internal/flight"
 	"nab/internal/metrics"
 )
 
@@ -93,6 +96,16 @@ func Serve(addr string, opts Options) (*Server, error) {
 			fmt.Fprintln(w, out)
 		})
 	}
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		buf := flight.Default().DumpBytes("manual", time.Now().UnixNano())
+		if buf == nil {
+			http.Error(w, "flight recorder not armed (start the daemon with -flight)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="flight.dump"`)
+		w.Write(buf)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -127,6 +127,12 @@ type Node struct {
 	checkK      int
 	checkDigest uint64
 
+	// joinBegan stamps a blank joiner's announce, so the resume that
+	// completes its first round can observe the announce→resume join
+	// duration. Zero for plain rejoins (applyRewind clears blank before
+	// the resume lands, so the flag alone cannot carry this).
+	joinBegan time.Time
+
 	// testServeTamper lets in-package tests play a Byzantine snapshot
 	// server: it mutates the serve state after the honest digests are
 	// computed (see buildServe).

@@ -13,6 +13,8 @@ var (
 		"Rollback rounds this process has been pulled through.")
 	mRejoinDuration = metrics.NewHistogram("nab_cluster_rejoin_seconds",
 		"Duration of completed rollback rounds, sync to resume.", metrics.LatencyBuckets)
+	mJoinDuration = metrics.NewHistogram("nab_cluster_join_duration_seconds",
+		"Blank-WAL join duration as the joiner saw it, announce to resume.", metrics.LatencyBuckets)
 	mJoinRounds = metrics.NewCounter("nab_cluster_join_fetches_total",
 		"Join-round state transfers this process completed as the joiner.")
 	mJoinServerRejects = metrics.NewCounter("nab_cluster_join_server_rejects_total",

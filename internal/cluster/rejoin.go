@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nab/internal/core"
+	"nab/internal/flight"
 	"nab/internal/runtime"
 	"nab/internal/wal"
 )
@@ -182,6 +183,7 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 			// the fetched tail just reached the pre-join watermark, and its
 			// chain must land on the digest f+1 servers agreed on.
 			if got := n.chain[len(n.chain)-1]; got != n.checkDigest {
+				flight.Trigger(flight.ReasonTripwire)
 				return fmt.Errorf("cluster: re-executed chain digest %016x at instance %d diverges from the join quorum's %016x", got, ir.K, n.checkDigest)
 			}
 			n.checkK = 0
@@ -200,6 +202,20 @@ func (n *Node) streamDurable(ctx context.Context, subs <-chan []byte, commit fun
 	if n.rejoinPending {
 		n.rejoinPending = false
 		n.log.Info("announce-rejoin", "watermark", n.floor+len(n.committed), "blank", n.blank)
+		if n.blank {
+			n.joinBegan = time.Now()
+			flight.Trigger(flight.ReasonJoin)
+		} else {
+			flight.Trigger(flight.ReasonRejoin)
+		}
+		if flight.Enabled() {
+			et := flight.EvRejoinRound
+			if n.blank {
+				et = flight.EvJoinRound
+			}
+			flight.Record(flight.Event{Type: et, Node: -1,
+				Step: flight.RoundAnnounce, Inst: uint64(n.floor + len(n.committed))})
+		}
 		if err := n.ctrl.Rejoin(); err != nil {
 			n.log.Error("announce-failed", "err", err, "action", "reconnect")
 			if err := n.rollback(ctx, n.ctrl.ctrldownNow(), linger); err != nil {
@@ -370,6 +386,10 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 			n.lastRound = round
 			mRollbackRounds.Inc()
 			watermark := n.floor + len(n.committed)
+			if flight.Enabled() {
+				flight.Record(flight.Event{Type: flight.EvRejoinRound, Node: -1,
+					Step: flight.RoundSync, Arg: uint64(round), Inst: uint64(watermark)})
+			}
 			n.log.Info("ack-sync", "round", round, "watermark", watermark, "floor", n.floor, "blank", n.blank, "epoch", n.epoch)
 			if err := n.ctrl.AckSync(round, watermark, n.epoch, n.floor, n.blank, n.lead); err != nil {
 				ev = n.ctrl.ctrldownNow()
@@ -394,6 +414,10 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 				case ev.Round != round:
 					// A stale round's straggler; ignore.
 				case ev.Type == "fetch" && n.blank:
+					if flight.Enabled() {
+						flight.Record(flight.Event{Type: flight.EvJoinRound, Node: -1,
+							Step: flight.RoundFetch, Arg: uint64(round), Inst: uint64(ev.K)})
+					}
 					abort, err := n.joinFetch(round, ev, next)
 					if err != nil {
 						return err
@@ -413,6 +437,10 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 					}
 				case ev.Type == "rewind" && !rewound:
 					m = ev.K
+					if flight.Enabled() {
+						flight.Record(flight.Event{Type: flight.EvRejoinRound, Node: -1,
+							Step: flight.RoundRewind, Arg: uint64(round), Inst: uint64(m)})
+					}
 					if err := n.applyRewind(m, ev.Epoch); err != nil {
 						return err
 					}
@@ -427,6 +455,17 @@ func (n *Node) rollback(ctx context.Context, ev ctrlMsg, linger time.Duration) e
 					}
 					dur := time.Since(began)
 					mRejoinDuration.Observe(dur.Seconds())
+					if !n.joinBegan.IsZero() {
+						// First resume after a blank join: the satellite
+						// instrument measures the joiner's whole
+						// announce→resume arc, not just this round.
+						mJoinDuration.Observe(time.Since(n.joinBegan).Seconds())
+						n.joinBegan = time.Time{}
+					}
+					if flight.Enabled() {
+						flight.Record(flight.Event{Type: flight.EvRejoinRound, Node: -1,
+							Step: flight.RoundResume, Arg: uint64(round), Inst: uint64(m)})
+					}
 					n.log.Info("resume", "round", round, "dur", dur)
 					return nil
 				}

@@ -1,0 +1,16 @@
+package core
+
+import "nab/internal/flight"
+
+// recordPhase emits one flight-recorder phase event for instance k —
+// the causal boundary markers tools/nabtrace turns into spans (a phase
+// ends where the next one, or the commit, begins). Both engines run
+// phases through ExecuteLocal, so lockstep sessions trace identically
+// to pipelined ones. Recording is a passive observation: it cannot
+// affect protocol decisions, so determinism is untouched.
+func recordPhase(k int, code uint32) {
+	if !flight.Enabled() {
+		return
+	}
+	flight.Record(flight.Event{Type: flight.EvPhase, Node: -1, K: int32(k), Step: code})
+}

@@ -9,6 +9,7 @@ import (
 	"nab/internal/capacity"
 	"nab/internal/coding"
 	"nab/internal/dispute"
+	"nab/internal/flight"
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/relay"
@@ -373,6 +374,7 @@ func (pl *InstancePlan) ExecuteLocal(engine PhaseEngine, k int, input []byte, vi
 			return nil, err
 		}
 	}
+	recordPhase(k, flight.Phase1)
 	p1, err := engine.RunPhase("phase1", pl.maxDepth+1)
 	if err != nil {
 		return nil, fmt.Errorf("core: instance %d: phase 1: %w", k, err)
@@ -413,6 +415,7 @@ func (pl *InstancePlan) ExecuteLocal(engine PhaseEngine, k int, input []byte, vi
 			return nil, err
 		}
 	}
+	recordPhase(k, flight.PhaseEquality)
 	eq, err := engine.RunPhase("equality", 2)
 	if err != nil {
 		return nil, fmt.Errorf("core: instance %d: equality: %w", k, err)
@@ -421,6 +424,7 @@ func (pl *InstancePlan) ExecuteLocal(engine PhaseEngine, k int, input []byte, vi
 
 	// ---- Phase 2, step 2.2: agree on every node's 1-bit flag.
 	participants := pl.gk.Nodes()
+	recordPhase(k, flight.PhaseFlags)
 	flagNodes, err := p.runBroadcast(engine, states, participants, pl.tolerance, func(st *nodeState) []byte {
 		if st.announcedFlag() {
 			return []byte{1}
@@ -515,6 +519,7 @@ func (pl *InstancePlan) ExecuteLocal(engine PhaseEngine, k int, input []byte, vi
 
 	// ---- Phase 3: dispute control.
 	ir.Phase3 = true
+	recordPhase(k, flight.PhaseClaims)
 	claimNodes, err := p.runBroadcast(engine, states, participants, pl.tolerance, func(st *nodeState) []byte {
 		c := st.buildClaims()
 		if c == nil {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"nab/internal/dispute"
+	"nab/internal/flight"
 	"nab/internal/graph"
 	"nab/internal/sim"
 )
@@ -231,6 +232,10 @@ func (r *Runner) RunInstance(input []byte) (*InstanceResult, error) {
 	if len(input) != r.proto.cfg.LenBytes {
 		return nil, fmt.Errorf("core: instance %d: input is %d bytes, want %d", r.k, len(input), r.proto.cfg.LenBytes)
 	}
+	if flight.Enabled() {
+		flight.Record(flight.Event{Type: flight.EvLaunch, Node: -1,
+			Inst: uint64(r.k), K: int32(r.k), Gen: int32(r.ds.Gen())})
+	}
 	plan, err := r.proto.PlanInstance(r.ds, r.k, r.rng)
 	if err != nil {
 		return nil, err
@@ -241,8 +246,13 @@ func (r *Runner) RunInstance(input []byte) (*InstanceResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	gen := r.ds.Gen()
 	if err := r.proto.Fold(r.ds, ir); err != nil {
 		return nil, err
+	}
+	if flight.Enabled() {
+		flight.Record(flight.Event{Type: flight.EvCommit, Node: -1,
+			Inst: uint64(r.k), K: int32(r.k), Gen: int32(gen), Arg: uint64(ir.TotalBits)})
 	}
 	return ir, nil
 }

@@ -6,8 +6,8 @@ import (
 
 	"nab/internal/coding"
 	"nab/internal/core"
+	"nab/internal/texttab"
 	"nab/internal/topo"
-	"nab/internal/trace"
 )
 
 // AblationRho sweeps the equality-check parameter rho below the paper's
@@ -19,7 +19,7 @@ func AblationRho(w io.Writer, lenBytes int, seed int64) error {
 	}
 	g := topo.CompleteBi(7, 2)
 	const f = 2
-	t := trace.New(fmt.Sprintf("Ablation: equality-check rho (K7, f=2, L=%d bits)", 8*lenBytes),
+	t := texttab.New(fmt.Sprintf("Ablation: equality-check rho (K7, f=2, L=%d bits)", 8*lenBytes),
 		"rho", "symbol bits", "equality time (~L/rho)", "theorem-1 bound per draw", "scheme tries")
 	in := make([]byte, lenBytes)
 	for rho := 1; rho <= 8; rho++ {
@@ -56,7 +56,7 @@ func AblationPacking(w io.Writer, lenBytes int, seed int64) error {
 		lenBytes = 64
 	}
 	g := topo.CompleteBi(6, 2)
-	t := trace.New(fmt.Sprintf("Ablation: Phase-1 tree packing (K6 cap 2, f=1, L=%d bits)", 8*lenBytes),
+	t := texttab.New(fmt.Sprintf("Ablation: Phase-1 tree packing (K6 cap 2, f=1, L=%d bits)", 8*lenBytes),
 		"trees", "phase-1 time", "vs full packing")
 	in := make([]byte, lenBytes)
 	var full float64
@@ -78,7 +78,7 @@ func AblationPacking(w io.Writer, lenBytes int, seed int64) error {
 		}
 		ratio := "1x"
 		if full > 0 && ir.Phase1Time > 0 {
-			ratio = trace.F(ir.Phase1Time/full) + "x"
+			ratio = texttab.F(ir.Phase1Time/full) + "x"
 		}
 		t.Addf(ir.Gamma, ir.Phase1Time, ratio)
 	}
@@ -94,7 +94,7 @@ func AblationRelayPaths(w io.Writer, lenBytes int, seed int64) error {
 		lenBytes = 16
 	}
 	g := topo.CompleteBi(6, 2)
-	t := trace.New(fmt.Sprintf("Ablation: relay path count (K6 cap 2, f=1, L=%d bits)", 8*lenBytes),
+	t := texttab.New(fmt.Sprintf("Ablation: relay path count (K6 cap 2, f=1, L=%d bits)", 8*lenBytes),
 		"paths", "flag-broadcast time", "total bits", "total time")
 	in := make([]byte, lenBytes)
 	for _, k := range []int{3, 4, 5} {

@@ -22,8 +22,8 @@ import (
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/spantree"
+	"nab/internal/texttab"
 	"nab/internal/topo"
-	"nab/internal/trace"
 )
 
 // E1Fig1 regenerates the Section 2/3 worked example on the Figure 1
@@ -31,7 +31,7 @@ import (
 // dispute, and U_k.
 func E1Fig1(w io.Writer) error {
 	g := topo.Fig1a()
-	t := trace.New("E1: Figure 1 worked example (n=4, f=1)",
+	t := texttab.New("E1: Figure 1 worked example (n=4, f=1)",
 		"quantity", "paper", "measured")
 	for _, j := range []graph.NodeID{2, 3, 4} {
 		mc, err := g.MinCut(1, j)
@@ -83,7 +83,7 @@ func E2Fig2(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	t := trace.New("E2: Figure 2 spanning structures", "quantity", "paper", "measured")
+	t := texttab.New("E2: Figure 2 spanning structures", "quantity", "paper", "measured")
 	t.Addf("gamma (directed trees packable)", 2, gamma)
 	trees, err := spantree.PackArborescences(g, 1, int(gamma))
 	if err != nil {
@@ -139,7 +139,7 @@ func E3Theorem1(w io.Writer, draws int, seed int64) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(seed))
-	t := trace.New(fmt.Sprintf("E3: Theorem 1 soundness (K4, f=1, rho=%d, %d draws/row)", rho, draws),
+	t := texttab.New(fmt.Sprintf("E3: Theorem 1 soundness (K4, f=1, rho=%d, %d draws/row)", rho, draws),
 		"symbol bits m", "bound", "measured failure rate", "redraws needed (mean)")
 	for _, m := range []uint{2, 3, 4, 6, 8, 10, 12} {
 		field, err := gf.New(m)
@@ -240,7 +240,7 @@ func E4ThroughputVsCapacity(w io.Writer, lenBytes, q int, seed int64) ([]E4Row, 
 		{name: "one-thin-link n=5", g: het, f: 1, bad: 4, exact: false},
 		{name: "circulant C8(1,2)", g: circ, f: 1, bad: 5, exact: false},
 	}
-	t := trace.New(fmt.Sprintf("E4: Theorems 2+3 — measured vs capacity bound (asymptotic at L=%d bits; adversarial at L=%d bits, Q=%d)",
+	t := texttab.New(fmt.Sprintf("E4: Theorems 2+3 — measured vs capacity bound (asymptotic at L=%d bits; adversarial at L=%d bits, Q=%d)",
 		8*lenBytes, 8*advLenBytes, q),
 		"network", "gamma*", "rho*", "UB=min(g*,2r*)", "T_NAB bound", "asym rate", "asym/UB", "adv rate (finite Q)", "guarantee")
 	var rows []E4Row
@@ -294,7 +294,7 @@ func E4ThroughputVsCapacity(w io.Writer, lenBytes, q int, seed int64) ([]E4Row, 
 		}
 		rows = append(rows, row)
 		t.Addf(nc.name, rep.GammaStar, rep.RhoStar, rep.CapacityUB, rep.TNABBound,
-			asym, trace.Pct(asym/rep.CapacityUB), adv, trace.Pct(rep.Guarantee))
+			asym, texttab.Pct(asym/rep.CapacityUB), adv, texttab.Pct(rep.Guarantee))
 	}
 	_, err = fmt.Fprintln(w, t)
 	return rows, err
@@ -326,7 +326,7 @@ func E5Pipelining(w io.Writer, lenBytes int, seed int64) ([]E5Row, error) {
 		lenBytes = 8192
 	}
 	const simQ = 8
-	t := trace.New(fmt.Sprintf("E5: Figure 3 pipelining on circulants C_n(1,2) (f=1, L=%d bits)", 8*lenBytes),
+	t := texttab.New(fmt.Sprintf("E5: Figure 3 pipelining on circulants C_n(1,2) (f=1, L=%d bits)", 8*lenBytes),
 		"n", "phase-1 hops", "per-instance time unpipelined", "pipelined", "speedup",
 		fmt.Sprintf("measured seq ph-1 (Q=%d)", simQ), "measured pipelined ph-1", "ph-1 speedup")
 	var rows []E5Row
@@ -360,8 +360,8 @@ func E5Pipelining(w io.Writer, lenBytes int, seed int64) ([]E5Row, error) {
 			N: n, Hops: ir.Phase1Rounds, Unpipelined: unp, Pipelined: pip,
 			SimQ: simQ, SimSeq: seq, SimPipe: spipe,
 		})
-		t.Addf(n, ir.Phase1Rounds, unp, pip, trace.F(unp/pip)+"x",
-			seq, spipe, trace.F(seq/spipe)+"x")
+		t.Addf(n, ir.Phase1Rounds, unp, pip, texttab.F(unp/pip)+"x",
+			seq, spipe, texttab.F(seq/spipe)+"x")
 	}
 	_, err := fmt.Fprintln(w, t)
 	return rows, err
@@ -395,7 +395,7 @@ func E6Amortization(w io.Writer, lenBytes int, qs []int, seed int64) ([]E6Row, e
 	if err != nil {
 		return nil, err
 	}
-	t := trace.New(fmt.Sprintf("E6: dispute-control amortization (K5, f=1, persistent adversary, L=%d bits)", 8*lenBytes),
+	t := texttab.New(fmt.Sprintf("E6: dispute-control amortization (K5, f=1, persistent adversary, L=%d bits)", 8*lenBytes),
 		"Q", "dispute phases (<= f(f+1)="+fmt.Sprint(f*(f+1))+")", "phase-3 time share", "throughput", "T_NAB bound")
 	var rows []E6Row
 	for _, q := range qs {
@@ -432,7 +432,7 @@ func E6Amortization(w io.Writer, lenBytes int, qs []int, seed int64) ([]E6Row, e
 			return nil, fmt.Errorf("Q=%d: %d dispute phases exceed f(f+1)", q, dp)
 		}
 		rows = append(rows, E6Row{Q: q, DisputePhases: dp, DisputeShare: share, Throughput: rr.Throughput(), TNABBound: rep.TNABBound})
-		t.Addf(q, dp, trace.Pct(share), rr.Throughput(), rep.TNABBound)
+		t.Addf(q, dp, texttab.Pct(share), rr.Throughput(), rep.TNABBound)
 	}
 	_, err = fmt.Fprintln(w, t)
 	return rows, err
@@ -457,7 +457,7 @@ func E7Baselines(w io.Writer, lenBytes int, seed int64) ([]E7Row, error) {
 		// broadcast must be amortized), so default to a large input.
 		lenBytes = 2048
 	}
-	t := trace.New(fmt.Sprintf("E7: NAB vs capacity-oblivious baselines (K5 with one thin link, f=1, L=%d bits)", 8*lenBytes),
+	t := texttab.New(fmt.Sprintf("E7: NAB vs capacity-oblivious baselines (K5 with one thin link, f=1, L=%d bits)", 8*lenBytes),
 		"fat cap", "NAB rate", "EIG rate", "Flood rate", "NAB/EIG")
 	var rows []E7Row
 	in := make([]byte, lenBytes)
@@ -494,7 +494,7 @@ func E7Baselines(w io.Writer, lenBytes int, seed int64) ([]E7Row, error) {
 			ratio = nabRate / eigRate
 		}
 		rows = append(rows, E7Row{FatCap: c, NAB: nabRate, EIG: eigRate, Flood: floodRate, Ratio: ratio})
-		t.Addf(c, nabRate, eigRate, floodRate, trace.F(ratio)+"x")
+		t.Addf(c, nabRate, eigRate, floodRate, texttab.F(ratio)+"x")
 	}
 	_, err := fmt.Fprintln(w, t)
 	return rows, err
@@ -583,7 +583,7 @@ func E8Correctness(w io.Writer, trials, lenBytes int, seed int64) error {
 			violations++
 		}
 	}
-	t := trace.New("E8: correctness sweep (random topologies, faults, strategies)",
+	t := texttab.New("E8: correctness sweep (random topologies, faults, strategies)",
 		"metric", "value")
 	t.Addf("instances executed", runs)
 	t.Addf("agreement/validity/bound violations", violations)

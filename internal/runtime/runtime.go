@@ -28,6 +28,7 @@ import (
 
 	"nab/internal/core"
 	"nab/internal/dispute"
+	fr "nab/internal/flight"
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/transport"
@@ -96,6 +97,12 @@ type Runtime struct {
 
 	linkMu sync.RWMutex
 	links  map[[2]graph.NodeID]transport.Link
+
+	// sendTap/recvTap issue the per-(link,instance) frame indices the
+	// flight recorder stamps on EvFrameSend/EvFrameRecv — independent
+	// counters at the two choke points, aligned by the FIFO invariant.
+	sendTap transport.FlightTap
+	recvTap transport.FlightTap
 
 	engMu   sync.RWMutex
 	engines map[uint64]*instanceEngine
@@ -340,6 +347,13 @@ func (rt *Runtime) recvLoop(v graph.NodeID) {
 		if err != nil {
 			return
 		}
+		if fr.Enabled() {
+			fr.Record(fr.Event{
+				Type: fr.EvFrameRecv, Node: int32(m.To), Peer: int32(m.From),
+				Inst: m.Instance, Step: m.Step,
+				Arg: rt.recvTap.Next(m.From, m.To, m.Instance),
+			})
+		}
 		rt.engMu.RLock()
 		eng, ok := rt.engines[m.Instance]
 		rt.engMu.RUnlock()
@@ -381,6 +395,13 @@ func (rt *Runtime) sendFrame(m *transport.Message) error {
 			rt.links[key] = l
 		}
 		rt.linkMu.Unlock()
+	}
+	if fr.Enabled() {
+		fr.Record(fr.Event{
+			Type: fr.EvFrameSend, Node: int32(m.From), Peer: int32(m.To),
+			Inst: m.Instance, Step: m.Step,
+			Arg: rt.sendTap.Next(m.From, m.To, m.Instance),
+		})
 	}
 	return l.Send(m)
 }
@@ -552,6 +573,12 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 			started: time.Now(),
 		}
 		mInflight.Inc()
+		if fr.Enabled() {
+			fr.Record(fr.Event{
+				Type: fr.EvLaunch, Node: -1,
+				Inst: rt.nextLaunch, K: int32(k), Gen: int32(f.gen),
+			})
+		}
 		if rt.cfg.Plane != nil {
 			f.view = rt.cfg.Plane.Execution(f.k, f.gen)
 		}
@@ -654,6 +681,13 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 		rt.k++
 		delete(inputs, f.k)
 		mCommitLatency.Observe(time.Since(f.started).Seconds())
+		if fr.Enabled() {
+			fr.Record(fr.Event{
+				Type: fr.EvCommit, Node: -1,
+				Inst: f.eng.launch, K: int32(f.k), Gen: int32(f.gen),
+				Arg: uint64(f.ir.TotalBits),
+			})
+		}
 		if commit != nil {
 			if err := commit(f.ir); err != nil {
 				return fail(err)
@@ -665,10 +699,29 @@ func (rt *Runtime) RunStream(ctx context.Context, subs <-chan []byte, commit fun
 			// old snapshot is stale. Abort them; the fill loop relaunches
 			// on the fresh snapshot.
 			mBarriers.Inc()
+			if fr.Enabled() {
+				fr.Record(fr.Event{
+					Type: fr.EvBarrierOpen, Node: -1,
+					Inst: f.eng.launch, K: int32(f.k), Gen: int32(rt.ds.Gen()),
+				})
+				fr.Trigger(fr.ReasonDispute)
+			}
 			for _, fl := range inflight {
 				res.Replays++
 				mReplays.Inc()
+				if fr.Enabled() {
+					fr.Record(fr.Event{
+						Type: fr.EvReplay, Node: -1,
+						Inst: fl.eng.launch, K: int32(fl.k), Gen: int32(fl.gen),
+					})
+				}
 				reap(fl)
+			}
+			if fr.Enabled() {
+				fr.Record(fr.Event{
+					Type: fr.EvBarrierClose, Node: -1,
+					K: int32(rt.k), Gen: int32(rt.ds.Gen()),
+				})
 			}
 			next = rt.k + 1
 		}

@@ -1,7 +1,9 @@
-// Package trace formats experiment results as aligned text tables, shared
-// by cmd/nabexp and the benchmark harness so EXPERIMENTS.md rows are
-// regenerated identically everywhere.
-package trace
+// Package texttab renders aligned text tables — the shared formatter
+// behind cmd/nabexp, cmd/nabcap, cmd/nabsim and tools/nabtrace, so
+// EXPERIMENTS.md rows and tool output are regenerated identically
+// everywhere. (It was historically named internal/trace, which clashed
+// with execution tracing; the flight recorder owns that word now.)
+package texttab
 
 import (
 	"fmt"

@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"sync"
+
+	"nab/internal/graph"
+)
+
+// FlightTap issues the per-(link,instance) frame index the flight
+// recorder stamps on send and receive events. The transport's FIFO
+// guarantee per (link, instance) — the same invariant the chaos layer
+// schedules by — means two taps counting independently at the two ends
+// of a link assign every frame the same index, which is what lets
+// tools/nabtrace stitch a send in one process's dump to the receive in
+// another's with no wire-format changes.
+//
+// The one causal caveat is frame loss: chaos physics never drops
+// intact-link frames and rejoin epochs restart instance numbering
+// above anything in flight, so in practice the ends stay aligned; a
+// transport that silently lost frames would skew indices from the loss
+// point on, and nabtrace surfaces that as unmatched sends.
+type FlightTap struct {
+	mu      sync.Mutex
+	seq     map[tapKey]uint64
+	maxInst uint64
+}
+
+type tapKey struct {
+	from, to graph.NodeID
+	inst     uint64
+}
+
+// tapMaxEntries / tapKeepInst bound the counter map exactly the way the
+// chaos layer bounds its per-instance state: when the map outgrows the
+// ceiling, entries older than the newest instance minus the keep window
+// are discarded — their executions are long committed or aborted.
+const (
+	tapMaxEntries = 8192
+	tapKeepInst   = 4096
+)
+
+// Next returns the index of the next frame on (from→to, inst) and
+// advances the counter. Indices start at 0.
+func (t *FlightTap) Next(from, to graph.NodeID, inst uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seq == nil {
+		t.seq = make(map[tapKey]uint64)
+	}
+	if inst > t.maxInst {
+		t.maxInst = inst
+	}
+	k := tapKey{from: from, to: to, inst: inst}
+	n := t.seq[k]
+	t.seq[k] = n + 1
+	if len(t.seq) > tapMaxEntries {
+		t.pruneLocked()
+	}
+	return n
+}
+
+func (t *FlightTap) pruneLocked() {
+	if t.maxInst < tapKeepInst {
+		return
+	}
+	floor := t.maxInst - tapKeepInst
+	for k := range t.seq {
+		if k.inst < floor {
+			delete(t.seq, k)
+		}
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"nab/internal/flight"
 )
 
 // Options tunes a Log.
@@ -258,6 +260,14 @@ func (l *Log) appendLocked(typ byte, payload []byte) (Pos, error) {
 	l.appended++
 	mAppends.Inc()
 	mAppendBytes.Add(int64(headerBytes + n))
+	if flight.Enabled() {
+		et := flight.EvWALAppend
+		if typ == TypeSnapshot {
+			et = flight.EvWALSnapshot
+		}
+		flight.Record(flight.Event{Type: et, Node: -1,
+			Arg: uint64(headerBytes + n), Step: uint32(typ)})
+	}
 	pos := Pos{Seg: l.seg}
 	select {
 	case l.kick <- struct{}{}:
@@ -331,6 +341,9 @@ func (l *Log) Sync() error {
 		err = f.Sync()
 		mFsync.Observe(time.Since(start).Seconds())
 		mFsyncBatch.Observe(float64(batch))
+		if flight.Enabled() {
+			flight.Record(flight.Event{Type: flight.EvWALFsync, Node: -1, Arg: batch})
+		}
 	}
 	l.mu.Lock()
 	l.syncing = false

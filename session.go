@@ -64,6 +64,10 @@ type sessionOptions struct {
 	clusterOpts ClusterOptions
 
 	durability *durabilityOptions
+
+	// Flight-recorder arming (see WithFlightRecorder / flight.go).
+	flightCapacity  int
+	flightPredicate func(FlightEvent) bool
 }
 
 // SessionOption customizes Open.
@@ -213,6 +217,7 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 	if o.commitBuffer < 1 {
 		return nil, fmt.Errorf("nab: commit buffer %d must be >= 1", o.commitBuffer)
 	}
+	armFlight(&o)
 
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Session{

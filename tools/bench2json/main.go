@@ -37,6 +37,7 @@ import (
 	"nab"
 	"nab/internal/coding"
 	"nab/internal/core"
+	"nab/internal/flight"
 	"nab/internal/gf"
 	"nab/internal/graph"
 	"nab/internal/linalg"
@@ -70,6 +71,10 @@ type Row struct {
 	// commits batch-synced) — the price of crash-recovery. Present only
 	// with -wal.
 	DurableCommitIPS float64 `json:"durable_commit_per_sec,omitempty"`
+	// FlightPipelinedIPS is the pipelined rate of the same workload with
+	// the flight recorder armed — compared against PipelinedIPS it is the
+	// recorder's whole-run overhead. Present only with -flight.
+	FlightPipelinedIPS float64 `json:"flight_pipelined_instances_per_sec,omitempty"`
 }
 
 // KernelRow is one arithmetic/coding kernel measurement, recorded so the
@@ -132,6 +137,9 @@ type Output struct {
 	// Snapshot rows (present with -snapshot) compare join-time state
 	// reconstruction: snapshot restore vs full fold-record replay.
 	Snapshot []SnapshotRow `json:"snapshot,omitempty"`
+	// Flight rows (present with -flight) track the flight recorder's hot
+	// path: record cost armed and disarmed, and full-ring dump latency.
+	Flight []KernelRow `json:"flight,omitempty"`
 }
 
 func main() {
@@ -153,6 +161,7 @@ func run(args []string, w io.Writer) error {
 	withWal := fs.Bool("wal", false, "also measure the durability subsystem: WAL append/fsync-batching rows, durable commit rate per topology, recovery replay time")
 	withMetrics := fs.Bool("metrics", false, "also record live-instrument rows per topology: commit-latency p50/p99, submit-wait p99, fsync p99 (with -wal) and per-link wire bits")
 	withSnapshot := fs.Bool("snapshot", false, "also measure join-time state reconstruction: snapshot restore vs full fold-record replay at 1k/10k/100k committed instances")
+	withFlight := fs.Bool("flight", false, "also measure the flight recorder: record ns/op armed and disarmed, full-ring dump latency, and per-topology commit rate with the recorder on")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -243,6 +252,14 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("%s: durable stream: %w", tp.name, err)
 			}
 		}
+		if *withFlight {
+			fres, err := sessionRun(cfg, inputs, nab.WithWindow(*window), nab.WithFlightRecorder(1<<16))
+			flight.Default().Disable() // the recorder is process-global; disarm between rows
+			if err != nil {
+				return fmt.Errorf("%s: flight-recorded: %w", tp.name, err)
+			}
+			row.FlightPipelinedIPS = fres.InstancesPerSec()
+		}
 		if *withMetrics {
 			walDir := ""
 			if *withWal {
@@ -272,6 +289,10 @@ func run(args []string, w io.Writer) error {
 		}
 		if *withWal {
 			fmt.Fprintf(w, "  durable commit %7.1f/s", row.DurableCommitIPS)
+		}
+		if *withFlight {
+			fmt.Fprintf(w, "  flight-on %7.1f/s (%.1f%%)", row.FlightPipelinedIPS,
+				100*row.FlightPipelinedIPS/row.PipelinedIPS)
 		}
 		fmt.Fprintln(w)
 		if *withMetrics {
@@ -303,6 +324,13 @@ func run(args []string, w io.Writer) error {
 		for _, sr := range res.Snapshot {
 			fmt.Fprintf(w, "join-state @%-7d replay %9.3fms (%8d B)  snapshot %7.3fms (%4d B)  %.0fx\n",
 				sr.Instances, sr.ReplayMs, sr.ReplayBytes, sr.SnapshotMs, sr.SnapshotBytes, sr.Speedup)
+		}
+	}
+
+	if *withFlight {
+		res.Flight = flightRows()
+		for _, kr := range res.Flight {
+			fmt.Fprintf(w, "%-34s %10.1f ns/op  %3d allocs/op\n", kr.Name, kr.NsPerOp, kr.AllocsPerOp)
 		}
 	}
 
@@ -705,6 +733,53 @@ func walRows(lenBytes int) ([]KernelRow, error) {
 		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(recoverRuns*recoverQ),
 	})
 	return rows, nil
+}
+
+// flightRows measures the flight recorder's hot path in-process: the
+// record cost with a ring armed (pinned at 0 allocs/op by
+// TestFlightRecordZeroAlloc), the disarmed cost every engine pays when
+// tracing is off (one atomic load), and the latency of serializing a
+// full 64k-event ring into a dump — the /debug/flight response time.
+func flightRows() []KernelRow {
+	bench := func(name string, fn func(b *testing.B)) KernelRow {
+		r := testing.Benchmark(fn)
+		return KernelRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	rec := flight.Default()
+	rec.Enable(1 << 16)
+	defer rec.Disable()
+	ev := flight.Event{Type: flight.EvFrameSend, Node: 1, Peer: 2, Inst: 3, Step: 1, Arg: 4}
+	rows := []KernelRow{
+		bench("flight.Record/armed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				flight.Record(ev)
+			}
+		}),
+	}
+	// The record benchmark left the ring full, so the dump row measures
+	// the worst case: every slot serialized.
+	rows = append(rows, bench("flight.DumpBytes/full-64k-ring", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rec.DumpBytes("manual", 1) == nil {
+				b.Fatal("recorder disarmed mid-benchmark")
+			}
+		}
+	}))
+	rec.Disable()
+	rows = append(rows, bench("flight.Record/disarmed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flight.Record(ev)
+		}
+	}))
+	return rows
 }
 
 // snapshotRows measures join-time state reconstruction at growing
