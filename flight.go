@@ -36,9 +36,11 @@ func WithFlightRecorder(capacity int) SessionOption {
 
 // WithFlightPredicate installs a user anomaly predicate on the flight
 // recorder: any recorded event it returns true for triggers a
-// black-box dump (reason "predicate"). The predicate runs on the
-// record hot path; keep it cheap and non-blocking. Implies
-// WithFlightRecorder's default capacity unless one was set.
+// black-box dump (reason "predicate"). The predicate never sees the
+// anomaly events triggers themselves record, runs on the record hot
+// path (keep it cheap and non-blocking), and is cleared again when the
+// session that installed it closes. Implies WithFlightRecorder's
+// default capacity unless one was set.
 func WithFlightPredicate(f func(FlightEvent) bool) SessionOption {
 	return func(o *sessionOptions) {
 		if o.flightCapacity == 0 {
@@ -64,10 +66,15 @@ func (s *Session) FlightEvents() []FlightEvent {
 
 // armFlight applies the session's flight options at Open: enable the
 // ring, label the process, and point black-box dumps at the WAL
-// directory when the session is durable.
-func armFlight(o *sessionOptions) {
+// directory when the session is durable. The returned disarm hook —
+// nil when there is nothing to undo — clears the predicate and the
+// autodump target at Close: both reference session state (the
+// predicate may capture it, the dump dir is the session's WAL dir) and
+// must not outlive it on the process-global recorder. The ring itself
+// stays armed so a post-mortem TraceDump after Close still works.
+func armFlight(o *sessionOptions) func() {
 	if o.flightCapacity == 0 {
-		return
+		return nil
 	}
 	r := flight.Default()
 	r.Enable(o.flightCapacity)
@@ -76,10 +83,23 @@ func armFlight(o *sessionOptions) {
 		label = "node-" + strconv.Itoa(int(o.clusterID))
 	}
 	r.SetLabel(label)
-	if o.flightPredicate != nil {
+	pred := o.flightPredicate != nil
+	if pred {
 		r.SetPredicate(o.flightPredicate)
 	}
-	if o.durability != nil && o.durability.dir != "" {
+	dump := o.durability != nil && o.durability.dir != ""
+	if dump {
 		r.SetAutodumpDir(o.durability.dir)
+	}
+	if !pred && !dump {
+		return nil
+	}
+	return func() {
+		if pred {
+			r.SetPredicate(nil)
+		}
+		if dump {
+			r.SetAutodumpDir("")
+		}
 	}
 }

@@ -3,6 +3,7 @@ package nab_test
 import (
 	"bytes"
 	"context"
+	"sync/atomic"
 	"testing"
 
 	"nab"
@@ -92,5 +93,39 @@ func TestSessionDifferentialWithFlightRecorder(t *testing.T) {
 	}
 	if evs := pipeSess.FlightEvents(); len(evs) != len(dump.Events) {
 		t.Errorf("FlightEvents returned %d events, dump has %d", len(evs), len(dump.Events))
+	}
+}
+
+// TestCloseDisarmsFlightPredicate pins the session-lifetime contract:
+// the predicate a session installs via WithFlightPredicate stops
+// running on the process-global record path once that session closes
+// (it may capture session state), while the ring itself stays armed for
+// post-mortem dumps.
+func TestCloseDisarmsFlightPredicate(t *testing.T) {
+	defer flight.Default().Disable() // the recorder is process-global
+	var calls atomic.Int64
+	cfg := nab.Config{Graph: nab.CompleteGraph(4, 1), Source: 1, F: 1, LenBytes: 8, Seed: 1}
+	sess, err := nab.Open(context.Background(), cfg, nab.WithLockstep(),
+		nab.WithFlightPredicate(func(nab.FlightEvent) bool {
+			calls.Add(1)
+			return false
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight.Default().Record(flight.Event{Type: flight.EvCommit, K: 1, Node: -1})
+	if calls.Load() == 0 {
+		t.Fatal("predicate not installed while the session is open")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := calls.Load()
+	flight.Default().Record(flight.Event{Type: flight.EvCommit, K: 2, Node: -1})
+	if got := calls.Load(); got != before {
+		t.Fatalf("predicate ran %d more times after Close", got-before)
+	}
+	if !flight.Default().Enabled() {
+		t.Fatal("Close disabled the ring; it must stay armed for post-mortem dumps")
 	}
 }

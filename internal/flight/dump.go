@@ -6,7 +6,18 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"nab/internal/obs"
 )
+
+// dumpLog reports black-box dump write failures. It is force-enabled —
+// a misconfigured autodump dir must be visible without NAB_DEBUG, and
+// it only ever speaks on a failure streak's first miss (and recovery).
+var dumpLog = func() *obs.Logger {
+	l := obs.New("flight")
+	l.SetEnabled(true)
+	return l
+}()
 
 // Dump file framing mirrors the WAL's standalone snapshot container: an
 // 8-byte magic, a CRC-framed header, then fixed-width event records, so
@@ -222,6 +233,7 @@ func (r *Recorder) Trigger(reason uint64) {
 }
 
 func (r *Recorder) dumpLoop(ch chan uint64) {
+	failing := map[uint64]bool{} // reasons mid failure-streak, logged once each
 	for reason := range ch {
 		r.mu.Lock()
 		dir := r.dumpDir
@@ -235,7 +247,15 @@ func (r *Recorder) dumpLoop(ch chan uint64) {
 			continue
 		}
 		path := filepath.Join(dir, "flight-"+name+".dump")
-		writeFileAtomic(path, buf)
+		if err := writeFileAtomic(path, buf); err != nil {
+			if !failing[reason] {
+				failing[reason] = true
+				dumpLog.Error("autodump-failed", "path", path, "err", err)
+			}
+		} else if failing[reason] {
+			delete(failing, reason)
+			dumpLog.Info("autodump-recovered", "path", path)
+		}
 	}
 }
 

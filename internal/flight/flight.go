@@ -267,14 +267,31 @@ func Trigger(reason uint64) { def.Trigger(reason) }
 
 func nowNS() int64 { return time.Now().UnixNano() }
 
-// Enable arms the recorder with a ring of at least capacity events
-// (rounded up to a power of two, minimum 1024). Enabling an already
-// enabled recorder installs a fresh ring and discards prior events.
-func (r *Recorder) Enable(capacity int) {
+// maxRingCapacity caps Enable requests so the power-of-two rounding
+// cannot overflow int and a typo'd -flight value cannot demand an
+// unallocatable ring. It matches maxDumpEvents: a ring no dump could
+// carry would be pointless.
+const maxRingCapacity = maxDumpEvents
+
+// ringCapacity rounds a requested capacity to the ring's actual slot
+// count: a power of two, minimum 1024, maximum maxRingCapacity.
+func ringCapacity(capacity int) uint64 {
+	if capacity > maxRingCapacity {
+		capacity = maxRingCapacity
+	}
 	c := uint64(1024)
 	for int(c) < capacity {
 		c <<= 1
 	}
+	return c
+}
+
+// Enable arms the recorder with a ring of at least capacity events
+// (rounded up to a power of two, minimum 1024, clamped to 2^24).
+// Enabling an already enabled recorder installs a fresh ring and
+// discards prior events.
+func (r *Recorder) Enable(capacity int) {
+	c := ringCapacity(capacity)
 	r.ring.Store(&ring{slots: make([]slot, c), mask: c - 1})
 }
 
@@ -293,9 +310,11 @@ func (r *Recorder) SetLabel(label string) {
 }
 
 // SetPredicate installs a user anomaly predicate evaluated against
-// every recorded event; a true return triggers a black-box dump with
-// ReasonPredicate. Pass nil to clear. The predicate runs on the record
-// path — keep it cheap and non-blocking.
+// every recorded event except EvAnomaly (the trigger's own record —
+// exempting it keeps an always-true predicate from recursing); a true
+// return triggers a black-box dump with ReasonPredicate. Pass nil to
+// clear. The predicate runs on the record path — keep it cheap and
+// non-blocking.
 func (r *Recorder) SetPredicate(f func(Event) bool) {
 	if f == nil {
 		r.pred.Store(nil)
@@ -321,6 +340,12 @@ func (r *Recorder) Record(ev Event) {
 	s.mu.Lock()
 	s.ev = ev
 	s.mu.Unlock()
+	// The predicate never sees EvAnomaly: Trigger records one, so an
+	// always-true predicate would otherwise recurse Record→Trigger→
+	// Record without bound.
+	if ev.Type == EvAnomaly {
+		return
+	}
 	if p := r.pred.Load(); p != nil && (*p)(ev) {
 		r.Trigger(ReasonPredicate)
 	}

@@ -1,8 +1,15 @@
 package flight
 
 import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"nab/internal/obs"
 )
 
 func TestRingWraparoundKeepsNewestInOrder(t *testing.T) {
@@ -168,5 +175,88 @@ func TestPredicateTriggersAnomalyEvent(t *testing.T) {
 	}
 	if anomalies != 1 {
 		t.Fatalf("predicate fired %d anomaly events, want 1", anomalies)
+	}
+}
+
+// TestAlwaysTruePredicateDoesNotRecurse pins the anomaly exemption: the
+// predicate never sees the EvAnomaly event Trigger records, so even the
+// trivial always-true predicate fires exactly once per recorded event
+// instead of recursing Record→Trigger→Record to a stack overflow.
+func TestAlwaysTruePredicateDoesNotRecurse(t *testing.T) {
+	var r Recorder
+	r.Enable(1024)
+	r.SetPredicate(func(Event) bool { return true })
+	const n = 5
+	for i := 0; i < n; i++ {
+		r.Record(Event{Type: EvCommit, K: int32(i), Node: -1})
+	}
+	r.SetPredicate(nil)
+	anomalies := 0
+	for _, ev := range r.Events() {
+		if ev.Type == EvAnomaly {
+			anomalies++
+		}
+	}
+	if anomalies != n {
+		t.Fatalf("always-true predicate fired %d anomaly events, want one per recorded event (%d)", anomalies, n)
+	}
+	if got := r.Total(); got != 2*n {
+		t.Fatalf("Total = %d, want %d (each event plus its anomaly)", got, 2*n)
+	}
+}
+
+func TestRingCapacityClampTerminates(t *testing.T) {
+	cases := []struct {
+		in   int
+		want uint64
+	}{
+		{0, 1024},
+		{1, 1024},
+		{1024, 1024},
+		{1025, 2048},
+		{maxRingCapacity, maxRingCapacity},
+		{maxRingCapacity + 1, maxRingCapacity},
+		{math.MaxInt, maxRingCapacity}, // 2^62<<1 would go negative and loop forever unclamped
+	}
+	for _, c := range cases {
+		if got := ringCapacity(c.in); got != c.want {
+			t.Errorf("ringCapacity(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// chanWriter delivers each log line to a channel, so the test can wait
+// for the asynchronous dump loop without racing a shared buffer.
+type chanWriter chan string
+
+func (w chanWriter) Write(p []byte) (int, error) {
+	select {
+	case w <- string(p):
+	default:
+	}
+	return len(p), nil
+}
+
+func TestAutodumpWriteFailureIsLogged(t *testing.T) {
+	lines := make(chan string, 8)
+	old := dumpLog
+	dumpLog = obs.NewWriter("flight", chanWriter(lines))
+	defer func() { dumpLog = old }()
+
+	var r Recorder
+	r.Enable(1024)
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r.SetAutodumpDir(filepath.Join(file, "sub")) // a path under a regular file: writes must fail
+	r.Trigger(ReasonManual)
+	select {
+	case line := <-lines:
+		if !strings.Contains(line, "autodump-failed") {
+			t.Fatalf("logged %q, want an autodump-failed event", line)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("failing black-box dump was never logged")
 	}
 }

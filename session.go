@@ -171,6 +171,10 @@ type Session struct {
 	disputes func() *DisputeSet
 	cancel   context.CancelFunc
 
+	// flightDisarm clears what armFlight installed on the process-global
+	// flight recorder (predicate, autodump dir); nil when nothing was.
+	flightDisarm func()
+
 	// Durability state (nil without WithDurability/Recover).
 	slog         *sessionLog
 	replayed     []*core.InstanceResult // recovered commits re-delivered at open
@@ -217,19 +221,21 @@ func Open(ctx context.Context, cfg Config, opts ...SessionOption) (*Session, err
 	if o.commitBuffer < 1 {
 		return nil, fmt.Errorf("nab: commit buffer %d must be >= 1", o.commitBuffer)
 	}
-	armFlight(&o)
-
 	sctx, cancel := context.WithCancel(ctx)
 	s := &Session{
-		cancel:   cancel,
-		commits:  make(chan Commit, o.commitBuffer),
-		done:     make(chan struct{}),
-		subTimes: map[Seq]time.Time{},
+		cancel:       cancel,
+		commits:      make(chan Commit, o.commitBuffer),
+		done:         make(chan struct{}),
+		subTimes:     map[Seq]time.Time{},
+		flightDisarm: armFlight(&o),
 	}
 	fail := func(err error) (*Session, error) {
 		cancel()
 		if s.slog != nil {
 			s.slog.close()
+		}
+		if s.flightDisarm != nil {
+			s.flightDisarm()
 		}
 		return nil, err
 	}
@@ -734,6 +740,9 @@ func (s *Session) Close() error {
 			if err := s.slog.close(); s.closeErr == nil {
 				s.closeErr = err
 			}
+		}
+		if s.flightDisarm != nil {
+			s.flightDisarm()
 		}
 	})
 	return s.closeErr
